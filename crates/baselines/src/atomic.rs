@@ -1,0 +1,86 @@
+//! ATOMIC (Cieslewicz & Ross): one shared table, lock-free inserts.
+//!
+//! "All threads work on a single, shared hash table protected by atomic
+//! instructions." Keys are claimed with a CAS on the slot's key word;
+//! counts are relaxed `fetch_add`s. Its cache-efficiency limit is reached
+//! when the shared table exceeds the *combined* L3 (Σ L3 in Figure 8) —
+//! later than the shared-nothing designs, which is why it is the second
+//! best prior algorithm for large K.
+
+use crate::{table_slots, Baseline, BaselineConfig, BaselineOutput, EMPTY};
+use hsa_hash::{Hasher64, Murmur2};
+use hsa_tasks::{chunk_ranges, scoped_map};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The shared-atomic-table baseline.
+pub struct Atomic;
+
+impl Baseline for Atomic {
+    fn name(&self) -> &'static str {
+        "ATOMIC"
+    }
+
+    fn passes(&self) -> u32 {
+        1
+    }
+
+    fn run(&self, keys: &[u64], cfg: &BaselineConfig) -> BaselineOutput {
+        // Size from the optimizer hint; a bad hint degrades to longer
+        // probe chains but stays correct as long as slots ≥ groups. To be
+        // robust against gross underestimates the table also grows with
+        // the input (the paper gives ATOMIC the true K).
+        let slots = table_slots(cfg, cfg.k_hint.max(keys.len().min(1 << 24)));
+        let mask = slots - 1;
+        let table: Vec<AtomicU64> = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
+        let counts: Vec<AtomicU64> = if cfg.count {
+            (0..slots).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Vec::new()
+        };
+        let hasher = Murmur2::default();
+
+        let ranges = chunk_ranges(keys.len(), cfg.threads);
+        scoped_map(ranges.len().max(1), |t| {
+            let Some(range) = ranges.get(t) else { return };
+            for &key in &keys[range.clone()] {
+                debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+                let mut slot = (hasher.hash_u64(key) as usize) & mask;
+                loop {
+                    let cur = table[slot].load(Ordering::Acquire);
+                    if cur == key {
+                        break;
+                    }
+                    if cur == EMPTY
+                        && table[slot]
+                            .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    {
+                        break;
+                    }
+                    if table[slot].load(Ordering::Acquire) == key {
+                        // Lost the race to the same key.
+                        break;
+                    }
+                    slot = (slot + 1) & mask;
+                }
+                if cfg.count {
+                    counts[slot].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        let mut out = BaselineOutput { keys: Vec::new(), counts: Vec::new() };
+        for slot in 0..slots {
+            let k = table[slot].load(Ordering::Acquire);
+            if k != EMPTY {
+                out.keys.push(k);
+                if cfg.count {
+                    out.counts.push(counts[slot].load(Ordering::Relaxed));
+                } else {
+                    out.counts.push(0);
+                }
+            }
+        }
+        out
+    }
+}

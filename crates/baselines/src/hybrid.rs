@@ -1,0 +1,138 @@
+//! HYBRID (Cieslewicz & Ross): private cache tables with eviction into a
+//! shared table.
+//!
+//! "Each thread aggregates its part of the input into a private hash table
+//! with a size fixed to its part of the shared L3 cache. When this table
+//! is full, old entries are evicted similarly to an LRU cache and inserted
+//! into a global, shared hash table." One pass; hot groups stay private
+//! (so it adapts to changing locality, §6.5), cold groups churn through
+//! the shared atomic table once K exceeds the private capacity.
+
+use crate::{table_slots, Baseline, BaselineConfig, BaselineOutput, EMPTY};
+use hsa_hash::{Hasher64, Murmur2};
+use hsa_tasks::{chunk_ranges, scoped_map};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Probe window of the private table; the loser of the window is the
+/// eviction victim (a cheap clock-like stand-in for LRU).
+const PROBE_WINDOW: usize = 8;
+
+/// The private-table-with-eviction baseline.
+pub struct Hybrid;
+
+/// Merge one partial aggregate into the shared atomic table.
+fn push_global(
+    table: &[AtomicU64],
+    counts: &[AtomicU64],
+    mask: usize,
+    hasher: Murmur2,
+    key: u64,
+    count: u64,
+    do_count: bool,
+) {
+    let mut slot = (hasher.hash_u64(key) as usize) & mask;
+    loop {
+        let cur = table[slot].load(Ordering::Acquire);
+        if cur == key {
+            break;
+        }
+        if cur == EMPTY
+            && table[slot]
+                .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            break;
+        }
+        if table[slot].load(Ordering::Acquire) == key {
+            break;
+        }
+        slot = (slot + 1) & mask;
+    }
+    if do_count {
+        counts[slot].fetch_add(count, Ordering::Relaxed);
+    }
+}
+
+impl Baseline for Hybrid {
+    fn name(&self) -> &'static str {
+        "HYBRID"
+    }
+
+    fn passes(&self) -> u32 {
+        1
+    }
+
+    fn run(&self, keys: &[u64], cfg: &BaselineConfig) -> BaselineOutput {
+        let threads = cfg.threads.max(1);
+        let hasher = Murmur2::default();
+
+        // Shared table sized from the hint (grown with the input as a
+        // correctness guard, like ATOMIC).
+        let g_slots = table_slots(cfg, cfg.k_hint.max(keys.len().min(1 << 24)));
+        let g_mask = g_slots - 1;
+        let global: Vec<AtomicU64> = (0..g_slots).map(|_| AtomicU64::new(EMPTY)).collect();
+        let g_counts: Vec<AtomicU64> = if cfg.count {
+            (0..g_slots).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Vec::new()
+        };
+
+        // Private tables: per-thread share of the cache.
+        let p_slots = (cfg.cache_bytes / 16).max(64).next_power_of_two();
+        let p_mask = p_slots - 1;
+
+        let ranges = chunk_ranges(keys.len(), threads);
+        scoped_map(ranges.len().max(1), |t| {
+            let mut pk = vec![EMPTY; p_slots];
+            let mut pc = vec![0u64; p_slots];
+            if let Some(range) = ranges.get(t) {
+                for &key in &keys[range.clone()] {
+                    debug_assert_ne!(key, EMPTY);
+                    let home = (hasher.hash_u64(key) as usize) & p_mask;
+                    let mut placed = false;
+                    for i in 0..PROBE_WINDOW {
+                        let slot = (home + i) & p_mask;
+                        if pk[slot] == key {
+                            pc[slot] += 1;
+                            placed = true;
+                            break;
+                        }
+                        if pk[slot] == EMPTY {
+                            pk[slot] = key;
+                            pc[slot] = 1;
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        // Evict the home slot's tenant to the shared table
+                        // and take its place — the "old entry" heuristic.
+                        push_global(&global, &g_counts, g_mask, hasher, pk[home], pc[home], cfg.count);
+                        pk[home] = key;
+                        pc[home] = 1;
+                    }
+                }
+            }
+            // Flush the surviving private entries.
+            for (k, c) in pk.into_iter().zip(pc) {
+                if k != EMPTY {
+                    push_global(&global, &g_counts, g_mask, hasher, k, c, cfg.count);
+                }
+            }
+        });
+
+        let mut out = BaselineOutput { keys: Vec::new(), counts: Vec::new() };
+        for slot in 0..g_slots {
+            let k = global[slot].load(Ordering::Acquire);
+            if k != EMPTY {
+                out.keys.push(k);
+                out.counts.push(if cfg.count {
+                    g_counts[slot].load(Ordering::Relaxed)
+                } else {
+                    0
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,81 @@
+//! INDEPENDENT (Cieslewicz & Ross): private tables, then a parallel merge.
+//!
+//! Pass 1: every thread aggregates its input slice into a private growable
+//! hash table. Pass 2: the hash space is cut into one range per thread and
+//! each thread merges the matching entries of *all* private tables ("the
+//! hash tables are split and merged in parallel"). Both passes can exceed
+//! the per-thread cache, so the algorithm has *two* cache-efficiency
+//! limits (L3 and 256·L3 in Figure 8).
+
+use crate::{Baseline, BaselineConfig, BaselineOutput};
+use hsa_agg::StateOp;
+use hsa_hash::{Hasher64, Murmur2};
+use hsa_hashtbl::GrowTable;
+use hsa_tasks::{chunk_ranges, scoped_map};
+
+/// The private-tables-and-merge baseline.
+pub struct Independent;
+
+impl Baseline for Independent {
+    fn name(&self) -> &'static str {
+        "INDEPENDENT"
+    }
+
+    fn passes(&self) -> u32 {
+        2
+    }
+
+    fn run(&self, keys: &[u64], cfg: &BaselineConfig) -> BaselineOutput {
+        let threads = cfg.threads.max(1);
+        let hasher = Murmur2::default();
+        let ops = if cfg.count { vec![StateOp::Count] } else { vec![] };
+
+        // Pass 1: thread-private aggregation.
+        let ranges = chunk_ranges(keys.len(), threads);
+        let privates: Vec<Vec<(u64, u64)>> = scoped_map(ranges.len().max(1), |t| {
+            let Some(range) = ranges.get(t) else { return Vec::new() };
+            let mut table =
+                GrowTable::with_capacity((cfg.k_hint / threads).max(64), &ops);
+            for &key in &keys[range.clone()] {
+                table.accumulate(key, if cfg.count { &[0] } else { &[] }, false);
+            }
+            table
+                .drain()
+                .map(|(k, s)| (k, s.first().copied().unwrap_or(0)))
+                .collect()
+        });
+
+        // Pass 2: split the hash space, merge in parallel.
+        let merged: Vec<Vec<(u64, u64)>> = scoped_map(threads, |t| {
+            let lo = (u64::MAX / threads as u64).wrapping_mul(t as u64);
+            let hi = if t + 1 == threads {
+                u64::MAX
+            } else {
+                (u64::MAX / threads as u64).wrapping_mul(t as u64 + 1) - 1
+            };
+            let mut table = GrowTable::with_capacity((cfg.k_hint / threads).max(64), &ops);
+            for private in &privates {
+                for &(k, c) in private {
+                    let h = hasher.hash_u64(k);
+                    if h >= lo && h <= hi {
+                        let vals = [c];
+                        table.accumulate(k, &vals[..ops.len()], true);
+                    }
+                }
+            }
+            table
+                .drain()
+                .map(|(k, s)| (k, s.first().copied().unwrap_or(0)))
+                .collect()
+        });
+
+        let mut out = BaselineOutput { keys: Vec::new(), counts: Vec::new() };
+        for part in merged {
+            for (k, c) in part {
+                out.keys.push(k);
+                out.counts.push(c);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,75 @@
+//! PARTITION-AND-AGGREGATE (Ye et al.): partition everything, then merge.
+//!
+//! Pass 1: every thread naively partitions its input slice by hash value
+//! into 256 private partitions ("its partitioning uses the naive
+//! implementation" — no software write-combining, which is one reason the
+//! paper's operator beats it). Pass 2: one task per partition merges the
+//! matching pieces of all threads into a hash table. With a single
+//! partitioning pass the merge works in cache only up to K ≈ 256 · cache.
+
+use crate::{Baseline, BaselineConfig, BaselineOutput};
+use hsa_agg::StateOp;
+use hsa_hash::{digit, Hasher64, Murmur2, FANOUT};
+use hsa_hashtbl::GrowTable;
+use hsa_tasks::{chunk_ranges, scoped_map};
+
+/// The two-pass partition-then-aggregate baseline.
+pub struct PartitionAndAggregate;
+
+impl Baseline for PartitionAndAggregate {
+    fn name(&self) -> &'static str {
+        "PARTITION-AND-AGGREGATE"
+    }
+
+    fn passes(&self) -> u32 {
+        2
+    }
+
+    fn run(&self, keys: &[u64], cfg: &BaselineConfig) -> BaselineOutput {
+        let threads = cfg.threads.max(1);
+        let hasher = Murmur2::default();
+        let ops = if cfg.count { vec![StateOp::Count] } else { vec![] };
+
+        // Pass 1: naive thread-private partitioning.
+        let ranges = chunk_ranges(keys.len(), threads);
+        let partitioned: Vec<Vec<Vec<u64>>> = scoped_map(ranges.len().max(1), |t| {
+            let mut parts: Vec<Vec<u64>> = (0..FANOUT).map(|_| Vec::new()).collect();
+            if let Some(range) = ranges.get(t) {
+                for &key in &keys[range.clone()] {
+                    parts[digit(hasher.hash_u64(key), 0)].push(key);
+                }
+            }
+            parts
+        });
+
+        // Pass 2: merge each partition across threads. Parallelized by
+        // giving each thread a contiguous range of partitions.
+        let part_ranges = chunk_ranges(FANOUT, threads);
+        let merged: Vec<Vec<(u64, u64)>> = scoped_map(part_ranges.len(), |t| {
+            let mut out = Vec::new();
+            for p in part_ranges[t].clone() {
+                let rows: usize = partitioned.iter().map(|th| th[p].len()).sum();
+                if rows == 0 {
+                    continue;
+                }
+                let mut table = GrowTable::with_capacity(rows.min(cfg.k_hint.max(64)), &ops);
+                for th in &partitioned {
+                    for &key in &th[p] {
+                        table.accumulate(key, if cfg.count { &[0] } else { &[] }, false);
+                    }
+                }
+                out.extend(table.drain().map(|(k, s)| (k, s.first().copied().unwrap_or(0))));
+            }
+            out
+        });
+
+        let mut out = BaselineOutput { keys: Vec::new(), counts: Vec::new() };
+        for part in merged {
+            for (k, c) in part {
+                out.keys.push(k);
+                out.counts.push(c);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,117 @@
+//! PLAT — Partition with Local Aggregation Table (Ye et al.).
+//!
+//! Pass 1: each thread aggregates into a private, fixed, cache-sized
+//! table; keys that find neither a match nor a free slot in their probe
+//! window overflow into 256 private hash partitions. Pass 2: partitions
+//! (and the private tables' contents, routed by the same digit) are merged
+//! per partition across threads. Early aggregation of hot keys comes for
+//! free; the 256-partition merge hits the same K ≈ 256 · cache limit as
+//! PARTITION-AND-AGGREGATE.
+
+use crate::{table_slots, Baseline, BaselineConfig, BaselineOutput, EMPTY};
+use hsa_agg::StateOp;
+use hsa_hash::{digit, Hasher64, Murmur2, FANOUT};
+use hsa_hashtbl::GrowTable;
+use hsa_tasks::{chunk_ranges, scoped_map};
+
+/// Probe window of the private table: short, so cold keys overflow
+/// quickly instead of walking long chains.
+const PROBE_WINDOW: usize = 8;
+
+/// The local-table-with-overflow-partitions baseline.
+pub struct Plat;
+
+impl Baseline for Plat {
+    fn name(&self) -> &'static str {
+        "PLAT"
+    }
+
+    fn passes(&self) -> u32 {
+        2
+    }
+
+    fn run(&self, keys: &[u64], cfg: &BaselineConfig) -> BaselineOutput {
+        let threads = cfg.threads.max(1);
+        let hasher = Murmur2::default();
+        let ops = if cfg.count { vec![StateOp::Count] } else { vec![] };
+
+        // Private fixed table: cache-sized regardless of k_hint (that is
+        // the design: hot groups in cache, the rest overflows).
+        let slots = (cfg.cache_bytes / 16).max(64).next_power_of_two();
+        let mask = slots - 1;
+
+        // Pass 1. Result: per thread, per digit, partial (key, count)
+        // aggregates — the overflowed rows plus the private table's
+        // contents routed by the same digit at the end of the pass.
+        let ranges = chunk_ranges(keys.len(), threads);
+        let pass1: Vec<Vec<Vec<(u64, u64)>>> = scoped_map(ranges.len().max(1), |t| {
+            let mut table_keys = vec![EMPTY; slots];
+            let mut table_counts = vec![0u64; slots];
+            let mut overflow: Vec<Vec<(u64, u64)>> = (0..FANOUT).map(|_| Vec::new()).collect();
+            if let Some(range) = ranges.get(t) {
+                for &key in &keys[range.clone()] {
+                    debug_assert_ne!(key, EMPTY);
+                    let home = (hasher.hash_u64(key) as usize) & mask;
+                    let mut placed = false;
+                    for i in 0..PROBE_WINDOW {
+                        let slot = (home + i) & mask;
+                        if table_keys[slot] == key {
+                            table_counts[slot] += 1;
+                            placed = true;
+                            break;
+                        }
+                        if table_keys[slot] == EMPTY {
+                            table_keys[slot] = key;
+                            table_counts[slot] = 1;
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        overflow[digit(hasher.hash_u64(key), 0)].push((key, 1));
+                    }
+                }
+            }
+            for (k, c) in table_keys.into_iter().zip(table_counts) {
+                if k != EMPTY {
+                    overflow[digit(hasher.hash_u64(k), 0)].push((k, c));
+                }
+            }
+            overflow
+        });
+
+        // Pass 2: merge each digit's partial aggregates across threads,
+        // one partition range per thread.
+        let part_ranges = chunk_ranges(FANOUT, threads);
+        let merged: Vec<Vec<(u64, u64)>> = scoped_map(part_ranges.len(), |t| {
+            let mut out = Vec::new();
+            for p in part_ranges[t].clone() {
+                let rows: usize = pass1.iter().map(|th| th[p].len()).sum();
+                if rows == 0 {
+                    continue;
+                }
+                let mut table = GrowTable::with_capacity(
+                    rows.min(table_slots(cfg, cfg.k_hint) / FANOUT).max(64),
+                    &ops,
+                );
+                for th in &pass1 {
+                    for &(k, c) in &th[p] {
+                        let vals = [c];
+                        table.accumulate(k, &vals[..ops.len()], true);
+                    }
+                }
+                out.extend(table.drain().map(|(k, s)| (k, s.first().copied().unwrap_or(0))));
+            }
+            out
+        });
+
+        let mut out = BaselineOutput { keys: Vec::new(), counts: Vec::new() };
+        for part in merged {
+            for (k, c) in part {
+                out.keys.push(k);
+                out.counts.push(c);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for §4.2: the Figure 3 partitioning ladder
+//! at a cache-friendly size (the `fig03` binary covers the full-size
+//! memory-bound measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hsa_partition::{
+    memcpy_nt, partition_naive, partition_swc_with_mode, partition_unrolled_with_mode, FlushMode,
+};
+use std::hint::black_box;
+
+fn keys(n: usize) -> Vec<u64> {
+    let mut s = 1u64;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s ^ (s >> 31)
+        })
+        .collect()
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let data = keys(1 << 20);
+    let murmur = hsa_hash::Murmur2::default();
+    let identity = hsa_hash::Identity;
+
+    let mut g = c.benchmark_group("partition_2^20");
+    g.throughput(Throughput::Bytes((data.len() * 8) as u64));
+    g.sample_size(10);
+
+    g.bench_function("memcpy_nt", |b| {
+        let mut dst = Vec::new();
+        b.iter(|| memcpy_nt(&mut dst, black_box(&data)))
+    });
+    g.bench_function("naive_key", |b| {
+        b.iter(|| partition_naive(data.iter().copied(), identity, 0))
+    });
+    g.bench_function("naive_hash", |b| {
+        b.iter(|| partition_naive(data.iter().copied(), murmur, 0))
+    });
+    g.bench_function("swc_cached", |b| {
+        b.iter(|| partition_swc_with_mode(data.iter().copied(), murmur, 0, FlushMode::Cached))
+    });
+    g.bench_function("swc_streaming", |b| {
+        b.iter(|| partition_swc_with_mode(data.iter().copied(), murmur, 0, FlushMode::Streaming))
+    });
+    g.bench_function("unrolled_cached", |b| {
+        b.iter(|| partition_unrolled_with_mode(&data, murmur, 0, FlushMode::Cached))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared helpers for the figure binaries (included via `#[path]`).
+#![allow(dead_code)] // each binary uses a different subset
+
+/// Parse positional CLI argument `i` as a number.
+pub fn arg<T: std::str::FromStr>(i: usize) -> Option<T> {
+    std::env::args().nth(i).and_then(|s| s.parse().ok())
+}
+
+/// Repeat counts that keep total run time reasonable at any size.
+pub fn repeats_for(n: usize) -> usize {
+    match n {
+        0..=1_000_000 => 9,
+        1_000_001..=8_000_000 => 5,
+        8_000_001..=33_000_000 => 3,
+        _ => 1,
+    }
+}
+
+/// Deterministic pseudo-random u64 keys (full range).
+pub fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // xorshift the high bits down so all 64 bits vary
+            let x = s ^ (s >> 31);
+            x.wrapping_mul(0x9e3779b97f4a7c15)
+        })
+        .collect()
+}
+
+/// Number of threads to run "full parallelism" experiments with.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |t| t.get())
+}
+
+/// Operator configuration used by the figure sweeps: the defaults with an
+/// explicit strategy and thread count.
+pub fn sweep_cfg(strategy: hsa_core::Strategy, threads: usize) -> hsa_core::AggregateConfig {
+    hsa_core::AggregateConfig {
+        threads,
+        strategy,
+        ..hsa_core::AggregateConfig::default()
+    }
+}
+
+/// Time one DISTINCT-style operator run, returning (median secs, stats of
+/// the last run).
+#[allow(dead_code)]
+pub fn time_distinct(
+    keys: &[u64],
+    cfg: &hsa_core::AggregateConfig,
+    repeats: usize,
+) -> (f64, hsa_core::OpStats) {
+    let (secs, (_, stats)) = hsa_bench::median_secs(repeats, || hsa_core::distinct(keys, cfg));
+    (secs, stats)
+}

@@ -1,0 +1,251 @@
+//! Hand-rolled argument parsing (no CLI dependency).
+
+use hsa_core::{AdaptiveParams, AggregateConfig, Strategy};
+use std::fmt;
+
+/// Invalid command line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// CSV input path.
+    pub file: String,
+    /// Grouping columns, in order.
+    pub group_by: Vec<String>,
+    /// Aggregates: `(function, input column, output name)`; COUNT uses an
+    /// empty input column string.
+    pub aggs: Vec<(String, String, String)>,
+    /// Operator configuration.
+    pub config: AggregateConfig,
+    /// Print operator statistics after the result.
+    pub show_stats: bool,
+}
+
+impl CliArgs {
+    /// All column names the query references.
+    pub fn all_column_refs(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
+        v.extend(self.aggs.iter().filter(|(f, ..)| f != "count").map(|(_, c, _)| c.as_str()));
+        v
+    }
+
+    /// Column names that must be numeric (aggregate inputs).
+    pub fn numeric_column_refs(&self) -> Vec<&str> {
+        self.aggs
+            .iter()
+            .filter(|(f, ..)| f != "count")
+            .map(|(_, c, _)| c.as_str())
+            .collect()
+    }
+}
+
+/// Usage text shown by `hsa --help`.
+pub const USAGE: &str = "\
+usage: hsa <file.csv> --group-by <col>[,<col>...] [aggregates] [options]
+
+aggregates (repeatable):
+  --count [NAME]          COUNT(*)
+  --sum <col> [NAME]      SUM(col)
+  --min <col> [NAME]      MIN(col)
+  --max <col> [NAME]      MAX(col)
+  --avg <col> [NAME]      AVG(col)
+
+options:
+  --threads <n>           worker threads (default: all cores)
+  --strategy <s>          adaptive | hashing | partition:<passes>
+  --stats                 print operator statistics
+  --help                  this text
+
+With no aggregates the query is SELECT DISTINCT over the group columns.";
+
+fn is_flag(s: &str) -> bool {
+    s.starts_with("--")
+}
+
+/// Consume the next argument as a flag value.
+fn take_value<I: Iterator<Item = String>>(
+    args: &mut std::iter::Peekable<I>,
+    flag: &str,
+) -> Result<String, UsageError> {
+    match args.next() {
+        Some(v) if !is_flag(&v) => Ok(v),
+        _ => Err(UsageError(format!("{flag} needs a value"))),
+    }
+}
+
+/// Consume the next argument as an optional output name.
+fn optional_name<I: Iterator<Item = String>>(
+    args: &mut std::iter::Peekable<I>,
+    default: String,
+) -> String {
+    match args.peek() {
+        Some(v) if !is_flag(v) => args.next().unwrap_or(default),
+        _ => default,
+    }
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, UsageError> {
+    let mut args = argv.into_iter().peekable();
+    let mut file = None;
+    let mut group_by = Vec::new();
+    let mut aggs: Vec<(String, String, String)> = Vec::new();
+    let mut config = AggregateConfig::default();
+    let mut show_stats = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(UsageError(USAGE.to_string())),
+            "--group-by" => {
+                let v = take_value(&mut args, "--group-by")?;
+                group_by.extend(v.split(',').map(str::trim).map(String::from));
+            }
+            "--count" => {
+                let name = optional_name(&mut args, "count".to_string());
+                aggs.push(("count".into(), String::new(), name));
+            }
+            "--sum" | "--min" | "--max" | "--avg" => {
+                let func = arg.trim_start_matches("--").to_string();
+                let col = take_value(&mut args, &arg)?;
+                let name = optional_name(&mut args, format!("{func}({col})"));
+                aggs.push((func, col, name));
+            }
+            "--threads" => {
+                let v = take_value(&mut args, "--threads")?;
+                config.threads = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad thread count {v:?}")))?;
+            }
+            "--strategy" => {
+                let v = take_value(&mut args, "--strategy")?;
+                config.strategy = parse_strategy(&v)?;
+            }
+            "--stats" => show_stats = true,
+            other if is_flag(other) => {
+                return Err(UsageError(format!("unknown option {other:?}")));
+            }
+            _ => {
+                if file.replace(arg).is_some() {
+                    return Err(UsageError("more than one input file".into()));
+                }
+            }
+        }
+    }
+
+    let file = file.ok_or_else(|| UsageError("missing input file".into()))?;
+    if group_by.is_empty() {
+        return Err(UsageError("missing --group-by".into()));
+    }
+    Ok(CliArgs { file, group_by, aggs, config, show_stats })
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, UsageError> {
+    match s {
+        "adaptive" => Ok(Strategy::Adaptive(AdaptiveParams::default())),
+        "hashing" => Ok(Strategy::HashingOnly),
+        other => {
+            if let Some(passes) = other.strip_prefix("partition:") {
+                let passes = passes
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad pass count in {other:?}")))?;
+                Ok(Strategy::PartitionAlways { passes })
+            } else {
+                Err(UsageError(format!(
+                    "unknown strategy {other:?} (adaptive | hashing | partition:<n>)"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<CliArgs, UsageError> {
+        parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn full_invocation() {
+        let a = parse(&[
+            "data.csv",
+            "--group-by",
+            "country,city",
+            "--count",
+            "orders",
+            "--sum",
+            "amount",
+            "--avg",
+            "amount",
+            "revenue_avg",
+            "--threads",
+            "3",
+            "--strategy",
+            "partition:2",
+            "--stats",
+        ])
+        .unwrap();
+        assert_eq!(a.file, "data.csv");
+        assert_eq!(a.group_by, vec!["country", "city"]);
+        assert_eq!(
+            a.aggs,
+            vec![
+                ("count".into(), "".into(), "orders".into()),
+                ("sum".into(), "amount".into(), "sum(amount)".into()),
+                ("avg".into(), "amount".into(), "revenue_avg".into()),
+            ]
+        );
+        assert_eq!(a.config.threads, 3);
+        assert_eq!(a.config.strategy, Strategy::PartitionAlways { passes: 2 });
+        assert!(a.show_stats);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&["f.csv", "--group-by", "k"]).unwrap();
+        assert!(a.aggs.is_empty());
+        assert!(!a.show_stats);
+        assert!(matches!(a.config.strategy, Strategy::Adaptive(_)));
+    }
+
+    #[test]
+    fn count_without_name() {
+        let a = parse(&["f.csv", "--group-by", "k", "--count", "--stats"]).unwrap();
+        assert_eq!(a.aggs[0].2, "count");
+        assert!(a.show_stats);
+    }
+
+    #[test]
+    fn missing_file_and_group_by() {
+        assert!(parse(&["--group-by", "k"]).unwrap_err().0.contains("input file"));
+        assert!(parse(&["f.csv"]).unwrap_err().0.contains("--group-by"));
+    }
+
+    #[test]
+    fn value_flags_require_values() {
+        assert!(parse(&["f.csv", "--group-by"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--sum", "--stats"]).is_err());
+    }
+
+    #[test]
+    fn bad_strategy_and_unknown_flag() {
+        assert!(parse(&["f.csv", "--group-by", "k", "--strategy", "magic"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn two_files_rejected() {
+        assert!(parse(&["a.csv", "b.csv", "--group-by", "k"]).is_err());
+    }
+}

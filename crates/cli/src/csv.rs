@@ -1,0 +1,171 @@
+//! A minimal RFC-4180-ish CSV parser (comma separator, `"` quoting with
+//! `""` escapes, `\n` / `\r\n` records). Dependency-free on purpose.
+
+use std::fmt;
+
+/// CSV parse failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was still open at end of input.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// A record has a different number of fields than the header.
+    RaggedRow {
+        /// 1-based record number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected (header width).
+        expected: usize,
+    },
+    /// Input had no header row.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::RaggedRow { line, got, expected } => {
+                write!(f, "line {line}: {got} fields, header has {expected}")
+            }
+            CsvError::Empty => write!(f, "empty input (no header row)"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse CSV text into records (first record = header). All records are
+/// validated to the header's width.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut quote_start_line = 1;
+    let mut line = 1;
+    let mut chars = text.chars().peekable();
+    let mut any_char_in_record = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push('\n');
+                    line += 1;
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_start_line = line;
+                any_char_in_record = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                any_char_in_record = true;
+            }
+            '\r' => {} // swallowed; \n terminates
+            '\n' => {
+                line += 1;
+                if any_char_in_record || !field.is_empty() || !record.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_char_in_record = false;
+            }
+            other => {
+                field.push(other);
+                any_char_in_record = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: quote_start_line });
+    }
+    if any_char_in_record || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+
+    let Some(header) = records.first() else {
+        return Err(CsvError::Empty);
+    };
+    let expected = header.len();
+    for (i, r) in records.iter().enumerate().skip(1) {
+        if r.len() != expected {
+            return Err(CsvError::RaggedRow { line: i + 1, got: r.len(), expected });
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rows() {
+        let r = parse_csv("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b"], vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let r = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn crlf_and_empty_fields() {
+        let r = parse_csv("a,b,c\r\n1,,3\r\n").unwrap();
+        assert_eq!(r[1], vec!["1", "", "3"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_newlines_and_escapes() {
+        let r = parse_csv("a,b\n\"x,y\",\"line1\nline2\"\n\"he said \"\"hi\"\"\",2\n").unwrap();
+        assert_eq!(r[1], vec!["x,y", "line1\nline2"]);
+        assert_eq!(r[2], vec!["he said \"hi\"", "2"]);
+    }
+
+    #[test]
+    fn ragged_row_is_an_error() {
+        let err = parse_csv("a,b\n1\n").unwrap_err();
+        assert_eq!(err, CsvError::RaggedRow { line: 2, got: 1, expected: 2 });
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = parse_csv("a\n\"oops\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(parse_csv(""), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn single_header_only() {
+        let r = parse_csv("a,b\n").unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

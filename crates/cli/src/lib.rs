@@ -1,0 +1,140 @@
+//! `hsa` — GROUP BY aggregation over CSV files from the command line.
+//!
+//! A small end-to-end application of the operator: load a CSV into
+//! columns (numeric columns as `u64`, everything else dictionary-encoded),
+//! run an aggregation query, print an aligned result table.
+//!
+//! ```text
+//! hsa data.csv --group-by country,city --count orders --sum amount --avg amount
+//! ```
+//!
+//! The binary lives in `src/main.rs`; everything here is library code so
+//! the whole pipeline is unit-testable.
+
+mod args;
+mod csv;
+mod load;
+
+pub use args::{parse_args, CliArgs, UsageError};
+pub use csv::{parse_csv, CsvError};
+pub use load::{load_table, LoadedTable};
+
+use hashing_is_sorting::Query;
+
+/// Run a parsed CLI invocation against CSV `text`, returning the rendered
+/// result table (and a stats line when requested).
+pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<String, String> {
+    let rows = parse_csv(text).map_err(|e| e.to_string())?;
+    let loaded = load_table(&rows).map_err(|e| e.to_string())?;
+
+    for name in args.all_column_refs() {
+        if loaded.table.column(name).is_none() {
+            return Err(format!("no column named {name:?} in the input"));
+        }
+    }
+    for name in &args.numeric_column_refs() {
+        if loaded.dictionary_of(name).is_some() {
+            return Err(format!(
+                "column {name:?} is not numeric and cannot be aggregated (only grouped)"
+            ));
+        }
+    }
+
+    let mut q = Query::over(&loaded.table).with_config(args.config.clone());
+    for g in &args.group_by {
+        q = q.group_by(g);
+    }
+    for (func, col, name) in &args.aggs {
+        q = match func.as_str() {
+            "count" => q.count(name),
+            "sum" => q.sum(col, name),
+            "min" => q.min(col, name),
+            "max" => q.max(col, name),
+            "avg" => q.avg(col, name),
+            other => return Err(format!("unknown aggregate {other:?}")),
+        };
+    }
+    let result = q.run();
+
+    let group_names = args.group_by.clone();
+    let mut out = result.format_table(|col_ix, v| {
+        match loaded.dictionary_of(&group_names[col_ix]) {
+            Some(dict) => dict.decode_str(v).unwrap_or("<?>").to_string(),
+            None => v.to_string(),
+        }
+    });
+    if args.show_stats {
+        let s = &result.stats;
+        out.push_str(&format!(
+            "\n{} groups; rows hashed {}, partitioned {}; {} seals, {} switches, {} passes\n",
+            result.n_rows(),
+            s.total_hash_rows(),
+            s.total_part_rows(),
+            s.seals,
+            s.switches_to_partitioning,
+            s.passes_used(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "country,city,amount\n\
+                       de,berlin,10\n\
+                       de,munich,20\n\
+                       fr,paris,30\n\
+                       de,berlin,40\n";
+
+    fn args(argv: &[&str]) -> CliArgs {
+        parse_args(argv.iter().map(|s| s.to_string())).expect("valid args")
+    }
+
+    #[test]
+    fn end_to_end_grouped_sum() {
+        let a = args(&["x.csv", "--group-by", "country", "--count", "--sum", "amount"]);
+        let out = run_on_csv_text(CSV, &a).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("country"));
+        assert!(lines[1].contains("de") && lines[1].contains('3') && lines[1].contains("70"));
+        assert!(lines[2].contains("fr") && lines[2].contains("30"));
+    }
+
+    #[test]
+    fn composite_group_with_strings() {
+        let a = args(&["x.csv", "--group-by", "country,city", "--sum", "amount"]);
+        let out = run_on_csv_text(CSV, &a).unwrap();
+        assert!(out.contains("berlin"));
+        assert!(out.contains("50")); // berlin: 10 + 40
+    }
+
+    #[test]
+    fn distinct_only() {
+        let a = args(&["x.csv", "--group-by", "city"]);
+        let out = run_on_csv_text(CSV, &a).unwrap();
+        assert_eq!(out.lines().count(), 4); // header + 3 cities
+    }
+
+    #[test]
+    fn rejects_aggregating_string_column() {
+        let a = args(&["x.csv", "--group-by", "country", "--sum", "city"]);
+        let err = run_on_csv_text(CSV, &a).unwrap_err();
+        assert!(err.contains("not numeric"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_column() {
+        let a = args(&["x.csv", "--group-by", "nope"]);
+        let err = run_on_csv_text(CSV, &a).unwrap_err();
+        assert!(err.contains("no column named"), "{err}");
+    }
+
+    #[test]
+    fn stats_line() {
+        let a = args(&["x.csv", "--group-by", "country", "--stats"]);
+        let out = run_on_csv_text(CSV, &a).unwrap();
+        assert!(out.contains("2 groups"), "{out}");
+    }
+}

@@ -1,0 +1,131 @@
+//! CSV records → a columnar [`Table`].
+//!
+//! Column typing is inferred: if every value of a column parses as `u64`
+//! it becomes a numeric column; otherwise it is dictionary-encoded (the
+//! codes group correctly, and results are decoded back to strings for
+//! display). This mirrors how a column store would feed arbitrary keys to
+//! the operator's integer kernels.
+
+use hsa_columnar::{Dictionary, Table};
+use std::fmt;
+
+/// Load failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// Header contains a duplicate column name.
+    DuplicateColumn(String),
+    /// Header contains an empty column name.
+    EmptyColumnName,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::DuplicateColumn(name) => write!(f, "duplicate column name {name:?}"),
+            LoadError::EmptyColumnName => write!(f, "empty column name in header"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// A loaded table plus the dictionaries of its non-numeric columns.
+#[derive(Debug)]
+pub struct LoadedTable {
+    /// The columnar table (numeric values or dictionary codes).
+    pub table: Table,
+    dictionaries: Vec<(String, Dictionary)>,
+}
+
+impl LoadedTable {
+    /// Dictionary of a column, if it was string-typed.
+    pub fn dictionary_of(&self, column: &str) -> Option<&Dictionary> {
+        self.dictionaries.iter().find(|(n, _)| n == column).map(|(_, d)| d)
+    }
+}
+
+/// Build a [`LoadedTable`] from parsed CSV records (first record =
+/// header).
+pub fn load_table(records: &[Vec<String>]) -> Result<LoadedTable, LoadError> {
+    let header = records.first().cloned().unwrap_or_default();
+    for (i, name) in header.iter().enumerate() {
+        if name.is_empty() {
+            return Err(LoadError::EmptyColumnName);
+        }
+        if header[..i].contains(name) {
+            return Err(LoadError::DuplicateColumn(name.clone()));
+        }
+    }
+
+    let body = &records[1.min(records.len())..];
+    let mut table = Table::new();
+    let mut dictionaries = Vec::new();
+    for (c, name) in header.iter().enumerate() {
+        let values: Vec<&str> = body.iter().map(|r| r[c].as_str()).collect();
+        let numeric: Option<Vec<u64>> =
+            values.iter().map(|v| v.trim().parse::<u64>().ok()).collect();
+        match numeric {
+            Some(col) => {
+                table.add_column(name.clone(), col);
+            }
+            None => {
+                let mut dict = Dictionary::new();
+                let col: Vec<u64> = values.iter().map(|v| dict.encode_str(v)).collect();
+                table.add_column(name.clone(), col);
+                dictionaries.push((name.clone(), dict));
+            }
+        }
+    }
+    Ok(LoadedTable { table, dictionaries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(csv: &str) -> Vec<Vec<String>> {
+        crate::parse_csv(csv).unwrap()
+    }
+
+    #[test]
+    fn numeric_and_string_columns() {
+        let t = load_table(&records("id,name\n1,ann\n2,bob\n3,ann\n")).unwrap();
+        assert_eq!(t.table.col("id"), &[1, 2, 3]);
+        assert_eq!(t.table.col("name"), &[0, 1, 0]);
+        assert!(t.dictionary_of("id").is_none());
+        assert_eq!(t.dictionary_of("name").unwrap().decode_str(1), Some("bob"));
+    }
+
+    #[test]
+    fn mixed_values_force_dictionary() {
+        let t = load_table(&records("v\n1\nx\n2\n")).unwrap();
+        assert!(t.dictionary_of("v").is_some());
+        assert_eq!(t.table.col("v"), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn whitespace_tolerant_numerics() {
+        let t = load_table(&records("v\n 1 \n2\n")).unwrap();
+        assert!(t.dictionary_of("v").is_none());
+        assert_eq!(t.table.col("v"), &[1, 2]);
+    }
+
+    #[test]
+    fn header_only_gives_empty_table() {
+        let t = load_table(&records("a,b\n")).unwrap();
+        assert_eq!(t.table.n_rows(), 0);
+        assert_eq!(t.table.n_cols(), 2);
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        let err = load_table(&records("a,a\n1,2\n")).unwrap_err();
+        assert_eq!(err, LoadError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn empty_header_name_rejected() {
+        let err = load_table(&records("a,\n1,2\n")).unwrap_err();
+        assert_eq!(err, LoadError::EmptyColumnName);
+    }
+}

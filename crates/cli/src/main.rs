@@ -1,0 +1,31 @@
+//! `hsa` binary: GROUP BY over CSV from the shell.
+
+use hsa_cli::{parse_args, run_on_csv_text, UsageError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(UsageError(msg)) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_on_csv_text(&text, &args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

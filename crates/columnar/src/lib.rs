@@ -1,0 +1,35 @@
+//! Columnar storage substrate for the aggregation operator.
+//!
+//! The paper's operator never materializes a contiguous output whose size it
+//! would have to guess. Instead it produces **runs** backed by a **two-level
+//! data structure — a list of arrays** (§4.2) — which grows in O(1) chunks
+//! without relocation, giving the benefit of Wassenberg's virtual-memory
+//! over-allocation trick "with only very low overhead" and without requiring
+//! special memory management.
+//!
+//! * [`ChunkedVec`] — the two-level list-of-arrays, the backing store of
+//!   every run and partition.
+//! * [`Run`] — a sequence of rows (a key column plus any number of state
+//!   columns) produced by one invocation of `HASHING` or `PARTITIONING`,
+//!   carrying the metadata the framework needs: whether its rows are
+//!   partial aggregates (so the *super-aggregate* function must be used to
+//!   combine them, §3.1) and how many source rows it represents.
+//! * [`Bucket`] — all runs that share a hash-digit prefix; the unit of
+//!   recursion of Algorithm 2.
+//! * [`Mapping`] — the per-run mapping vector of the column-wise processing
+//!   model (§3.3, Figure 2): hashing emits slot indexes, partitioning emits
+//!   radix digits.
+//! * [`Table`] — a small named-column table used by the examples to stand in
+//!   for a column-store relation.
+
+mod chunked;
+mod dictionary;
+mod mapping;
+mod run;
+mod table;
+
+pub use chunked::{ChunkedVec, DEFAULT_CHUNK_LEN};
+pub use dictionary::{encode_composite, Dictionary};
+pub use mapping::Mapping;
+pub use run::{Bucket, Run};
+pub use table::{Column, Table};

@@ -1,0 +1,52 @@
+//! Mapping vectors for column-wise processing (§3.3, Figure 2).
+//!
+//! While producing a run of the grouping column, both routines emit a
+//! mapping "for this run only", which is then applied to the corresponding
+//! parts of the aggregate columns *before* the framework moves on — the
+//! MonetDB/X100-style interleaving that keeps the mapping in cache instead
+//! of materializing it to memory for the whole input.
+//!
+//! The two routines need different mapping shapes:
+//!
+//! * `HASHING` moves each row to a hash-table slot, so its mapping is a
+//!   vector of **slot indexes** (`u32`: tables are cache-sized, so < 2³²).
+//! * `PARTITIONING` appends each row to one of 256 partitions in input
+//!   order, so knowing the **radix digit** (`u8`) of every row is enough:
+//!   replaying the digits against a fresh set of write-combining buffers
+//!   reproduces the exact output positions.
+
+/// A per-run mapping vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mapping {
+    /// One hash-table slot index per input row (hashing routine).
+    Slots(Vec<u32>),
+    /// One radix digit per input row (partitioning routine).
+    Digits(Vec<u8>),
+}
+
+impl Mapping {
+    /// Number of input rows covered by this mapping.
+    pub fn len(&self) -> usize {
+        match self {
+            Mapping::Slots(v) => v.len(),
+            Mapping::Digits(v) => v.len(),
+        }
+    }
+
+    /// True if the mapping covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_dispatches() {
+        assert_eq!(Mapping::Slots(vec![1, 2, 3]).len(), 3);
+        assert_eq!(Mapping::Digits(vec![0; 5]).len(), 5);
+        assert!(Mapping::Slots(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! A minimal named-column table for the examples.
+//!
+//! The operator itself works on raw column slices; `Table` exists so that
+//! the examples can read like the SQL queries of the paper's introduction
+//! (`SELECT k, SUM(v) FROM t GROUP BY k`) without dragging in a full
+//! catalog. All columns are `u64`, as in the paper's experiments ("all
+//! columns are 64-bit integers", §6.1).
+
+/// A named `u64` column.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Values, one per row.
+    pub data: Vec<u64>,
+}
+
+/// A named-column, fixed-row-count table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a column. The first column fixes the row count; later columns
+    /// must match it and names must be unique.
+    pub fn add_column(&mut self, name: impl Into<String>, data: Vec<u64>) -> &mut Self {
+        let name = name.into();
+        assert!(
+            self.column(&name).is_none(),
+            "duplicate column name {name:?}"
+        );
+        if self.columns.is_empty() {
+            self.rows = data.len();
+        } else {
+            assert_eq!(data.len(), self.rows, "column {name:?} row count mismatch");
+        }
+        self.columns.push(Column { name, data });
+        self
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Borrow a column's values, panicking on unknown names (examples keep
+    /// error handling out of the way; library users get `column`).
+    pub fn col(&self, name: &str) -> &[u64] {
+        &self
+            .column(name)
+            .unwrap_or_else(|| panic!("no column named {name:?}"))
+            .data
+    }
+
+    /// Iterate over all columns.
+    pub fn columns(&self) -> impl Iterator<Item = &Column> {
+        self.columns.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Table::new();
+        t.add_column("k", vec![1, 2, 1]).add_column("v", vec![10, 20, 30]);
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.col("v"), &[10, 20, 30]);
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn ragged_column_panics() {
+        let mut t = Table::new();
+        t.add_column("a", vec![1, 2]).add_column("b", vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_name_panics() {
+        let mut t = Table::new();
+        t.add_column("a", vec![1]).add_column("a", vec![2]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Strategy selection: the §5 state machine.
+
+/// Tuning constants of the [`Strategy::Adaptive`] strategy, determined
+//  empirically in the paper's Appendix A.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct AdaptiveParams {
+    /// Reduction-factor threshold `α₀`: a sealed table that reduced its
+    /// input by less than this factor signals too little locality for
+    /// early aggregation. Appendix A.1 measures the cross-over of the two
+    /// routines at `α ∈ [7, 16]` and picks ≈ 11.
+    pub alpha0: f64,
+    /// After switching to partitioning, process `c · cache` rows before
+    /// probing with hashing again (trade-off between amortizing the probe
+    /// and reacting to distribution changes; Appendix A.2 picks 10).
+    pub c: f64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        Self { alpha0: 11.0, c: 10.0 }
+    }
+}
+
+/// Routine-selection strategy for the operator.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Strategy {
+    /// Always use `HASHING` (Figure 4a): correct and automatically
+    /// recursive, but pays hash-table speed even when early aggregation
+    /// never merges anything.
+    HashingOnly,
+    /// `passes` partitioning passes, then one hashing pass with a table
+    /// that may grow beyond the cache (Figure 4b/c). Needs external
+    /// knowledge of K to pick `passes`; kept as the illustrative baseline.
+    PartitionAlways {
+        /// Number of partitioning passes before the final hashing pass.
+        passes: u32,
+    },
+    /// The paper's operator: switch per thread, at table-seal granularity,
+    /// on the observed reduction factor.
+    Adaptive(AdaptiveParams),
+}
+
+/// What the hashing kernel should do after sealing a full table.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SealDecision {
+    /// Keep hashing into a fresh table.
+    ContinueHashing,
+    /// Partition the rest of the current run (and subsequent input) until
+    /// the switch-back budget is consumed.
+    SwitchToPartitioning,
+}
+
+/// Per-task (or per-worker) mode state.
+#[derive(Debug)]
+pub(crate) struct ModeState {
+    strategy: Strategy,
+    partitioning: bool,
+    /// Rows of partitioning left before switching back to hashing.
+    rows_left: i64,
+}
+
+impl ModeState {
+    pub(crate) fn new(strategy: Strategy) -> Self {
+        Self { strategy, partitioning: false, rows_left: 0 }
+    }
+
+    /// Should the next rows at `level` be hashed (vs partitioned)?
+    pub(crate) fn use_hashing(&self, level: u32) -> bool {
+        match self.strategy {
+            Strategy::HashingOnly => true,
+            Strategy::PartitionAlways { passes } => level >= passes,
+            Strategy::Adaptive(_) => !self.partitioning,
+        }
+    }
+
+    /// A table just sealed after absorbing `epoch_rows` input rows into
+    /// `groups` groups; `table_rows` is the table's slot count (the §5
+    /// "cache" unit for the switch-back budget).
+    pub(crate) fn on_seal(
+        &mut self,
+        epoch_rows: u64,
+        groups: usize,
+        table_rows: usize,
+    ) -> SealDecision {
+        match self.strategy {
+            Strategy::HashingOnly | Strategy::PartitionAlways { .. } => {
+                SealDecision::ContinueHashing
+            }
+            Strategy::Adaptive(p) => {
+                let alpha = epoch_rows as f64 / groups.max(1) as f64;
+                if alpha < p.alpha0 {
+                    self.partitioning = true;
+                    self.rows_left = (p.c * table_rows as f64) as i64;
+                    SealDecision::SwitchToPartitioning
+                } else {
+                    SealDecision::ContinueHashing
+                }
+            }
+        }
+    }
+
+    /// `rows` were processed by partitioning; switch back once the budget
+    /// is consumed ("in case the distribution has changed"). Returns true
+    /// if this call flipped the mode back to hashing.
+    pub(crate) fn on_partitioned(&mut self, rows: u64) -> bool {
+        if self.partitioning {
+            self.rows_left -= rows as i64;
+            if self.rows_left <= 0 {
+                self.partitioning = false;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_only_never_switches() {
+        let mut m = ModeState::new(Strategy::HashingOnly);
+        assert!(m.use_hashing(0));
+        assert_eq!(m.on_seal(10, 10, 1000), SealDecision::ContinueHashing);
+        assert!(m.use_hashing(5));
+    }
+
+    #[test]
+    fn partition_always_switches_on_level() {
+        let m = ModeState::new(Strategy::PartitionAlways { passes: 2 });
+        assert!(!m.use_hashing(0));
+        assert!(!m.use_hashing(1));
+        assert!(m.use_hashing(2));
+        assert!(m.use_hashing(3));
+    }
+
+    #[test]
+    fn adaptive_switches_on_low_alpha() {
+        let mut m = ModeState::new(Strategy::Adaptive(AdaptiveParams { alpha0: 4.0, c: 2.0 }));
+        assert!(m.use_hashing(0));
+        // α = 100/10 = 10 ≥ 4: keep hashing.
+        assert_eq!(m.on_seal(100, 10, 1000), SealDecision::ContinueHashing);
+        assert!(m.use_hashing(0));
+        // α = 15/10 = 1.5 < 4: switch.
+        assert_eq!(m.on_seal(15, 10, 1000), SealDecision::SwitchToPartitioning);
+        assert!(!m.use_hashing(0));
+    }
+
+    #[test]
+    fn adaptive_switches_back_after_budget() {
+        let mut m = ModeState::new(Strategy::Adaptive(AdaptiveParams { alpha0: 4.0, c: 2.0 }));
+        m.on_seal(10, 10, 1000); // α = 1 → partitioning, budget = 2000 rows
+        assert!(!m.use_hashing(0));
+        assert!(!m.on_partitioned(1500));
+        assert!(!m.use_hashing(0));
+        assert!(m.on_partitioned(600)); // budget exhausted
+        assert!(m.use_hashing(0));
+    }
+
+    #[test]
+    fn on_partitioned_is_noop_while_hashing() {
+        let mut m = ModeState::new(Strategy::Adaptive(AdaptiveParams::default()));
+        assert!(!m.on_partitioned(1_000_000));
+        assert!(m.use_hashing(0));
+    }
+
+    #[test]
+    fn alpha_handles_empty_table() {
+        // groups == 0 must not divide by zero.
+        let mut m = ModeState::new(Strategy::Adaptive(AdaptiveParams::default()));
+        let _ = m.on_seal(0, 0, 1000);
+    }
+}

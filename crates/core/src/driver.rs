@@ -1,0 +1,646 @@
+//! The operator driver: Algorithm 2 plus the parallelization of §3.2.
+//!
+//! Execution has two phases:
+//!
+//! 1. **Main loop** (level 0): the input is cut into morsels that worker
+//!    threads claim by work-stealing. Each worker keeps a persistent hash
+//!    table and strategy state; the runs it produces go to 256 shared,
+//!    mutex-guarded level-1 buckets.
+//! 2. **Recursion** (levels ≥ 1): one task per non-empty bucket. A bucket
+//!    task processes its runs through the strategy-selected routines into
+//!    task-local sub-buckets; if nothing spilled, the bucket's table holds
+//!    the final groups of this hash prefix and is emitted. Sub-buckets are
+//!    spawned as new tasks — completely independent, no synchronization.
+//!
+//! Two hard floors guarantee termination regardless of hash behavior: the
+//! recursion depth is bounded by the 8 radix digits of a 64-bit hash, and
+//! buckets at the floor are merged with a growable table keyed by the
+//! actual key values.
+
+use crate::adaptive::{ModeState, Strategy};
+use crate::hashing::{hash_run, seal_into, HashOutcome};
+use crate::output::{Collector, GroupByOutput};
+use crate::partitioning::partition_run;
+use crate::sink::{LocalBuckets, RunSink, SharedBuckets};
+use crate::stats::{AtomicStats, OpStats};
+use crate::view::RunView;
+use crate::AggregateConfig;
+use hsa_agg::{plan, AggSpec, StateOp};
+use hsa_columnar::Run;
+use hsa_hash::MAX_LEVEL;
+use hsa_hashtbl::{identity_of, AggTable, GrowTable, TableConfig};
+use hsa_tasks::{chunk_ranges, Scope};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Reuse pool for the cache-sized tables: "one or very few hash tables per
+/// thread" (§4.1) instead of an allocation + identity-fill per bucket.
+struct TablePool {
+    cfg: TableConfig,
+    identities: Vec<u64>,
+    free: Mutex<Vec<AggTable>>,
+}
+
+impl TablePool {
+    fn get(&self, level: u32) -> AggTable {
+        if let Some(mut t) = self.free.lock().pop() {
+            t.set_level(level);
+            t
+        } else {
+            AggTable::new(self.cfg, level, &self.identities)
+        }
+    }
+
+    fn put(&self, table: AggTable) {
+        debug_assert!(table.is_empty(), "tables must be sealed before returning");
+        self.free.lock().push(table);
+    }
+}
+
+/// Everything shared across the tasks of one operator invocation.
+struct Ctx<'a> {
+    cfg: &'a AggregateConfig,
+    ops: Vec<StateOp>,
+    pool: TablePool,
+    collector: Collector,
+    stats: AtomicStats,
+}
+
+/// Per-worker persistent state of the level-0 main loop.
+struct WorkerState {
+    table: Option<AggTable>,
+    mode: ModeState,
+    epoch_rows: u64,
+    map32: Vec<u32>,
+    map8: Vec<u8>,
+}
+
+impl WorkerState {
+    fn new(strategy: Strategy) -> Self {
+        Self {
+            table: None,
+            mode: ModeState::new(strategy),
+            epoch_rows: 0,
+            map32: Vec::new(),
+            map8: Vec::new(),
+        }
+    }
+}
+
+/// Process one run/morsel through the strategy-selected routines.
+#[allow(clippy::too_many_arguments)]
+fn process_view(
+    ctx: &Ctx<'_>,
+    view: &RunView<'_>,
+    level: u32,
+    table_slot: &mut Option<AggTable>,
+    mode: &mut ModeState,
+    epoch_rows: &mut u64,
+    map32: &mut Vec<u32>,
+    map8: &mut Vec<u8>,
+    sink: &mut impl RunSink,
+) {
+    let mut row = 0;
+    while row < view.len() {
+        if mode.use_hashing(level) {
+            let table = table_slot.get_or_insert_with(|| ctx.pool.get(level));
+            match hash_run(view, row, table, &ctx.ops, mode, epoch_rows, map32, sink, &ctx.stats)
+            {
+                HashOutcome::Done => return,
+                HashOutcome::Switched { next_row } => row = next_row,
+            }
+        } else {
+            let rows = (view.len() - row) as u64;
+            partition_run(view, row, level, ctx.ops.len(), map8, sink, &ctx.stats);
+            if mode.on_partitioned(rows) {
+                ctx.stats.count_switch_to_hashing();
+            }
+            return;
+        }
+    }
+}
+
+/// Emit a completed bucket's table as final groups.
+fn emit_final_from_table(ctx: &Ctx<'_>, table: &mut AggTable) {
+    table.seal(|_digit, keys, cols| ctx.collector.push_block(keys, cols));
+}
+
+/// Merge a bucket with the growable key-addressed table (recursion floor
+/// and the final pass of `PartitionAlways`).
+fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>) {
+    ctx.stats.count_fallback_merge();
+    let rows: usize = bucket.iter().map(Run::len).sum();
+    let mut table = GrowTable::with_capacity(rows.clamp(16, 1 << 20), &ctx.ops);
+    let n_cols = ctx.ops.len();
+    let mut vals = vec![0u64; n_cols];
+    for run in bucket {
+        let aggregated = run.aggregated;
+        let view = RunView::Owned(run);
+        let mut row = 0;
+        while row < view.len() {
+            let len = view.aligned_block_len(row, n_cols);
+            let keys = &view.key_tail(row)[..len];
+            let cols: Vec<&[u64]> = (0..n_cols).map(|i| &view.col_tail(i, row)[..len]).collect();
+            for (j, &key) in keys.iter().enumerate() {
+                for (v, c) in vals.iter_mut().zip(&cols) {
+                    *v = c[j];
+                }
+                table.accumulate(key, &vals, aggregated);
+            }
+            row += len;
+        }
+    }
+    let mut keys = Vec::with_capacity(table.len());
+    let mut cols: Vec<Vec<u64>> = (0..n_cols).map(|_| Vec::with_capacity(keys.capacity())).collect();
+    for (k, states) in table.drain() {
+        keys.push(k);
+        for (c, s) in cols.iter_mut().zip(states) {
+            c.push(s);
+        }
+    }
+    ctx.collector.push_block(&keys, &cols);
+}
+
+/// Recursive bucket task (Algorithm 2, line 8).
+fn process_bucket<'env>(
+    ctx: &'env Ctx<'env>,
+    scope: &Scope<'_, 'env>,
+    bucket: Vec<Run>,
+    level: u32,
+) {
+    let t0 = Instant::now();
+    let final_hash_pass = matches!(
+        ctx.cfg.strategy,
+        Strategy::PartitionAlways { passes } if level >= passes
+    );
+    if level >= MAX_LEVEL || final_hash_pass {
+        grow_merge(ctx, bucket);
+        ctx.stats.add_level_nanos(level.min(MAX_LEVEL), t0.elapsed().as_nanos() as u64);
+        return;
+    }
+
+    let mut table_slot: Option<AggTable> = None;
+    let mut mode = ModeState::new(ctx.cfg.strategy);
+    let mut epoch_rows = 0u64;
+    let mut map32 = Vec::new();
+    let mut map8 = Vec::new();
+    let mut local = LocalBuckets::new();
+
+    for run in bucket {
+        debug_assert_eq!(run.level, level, "run level out of sync with recursion");
+        let view = RunView::Owned(run);
+        process_view(
+            ctx,
+            &view,
+            level,
+            &mut table_slot,
+            &mut mode,
+            &mut epoch_rows,
+            &mut map32,
+            &mut map8,
+            &mut local,
+        );
+    }
+
+    if local.is_empty() {
+        // The entire bucket was absorbed by one table: its groups are
+        // final — "the recursion stops automatically" (§5).
+        if let Some(mut table) = table_slot {
+            emit_final_from_table(ctx, &mut table);
+            ctx.pool.put(table);
+        }
+        ctx.stats.add_level_nanos(level, t0.elapsed().as_nanos() as u64);
+        return;
+    }
+
+    // Something spilled: the leftover table content is one more run set.
+    if let Some(mut table) = table_slot {
+        if !table.is_empty() {
+            seal_into(&mut table, &mut local, &ctx.stats);
+        }
+        ctx.pool.put(table);
+    }
+    ctx.stats.add_level_nanos(level, t0.elapsed().as_nanos() as u64);
+    for (_digit, sub) in local.into_nonempty() {
+        scope.spawn(move |s| process_bucket(ctx, s, sub, level + 1));
+    }
+}
+
+/// Run a grouped aggregation.
+///
+/// * `keys` — the grouping column.
+/// * `inputs` — aggregate input columns, referenced by index from `specs`;
+///   every column must have `keys.len()` rows.
+/// * `specs` — requested aggregates (empty = `DISTINCT`).
+///
+/// Returns the grouped result plus the execution statistics the paper's
+/// pass-breakdown plots are built from.
+pub fn aggregate(
+    keys: &[u64],
+    inputs: &[&[u64]],
+    specs: &[AggSpec],
+    cfg: &AggregateConfig,
+) -> (GroupByOutput, OpStats) {
+    for (i, col) in inputs.iter().enumerate() {
+        assert_eq!(col.len(), keys.len(), "aggregate input column {i} row count mismatch");
+    }
+    let lowered = plan(specs);
+    // Physical column i reads from this slice; COUNT columns alias the key
+    // column (their value is ignored by the state op).
+    let raw_cols: Vec<&[u64]> = lowered
+        .cols
+        .iter()
+        .map(|c| match c.input {
+            Some(j) => {
+                assert!(j < inputs.len(), "aggregate references missing input column {j}");
+                inputs[j]
+            }
+            None => keys,
+        })
+        .collect();
+    run_operator(keys, &raw_cols, false, lowered, cfg)
+}
+
+/// Merge pre-aggregated partial results — the distributed-aggregation
+/// step: run the operator over `(keys, state columns)` pairs produced by
+/// earlier [`aggregate`] calls (possibly on other machines), combining
+/// states with the **super-aggregate** functions (§3.1: COUNT merges by
+/// SUM). All partials must come from the same aggregate `specs`.
+pub fn merge_partials(
+    partials: &[&GroupByOutput],
+    specs: &[AggSpec],
+    cfg: &AggregateConfig,
+) -> (GroupByOutput, OpStats) {
+    let lowered = plan(specs);
+    let mut keys = Vec::new();
+    let mut states: Vec<Vec<u64>> = (0..lowered.cols.len()).map(|_| Vec::new()).collect();
+    for p in partials {
+        assert_eq!(
+            p.plan(),
+            &lowered,
+            "partials were produced with different aggregate specs"
+        );
+        keys.extend_from_slice(&p.keys);
+        for (dst, src) in states.iter_mut().zip(&p.states) {
+            dst.extend_from_slice(src);
+        }
+    }
+    let state_slices: Vec<&[u64]> = states.iter().map(Vec::as_slice).collect();
+    run_operator(&keys, &state_slices, true, lowered, cfg)
+}
+
+/// Shared driver body: `raw_cols[i]` feeds physical state column `i`;
+/// `input_aggregated` selects apply vs merge semantics for the input rows.
+fn run_operator(
+    keys: &[u64],
+    raw_cols: &[&[u64]],
+    input_aggregated: bool,
+    lowered: hsa_agg::Plan,
+    cfg: &AggregateConfig,
+) -> (GroupByOutput, OpStats) {
+    let ops: Vec<StateOp> = lowered.cols.iter().map(|c| c.op).collect();
+    let identities: Vec<u64> = ops.iter().map(|&o| identity_of(o)).collect();
+    let threads = cfg.threads.max(1);
+    let table_cfg = cfg.table_config(ops.len());
+    let ctx = Ctx {
+        cfg,
+        ops,
+        pool: TablePool {
+            cfg: table_cfg,
+            identities: identities.clone(),
+            free: Mutex::new(Vec::new()),
+        },
+        collector: Collector::new(lowered.cols.len()),
+        stats: AtomicStats::default(),
+    };
+
+    // Phase 1: the work-stealing main loop over the input morsels.
+    let shared = SharedBuckets::new();
+    let workers: Vec<Mutex<WorkerState>> =
+        (0..threads).map(|_| Mutex::new(WorkerState::new(cfg.strategy))).collect();
+    let n_morsels = keys.len().div_ceil(cfg.morsel_rows.max(1)).max(1);
+    hsa_tasks::scope(threads, |s| {
+        for range in chunk_ranges(keys.len(), n_morsels) {
+            let (ctx, shared, workers, raw_cols) = (&ctx, &shared, &workers, &raw_cols);
+            s.spawn(move |s2| {
+                let t0 = Instant::now();
+                let mut guard = workers[s2.worker_index()].lock();
+                let ws = &mut *guard;
+                let view = RunView::Borrowed {
+                    keys: &keys[range.clone()],
+                    cols: raw_cols.iter().map(|c| &c[range.clone()]).collect(),
+                    aggregated: input_aggregated,
+                };
+                let mut sink = shared;
+                process_view(
+                    ctx,
+                    &view,
+                    0,
+                    &mut ws.table,
+                    &mut ws.mode,
+                    &mut ws.epoch_rows,
+                    &mut ws.map32,
+                    &mut ws.map8,
+                    &mut sink,
+                );
+                ctx.stats.add_level_nanos(0, t0.elapsed().as_nanos() as u64);
+            });
+        }
+    });
+
+    // Seal every worker's leftover table into the level-1 buckets.
+    for w in workers {
+        if let Some(mut table) = w.into_inner().table {
+            if !table.is_empty() {
+                seal_into(&mut table, &mut &shared, &ctx.stats);
+            }
+            ctx.pool.put(table);
+        }
+    }
+
+    // Phase 2: recurse into the buckets, one task each.
+    hsa_tasks::scope(threads, |s| {
+        for (_digit, bucket) in shared.into_nonempty() {
+            let ctx = &ctx;
+            s.spawn(move |s2| process_bucket(ctx, s2, bucket, 1));
+        }
+    });
+
+    let Ctx { collector, stats, .. } = ctx;
+    (collector.into_output(lowered), stats.snapshot())
+}
+
+/// `SELECT DISTINCT key` — the C = 1, no-aggregates query the paper uses
+/// for its architecture-neutral comparison with prior work (§6.4).
+pub fn distinct(keys: &[u64], cfg: &AggregateConfig) -> (GroupByOutput, OpStats) {
+    aggregate(keys, &[], &[], cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdaptiveParams;
+    use std::collections::BTreeMap;
+
+    fn reference(keys: &[u64], vals: &[u64]) -> BTreeMap<u64, (u64, u64, u64, u64)> {
+        let mut m = BTreeMap::new();
+        for (&k, &v) in keys.iter().zip(vals) {
+            let e = m.entry(k).or_insert((0u64, 0u64, u64::MAX, 0u64));
+            e.0 += 1;
+            e.1 += v;
+            e.2 = e.2.min(v);
+            e.3 = e.3.max(v);
+        }
+        m
+    }
+
+    fn small_cfg(strategy: Strategy) -> AggregateConfig {
+        AggregateConfig {
+            // Tiny cache so multi-pass behavior kicks in at test sizes:
+            // 64 Ki slots? No — 8 Ki slots ≈ 2 Ki groups per table.
+            cache_bytes: 128 << 10,
+            threads: 2,
+            strategy,
+            fill_percent: 25,
+            morsel_rows: 1 << 12,
+        }
+    }
+
+    fn all_strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::HashingOnly,
+            Strategy::PartitionAlways { passes: 1 },
+            Strategy::PartitionAlways { passes: 2 },
+            Strategy::Adaptive(AdaptiveParams::default()),
+            Strategy::Adaptive(AdaptiveParams { alpha0: f64::INFINITY, c: 1.0 }),
+        ]
+    }
+
+    fn keys_and_vals(n: usize, k: u64, seed: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let keys: Vec<u64> = (0..n).map(|_| next() % k).collect();
+        let vals: Vec<u64> = (0..n).map(|_| next() % 1000).collect();
+        (keys, vals)
+    }
+
+    #[test]
+    fn all_strategies_match_reference_small_k() {
+        let (keys, vals) = keys_and_vals(40_000, 100, 1);
+        let expect = reference(&keys, &vals);
+        for strat in all_strategies() {
+            let (out, _) = aggregate(
+                &keys,
+                &[&vals],
+                &[AggSpec::count(), AggSpec::sum(0), AggSpec::min(0), AggSpec::max(0)],
+                &small_cfg(strat),
+            );
+            let got: BTreeMap<u64, (u64, u64, u64, u64)> = out
+                .sorted_rows()
+                .into_iter()
+                .map(|(k, s)| (k, (s[0], s[1], s[2], s[3])))
+                .collect();
+            assert_eq!(got, expect, "strategy {strat:?}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_match_reference_large_k() {
+        // K far beyond the tiny table capacity forces real recursion.
+        let (keys, vals) = keys_and_vals(60_000, 30_000, 2);
+        let expect = reference(&keys, &vals);
+        for strat in all_strategies() {
+            let (out, stats) = aggregate(
+                &keys,
+                &[&vals],
+                &[AggSpec::count(), AggSpec::sum(0), AggSpec::min(0), AggSpec::max(0)],
+                &small_cfg(strat),
+            );
+            let got: BTreeMap<u64, (u64, u64, u64, u64)> = out
+                .sorted_rows()
+                .into_iter()
+                .map(|(k, s)| (k, (s[0], s[1], s[2], s[3])))
+                .collect();
+            assert_eq!(got, expect, "strategy {strat:?}");
+            assert!(stats.passes_used() >= 1, "strategy {strat:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_query() {
+        let (keys, _) = keys_and_vals(50_000, 5_000, 3);
+        let mut expect: Vec<u64> = keys.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        for strat in all_strategies() {
+            let (out, _) = distinct(&keys, &small_cfg(strat));
+            let mut got = out.keys.clone();
+            got.sort_unstable();
+            assert_eq!(got, expect, "strategy {strat:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = aggregate(&[], &[], &[AggSpec::count()], &AggregateConfig::default());
+        assert_eq!(out.n_groups(), 0);
+        assert_eq!(stats.total_hash_rows() + stats.total_part_rows(), 0);
+    }
+
+    #[test]
+    fn single_row() {
+        let (out, _) =
+            aggregate(&[7], &[&[99]], &[AggSpec::sum(0)], &AggregateConfig::default());
+        assert_eq!(out.sorted_rows(), vec![(7, vec![99])]);
+    }
+
+    #[test]
+    fn all_rows_same_key() {
+        let keys = vec![5u64; 10_000];
+        let vals: Vec<u64> = (0..10_000).collect();
+        for strat in all_strategies() {
+            let (out, _) =
+                aggregate(&keys, &[&vals], &[AggSpec::count(), AggSpec::sum(0)], &small_cfg(strat));
+            assert_eq!(out.sorted_rows(), vec![(5, vec![10_000, 49_995_000])], "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn every_row_distinct() {
+        let keys: Vec<u64> = (0..50_000).collect();
+        for strat in all_strategies() {
+            let (out, _) = distinct(&keys, &small_cfg(strat));
+            assert_eq!(out.n_groups(), 50_000, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn count_is_conserved_across_passes() {
+        // The COUNT invariant: whatever the routing, the counts sum to N.
+        let (keys, _) = keys_and_vals(80_000, 10_000, 4);
+        for strat in all_strategies() {
+            let (out, _) = aggregate(&keys, &[], &[AggSpec::count()], &small_cfg(strat));
+            let total: u64 = out.states[0].iter().sum();
+            assert_eq!(total, 80_000, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn hashing_only_single_pass_for_tiny_k() {
+        let (keys, _) = keys_and_vals(40_000, 16, 5);
+        let (_, stats) =
+            aggregate(&keys, &[], &[AggSpec::count()], &small_cfg(Strategy::HashingOnly));
+        // Level 0 hashes everything; level 1 only merges tiny runs.
+        assert_eq!(stats.part_rows_per_level.iter().sum::<u64>(), 0);
+        assert_eq!(stats.hash_rows_per_level[0], 40_000);
+        assert!(stats.hash_rows_per_level[1] <= 16 * 2 * 2, "tiny merge pass");
+    }
+
+    #[test]
+    fn adaptive_partitions_when_no_locality() {
+        // Distinct keys, K ≫ table: α = 1 at every seal → adaptive must
+        // route the bulk of the data through partitioning.
+        let keys: Vec<u64> = (0..100_000).collect();
+        let (_, stats) = aggregate(
+            &keys,
+            &[],
+            &[],
+            &small_cfg(Strategy::Adaptive(AdaptiveParams::default())),
+        );
+        assert!(stats.switches_to_partitioning > 0);
+        assert!(
+            stats.total_part_rows() > stats.total_hash_rows() / 2,
+            "partitioning should carry substantial load: part={} hash={}",
+            stats.total_part_rows(),
+            stats.total_hash_rows()
+        );
+    }
+
+    #[test]
+    fn adaptive_keeps_hashing_on_heavy_locality() {
+        // One key: every table absorbs rows without filling; never switch.
+        let keys = vec![1u64; 100_000];
+        let (_, stats) = aggregate(
+            &keys,
+            &[],
+            &[],
+            &small_cfg(Strategy::Adaptive(AdaptiveParams::default())),
+        );
+        assert_eq!(stats.switches_to_partitioning, 0);
+        assert_eq!(stats.total_part_rows(), 0);
+    }
+
+    #[test]
+    fn avg_finalizes() {
+        let keys = vec![1u64, 1, 2];
+        let vals = vec![10u64, 20, 5];
+        let (out, _) =
+            aggregate(&keys, &[&vals], &[AggSpec::avg(0)], &AggregateConfig::default());
+        let rows = out.sorted_rows();
+        assert_eq!(rows.len(), 2);
+        // keys sorted: group 1 then 2.
+        let avg1 = out.value(0, out.keys.iter().position(|&k| k == 1).unwrap());
+        let avg2 = out.value(0, out.keys.iter().position(|&k| k == 2).unwrap());
+        assert_eq!(avg1, 15.0);
+        assert_eq!(avg2, 5.0);
+    }
+
+    #[test]
+    fn single_threaded_matches_multi() {
+        let (keys, vals) = keys_and_vals(30_000, 3_000, 6);
+        let specs = [AggSpec::sum(0), AggSpec::count()];
+        let mut cfg = small_cfg(Strategy::Adaptive(AdaptiveParams::default()));
+        let (a, _) = aggregate(&keys, &[&vals], &specs, &cfg);
+        cfg.threads = 1;
+        let (b, _) = aggregate(&keys, &[&vals], &specs, &cfg);
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    #[test]
+    fn merge_partials_equals_single_pass() {
+        let (keys, vals) = keys_and_vals(40_000, 2_000, 7);
+        let specs = [AggSpec::count(), AggSpec::sum(0), AggSpec::min(0), AggSpec::avg(0)];
+        let cfg = small_cfg(Strategy::Adaptive(AdaptiveParams::default()));
+
+        let (whole, _) = aggregate(&keys, &[&vals], &specs, &cfg);
+
+        // Split into three uneven shards, aggregate each, merge.
+        let cuts = [0usize, 13_000, 27_500, 40_000];
+        let parts: Vec<GroupByOutput> = cuts
+            .windows(2)
+            .map(|w| aggregate(&keys[w[0]..w[1]], &[&vals[w[0]..w[1]]], &specs, &cfg).0)
+            .collect();
+        let refs: Vec<&GroupByOutput> = parts.iter().collect();
+        let (merged, _) = merge_partials(&refs, &specs, &cfg);
+
+        assert_eq!(merged.sorted_rows(), whole.sorted_rows());
+        // AVG survives the merge because its SUM and COUNT states do.
+        let k0 = whole.keys[0];
+        let r_whole = whole.keys.iter().position(|&k| k == k0).unwrap();
+        let r_merged = merged.keys.iter().position(|&k| k == k0).unwrap();
+        assert_eq!(whole.value(3, r_whole), merged.value(3, r_merged));
+    }
+
+    #[test]
+    #[should_panic(expected = "different aggregate specs")]
+    fn merge_partials_rejects_mismatched_plans() {
+        let cfg = AggregateConfig::default();
+        let (a, _) = aggregate(&[1], &[&[1]], &[AggSpec::sum(0)], &cfg);
+        let _ = merge_partials(&[&a], &[AggSpec::count()], &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn mismatched_columns_panic() {
+        let _ = aggregate(&[1, 2], &[&[1]], &[AggSpec::sum(0)], &AggregateConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing input column")]
+    fn missing_input_panics() {
+        let _ = aggregate(&[1, 2], &[], &[AggSpec::sum(0)], &AggregateConfig::default());
+    }
+}

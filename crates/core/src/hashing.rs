@@ -1,0 +1,292 @@
+//! The `HASHING` routine (Algorithm 1, lines 5–8) in column-wise form.
+//!
+//! One run is processed in cache-sized blocks. For each block the key pass
+//! inserts keys into the table and records the slot of every row in a
+//! mapping vector (§3.3, Figure 2); then each state column is folded into
+//! the table's corresponding slot-indexed array in its own tight loop. The
+//! mapping never leaves the cache: it covers one block only.
+//!
+//! When the table reports `Full`, the pending part of the block is applied,
+//! the table is sealed into per-digit runs (early-aggregated intermediate
+//! results), and the strategy decides whether to continue hashing into the
+//! now-empty table or to hand the rest of the run to `PARTITIONING`.
+
+use crate::adaptive::{ModeState, SealDecision};
+use crate::sink::RunSink;
+use crate::stats::AtomicStats;
+use crate::view::RunView;
+use hsa_agg::StateOp;
+use hsa_columnar::{ChunkedVec, Run};
+use hsa_hash::{Hasher64, Murmur2};
+use hsa_hashtbl::{AggTable, Insert};
+
+/// Outcome of hashing (part of) a run.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum HashOutcome {
+    /// All rows from the starting offset were absorbed.
+    Done,
+    /// The strategy switched to partitioning; rows `next_row..` of the run
+    /// are unprocessed.
+    Switched {
+        /// First unprocessed row.
+        next_row: usize,
+    },
+}
+
+/// Seal `table` into `sink` as early-aggregated runs at `table.level() + 1`.
+///
+/// `source_rows_hint` spreads the rows absorbed since the last seal over
+/// the emitted runs (diagnostic only; exact per-digit lineage would require
+/// per-slot counters the paper does not keep either).
+pub(crate) fn seal_into(
+    table: &mut AggTable,
+    sink: &mut impl RunSink,
+    stats: &AtomicStats,
+) {
+    let next_level = table.level() + 1;
+    table.seal(|digit, keys, cols| {
+        let run = Run {
+            keys: ChunkedVec::from_slice(keys),
+            cols: cols.iter().map(|c| ChunkedVec::from_slice(c)).collect(),
+            aggregated: true,
+            source_rows: keys.len() as u64,
+            level: next_level,
+        };
+        sink.push_run(digit, run);
+    });
+    stats.count_seal();
+}
+
+/// Hash rows `[from_row..]` of `view` into `table`.
+///
+/// `epoch_rows` counts rows absorbed since the current table was last
+/// empty — it persists across runs of the same bucket (and across level-0
+/// morsels of the same worker) because that is the `n_in` of the §5
+/// reduction factor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hash_run(
+    view: &RunView<'_>,
+    from_row: usize,
+    table: &mut AggTable,
+    ops: &[StateOp],
+    mode: &mut ModeState,
+    epoch_rows: &mut u64,
+    mapping: &mut Vec<u32>,
+    sink: &mut impl RunSink,
+    stats: &AtomicStats,
+) -> HashOutcome {
+    let hasher = Murmur2::default();
+    let aggregated = view.aggregated();
+    let n = view.len();
+    let level = table.level();
+    let mut row = from_row;
+
+    while row < n {
+        let block_len = view.aligned_block_len(row, ops.len());
+        debug_assert!(block_len > 0, "empty aligned block at row {row}/{n}");
+        let keys = &view.key_tail(row)[..block_len];
+
+        mapping.clear();
+        let mut table_full = false;
+        let consumed;
+        if ops.is_empty() {
+            // DISTINCT fast path: no state columns, no mapping needed.
+            let mut done = 0usize;
+            for &key in keys {
+                match table.insert_key(key, hasher.hash_u64(key)) {
+                    Insert::New(_) | Insert::Hit(_) => done += 1,
+                    Insert::Full => {
+                        table_full = true;
+                        break;
+                    }
+                }
+            }
+            consumed = done;
+        } else {
+            for &key in keys {
+                match table.insert_key(key, hasher.hash_u64(key)) {
+                    Insert::New(slot) | Insert::Hit(slot) => mapping.push(slot),
+                    Insert::Full => {
+                        table_full = true;
+                        break;
+                    }
+                }
+            }
+            consumed = mapping.len();
+        }
+
+        // Fold the block's values into the state columns, one column at a
+        // time (tight loops; the mapping is cache resident).
+        for (i, &op) in ops.iter().enumerate() {
+            let vals = &view.col_tail(i, row)[..consumed];
+            let col = table.col_mut(i);
+            if aggregated {
+                for (&slot, &v) in mapping.iter().zip(vals) {
+                    let s = &mut col[slot as usize];
+                    *s = op.merge(*s, v);
+                }
+            } else {
+                for (&slot, &v) in mapping.iter().zip(vals) {
+                    let s = &mut col[slot as usize];
+                    *s = op.apply(*s, v);
+                }
+            }
+        }
+
+        *epoch_rows += consumed as u64;
+        stats.add_hash_rows(level, consumed as u64);
+        row += consumed;
+
+        if table_full {
+            let decision = mode.on_seal(*epoch_rows, table.len(), table.total_slots());
+            seal_into(table, sink, stats);
+            *epoch_rows = 0;
+            if decision == SealDecision::SwitchToPartitioning {
+                stats.count_switch_to_partitioning();
+                return HashOutcome::Switched { next_row: row };
+            }
+            // Retry the row that hit the full table with the fresh one.
+        }
+    }
+    HashOutcome::Done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::Strategy;
+    use crate::sink::LocalBuckets;
+    use hsa_hashtbl::TableConfig;
+    use std::collections::BTreeMap;
+
+    fn table(slots: usize, ops: &[StateOp]) -> AggTable {
+        let ids: Vec<u64> = ops.iter().map(|&o| hsa_hashtbl::identity_of(o)).collect();
+        AggTable::new(TableConfig { total_slots: slots, fill_percent: 25 }, 0, &ids)
+    }
+
+    fn drive(
+        keys: &[u64],
+        vals: &[u64],
+        ops: &[StateOp],
+        slots: usize,
+    ) -> (BTreeMap<u64, Vec<u64>>, u64) {
+        // Hash everything with HashingOnly, sealing as needed, then merge
+        // sealed runs plus the final table via a reference fold.
+        let stats = AtomicStats::default();
+        let mut t = table(slots, ops);
+        let mut mode = ModeState::new(Strategy::HashingOnly);
+        let mut epoch = 0u64;
+        let mut mapping = Vec::new();
+        let mut sink = LocalBuckets::new();
+        let view = RunView::Borrowed { keys, cols: vec![vals; ops.len()], aggregated: false };
+        let out = hash_run(&view, 0, &mut t, ops, &mut mode, &mut epoch, &mut mapping, &mut sink, &stats);
+        assert_eq!(out, HashOutcome::Done);
+        seal_into(&mut t, &mut sink, &stats);
+
+        // Merge all emitted runs with the super-aggregate.
+        let mut merged: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (_, bucket) in sink.into_nonempty() {
+            for run in bucket {
+                assert!(run.aggregated);
+                assert_eq!(run.level, 1);
+                run.check_consistent().unwrap();
+                let ks = run.keys.to_vec();
+                for (j, k) in ks.iter().enumerate() {
+                    let e = merged
+                        .entry(*k)
+                        .or_insert_with(|| ops.iter().map(|&o| hsa_hashtbl::identity_of(o)).collect());
+                    for (i, &op) in ops.iter().enumerate() {
+                        e[i] = op.merge(e[i], run.cols[i].get(j).unwrap());
+                    }
+                }
+            }
+        }
+        (merged, stats.snapshot().seals)
+    }
+
+    #[test]
+    fn single_table_no_seal() {
+        let keys: Vec<u64> = (0..100).map(|i| i % 10).collect();
+        let vals: Vec<u64> = (0..100).collect();
+        let ops = [StateOp::Sum];
+        let (merged, seals) = drive(&keys, &vals, &ops, 1 << 12);
+        assert_eq!(seals, 1, "only the final explicit seal");
+        let expect: BTreeMap<u64, Vec<u64>> = (0..10)
+            .map(|k| (k, vec![(0..100).filter(|i| i % 10 == k).sum::<u64>()]))
+            .collect();
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn overflow_seals_and_stays_correct() {
+        // 2^12 slots at 25% → 1024 groups per table; 5000 distinct keys
+        // force multiple seals.
+        let keys: Vec<u64> = (0..5000u64).chain(0..5000).collect();
+        let vals = vec![1u64; keys.len()];
+        let ops = [StateOp::Count, StateOp::Sum];
+        let (merged, seals) = drive(&keys, &vals, &ops, 1 << 12);
+        assert!(seals > 4, "expected several seals, got {seals}");
+        assert_eq!(merged.len(), 5000);
+        for (k, sts) in merged {
+            assert_eq!(sts, vec![2, 2], "group {k}");
+        }
+    }
+
+    #[test]
+    fn aggregated_input_uses_merge() {
+        // Feed partial COUNT states: two runs carrying counts 3 and 4 for
+        // the same key must merge to 7.
+        let stats = AtomicStats::default();
+        let ops = [StateOp::Count];
+        let mut t = table(1 << 12, &ops);
+        let mut mode = ModeState::new(Strategy::HashingOnly);
+        let mut epoch = 0;
+        let mut mapping = Vec::new();
+        let mut sink = LocalBuckets::new();
+        let mk = |count: u64| {
+            let mut keys = ChunkedVec::new();
+            keys.push(42u64);
+            let mut c = ChunkedVec::new();
+            c.push(count);
+            RunView::Owned(Run { keys, cols: vec![c], aggregated: true, source_rows: count, level: 0 })
+        };
+        for v in [mk(3), mk(4)] {
+            let out = hash_run(&v, 0, &mut t, &ops, &mut mode, &mut epoch, &mut mapping, &mut sink, &stats);
+            assert_eq!(out, HashOutcome::Done);
+        }
+        seal_into(&mut t, &mut sink, &stats);
+        let mut total = None;
+        for (_, bucket) in sink.into_nonempty() {
+            for run in bucket {
+                assert_eq!(run.keys.to_vec(), vec![42]);
+                total = Some(run.cols[0].get(0).unwrap());
+            }
+        }
+        assert_eq!(total, Some(7));
+    }
+
+    #[test]
+    fn switch_decision_stops_mid_run() {
+        // Adaptive with a huge α₀ forces a switch at the first seal.
+        let stats = AtomicStats::default();
+        let ops: [StateOp; 0] = [];
+        let mut t = table(1 << 12, &ops);
+        let mut mode = ModeState::new(Strategy::Adaptive(crate::AdaptiveParams {
+            alpha0: f64::INFINITY,
+            c: 10.0,
+        }));
+        let mut epoch = 0;
+        let mut mapping = Vec::new();
+        let mut sink = LocalBuckets::new();
+        let keys: Vec<u64> = (0..10_000).collect();
+        let view = RunView::Borrowed { keys: &keys, cols: vec![], aggregated: false };
+        match hash_run(&view, 0, &mut t, &ops, &mut mode, &mut epoch, &mut mapping, &mut sink, &stats) {
+            HashOutcome::Switched { next_row } => {
+                // Exactly the table capacity was absorbed before the seal.
+                assert_eq!(next_row, 1024);
+            }
+            HashOutcome::Done => panic!("expected a switch"),
+        }
+        assert!(!mode.use_hashing(0));
+    }
+}

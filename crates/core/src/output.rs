@@ -1,0 +1,126 @@
+//! The operator's result and the shared collector it is assembled in.
+
+use hsa_agg::{Finalizer, Plan};
+use parking_lot::Mutex;
+
+/// Shared sink for final groups. Leaf tasks append whole blocks under one
+/// short lock — coarse enough to be negligible (§3.2).
+pub(crate) struct Collector {
+    inner: Mutex<RawOut>,
+}
+
+struct RawOut {
+    keys: Vec<u64>,
+    states: Vec<Vec<u64>>,
+}
+
+impl Collector {
+    pub(crate) fn new(n_cols: usize) -> Self {
+        Self {
+            inner: Mutex::new(RawOut {
+                keys: Vec::new(),
+                states: (0..n_cols).map(|_| Vec::new()).collect(),
+            }),
+        }
+    }
+
+    /// Append one block of final groups.
+    pub(crate) fn push_block(&self, keys: &[u64], cols: &[Vec<u64>]) {
+        let mut g = self.inner.lock();
+        g.keys.extend_from_slice(keys);
+        debug_assert_eq!(cols.len(), g.states.len());
+        for (dst, src) in g.states.iter_mut().zip(cols) {
+            dst.extend_from_slice(src);
+        }
+    }
+
+    pub(crate) fn into_output(self, plan: Plan) -> GroupByOutput {
+        let raw = self.inner.into_inner();
+        GroupByOutput { keys: raw.keys, states: raw.states, plan }
+    }
+}
+
+/// The result of one aggregation: one row per group, in unspecified order
+/// (the paper's operator, like any parallel hash aggregation, does not
+/// define an output order).
+#[derive(Clone, Debug)]
+pub struct GroupByOutput {
+    /// Group keys.
+    pub keys: Vec<u64>,
+    /// Physical state columns (see [`hsa_agg::plan`] for the layout).
+    pub states: Vec<Vec<u64>>,
+    plan: Plan,
+}
+
+impl GroupByOutput {
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The lowered plan (physical column layout + finalizers).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Finalized value of requested aggregate `spec_ix` for group row `row`.
+    pub fn value(&self, spec_ix: usize, row: usize) -> f64 {
+        let states: Vec<u64> = self.states.iter().map(|c| c[row]).collect();
+        self.plan.finalizers[spec_ix].eval(&states)
+    }
+
+    /// Finalized integer column for aggregate `spec_ix`, if it is exact
+    /// (everything except AVG).
+    pub fn column_u64(&self, spec_ix: usize) -> Option<Vec<u64>> {
+        match self.plan.finalizers[spec_ix] {
+            Finalizer::State(i) => Some(self.states[i].clone()),
+            Finalizer::Ratio { .. } => None,
+        }
+    }
+
+    /// Finalized float column for aggregate `spec_ix`.
+    pub fn column_f64(&self, spec_ix: usize) -> Vec<f64> {
+        (0..self.n_groups()).map(|r| self.value(spec_ix, r)).collect()
+    }
+
+    /// All groups as `(key, physical states)` rows sorted by key —
+    /// convenience for tests and small examples.
+    pub fn sorted_rows(&self) -> Vec<(u64, Vec<u64>)> {
+        let mut rows: Vec<(u64, Vec<u64>)> = self
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(r, &k)| (k, self.states.iter().map(|c| c[r]).collect()))
+            .collect();
+        rows.sort_unstable_by_key(|(k, _)| *k);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_agg::{plan, AggSpec};
+
+    #[test]
+    fn collector_appends_blocks() {
+        let c = Collector::new(2);
+        c.push_block(&[1, 2], &[vec![10, 20], vec![1, 1]]);
+        c.push_block(&[3], &[vec![30], vec![1]]);
+        let out = c.into_output(plan(&[AggSpec::sum(0), AggSpec::count()]));
+        assert_eq!(out.n_groups(), 3);
+        assert_eq!(out.sorted_rows()[2], (3, vec![30, 1]));
+    }
+
+    #[test]
+    fn finalization_helpers() {
+        let c = Collector::new(2);
+        // states: sum, count → specs: avg(0), count()
+        c.push_block(&[7], &[vec![10], vec![4]]);
+        let out = c.into_output(plan(&[AggSpec::avg(0), AggSpec::count()]));
+        assert_eq!(out.value(0, 0), 2.5);
+        assert_eq!(out.column_u64(0), None);
+        assert_eq!(out.column_u64(1), Some(vec![4]));
+        assert_eq!(out.column_f64(0), vec![2.5]);
+    }
+}

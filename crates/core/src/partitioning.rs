@@ -1,0 +1,147 @@
+//! The `PARTITIONING` routine (Algorithm 1, lines 1–4) in column-wise form.
+//!
+//! The key column is radix-partitioned with the tuned software-write-
+//! combining kernel while recording one digit per row; each state column is
+//! then scattered by replaying the digits (§3.3). The 256 outputs become
+//! runs of the next level, preserving the `aggregated` flag of the source
+//! (partitioning never aggregates — that is exactly its trade-off).
+
+use crate::sink::RunSink;
+use crate::stats::AtomicStats;
+use crate::view::RunView;
+use hsa_columnar::Run;
+use hsa_hash::Murmur2;
+use hsa_partition::{partition_keys, partition_keys_mapped, scatter_by_digits};
+
+/// Partition rows `[from_row..]` of `view` into next-level runs.
+pub(crate) fn partition_run(
+    view: &RunView<'_>,
+    from_row: usize,
+    level: u32,
+    n_cols: usize,
+    mapping: &mut Vec<u8>,
+    sink: &mut impl RunSink,
+    stats: &AtomicStats,
+) {
+    let rows = view.len() - from_row;
+    if rows == 0 {
+        return;
+    }
+    let hasher = Murmur2::default();
+
+    // Key pass. Skip the mapping entirely for DISTINCT-style queries.
+    let mut key_parts = if n_cols == 0 {
+        partition_keys(view.key_slices(from_row), hasher, level)
+    } else {
+        mapping.clear();
+        mapping.reserve(rows);
+        partition_keys_mapped(view.key_slices(from_row), hasher, level, mapping)
+    };
+
+    // Value passes: scatter every state column by the recorded digits.
+    let mut col_parts: Vec<_> = (0..n_cols)
+        .map(|i| scatter_by_digits(mapping, view.col_slices(i, from_row)))
+        .collect();
+
+    stats.add_part_rows(level, rows as u64);
+
+    let aggregated = view.aggregated();
+    for digit in 0..key_parts.len() {
+        if key_parts[digit].is_empty() {
+            continue;
+        }
+        let keys = std::mem::take(&mut key_parts[digit]);
+        let n = keys.len();
+        let cols = col_parts.iter_mut().map(|cp| std::mem::take(&mut cp[digit])).collect();
+        sink.push_run(
+            digit,
+            Run { keys, cols, aggregated, source_rows: n as u64, level: level + 1 },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::LocalBuckets;
+    use hsa_hash::{digit, Hasher64};
+
+    #[test]
+    fn partitions_raw_input_with_columns() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 2654435761 % 1000).collect();
+        let vals: Vec<u64> = (0..10_000).collect();
+        let view = RunView::Borrowed { keys: &keys, cols: vec![&vals], aggregated: false };
+        let mut sink = LocalBuckets::new();
+        let stats = AtomicStats::default();
+        let mut mapping = Vec::new();
+        partition_run(&view, 0, 0, 1, &mut mapping, &mut sink, &stats);
+
+        let h = Murmur2::default();
+        let mut total = 0usize;
+        for (d, bucket) in sink.into_nonempty() {
+            for run in bucket {
+                assert!(!run.aggregated);
+                assert_eq!(run.level, 1);
+                run.check_consistent().unwrap();
+                total += run.len();
+                // Every key belongs to the digit; its value travelled along.
+                let ks = run.keys.to_vec();
+                let vs = run.cols[0].to_vec();
+                for (k, v) in ks.iter().zip(&vs) {
+                    assert_eq!(digit(h.hash_u64(*k), 0), d);
+                    // vals[i] == i and keys derived from i:
+                    assert_eq!(*k, *v * 2654435761 % 1000);
+                }
+            }
+        }
+        assert_eq!(total, keys.len());
+        assert_eq!(stats.snapshot().part_rows_per_level[0], 10_000);
+    }
+
+    #[test]
+    fn partitions_suffix_only() {
+        let keys: Vec<u64> = (0..1000).collect();
+        let view = RunView::Borrowed { keys: &keys, cols: vec![], aggregated: false };
+        let mut sink = LocalBuckets::new();
+        let stats = AtomicStats::default();
+        let mut mapping = Vec::new();
+        partition_run(&view, 900, 0, 0, &mut mapping, &mut sink, &stats);
+        let total: usize =
+            sink.into_nonempty().map(|(_, b)| b.iter().map(Run::len).sum::<usize>()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn empty_suffix_is_noop() {
+        let keys: Vec<u64> = (0..10).collect();
+        let view = RunView::Borrowed { keys: &keys, cols: vec![], aggregated: false };
+        let mut sink = LocalBuckets::new();
+        let stats = AtomicStats::default();
+        let mut mapping = Vec::new();
+        partition_run(&view, 10, 0, 0, &mut mapping, &mut sink, &stats);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn aggregated_flag_is_preserved() {
+        use hsa_columnar::ChunkedVec;
+        let run = Run {
+            keys: ChunkedVec::from_slice(&[1, 2, 3]),
+            cols: vec![ChunkedVec::from_slice(&[5, 5, 5])],
+            aggregated: true,
+            source_rows: 30,
+            level: 1,
+        };
+        let view = RunView::Owned(run);
+        let mut sink = LocalBuckets::new();
+        let stats = AtomicStats::default();
+        let mut mapping = Vec::new();
+        partition_run(&view, 0, 1, 1, &mut mapping, &mut sink, &stats);
+        for (_, bucket) in sink.into_nonempty() {
+            for r in bucket {
+                assert!(r.aggregated, "partitioning must not clear the flag");
+                assert_eq!(r.level, 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Destinations for the runs a routine produces.
+//!
+//! The `∪`-operations of Algorithm 2: a recursion task collects runs into
+//! its own local bucket array; the parallel level-0 main loop pushes runs
+//! from many workers into shared, mutex-guarded buckets ("the management
+//! of the runs between the recursive calls requires synchronization, but
+//! this happens infrequently enough to be negligible", §3.2).
+
+use hsa_columnar::Run;
+use hsa_hash::FANOUT;
+use parking_lot::Mutex;
+
+/// Anything that can receive the runs of one partitioning/hashing pass.
+pub(crate) trait RunSink {
+    /// Add `run` to the bucket for radix digit `digit`.
+    fn push_run(&mut self, digit: usize, run: Run);
+}
+
+/// Task-local buckets (no synchronization).
+pub(crate) struct LocalBuckets {
+    buckets: Vec<Vec<Run>>,
+}
+
+impl LocalBuckets {
+    pub(crate) fn new() -> Self {
+        Self { buckets: (0..FANOUT).map(|_| Vec::new()).collect() }
+    }
+
+    /// True if no run was pushed — i.e. the bucket was fully aggregated in
+    /// a single table and the recursion ends here.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// Consume into `(digit, bucket)` pairs for the non-empty buckets.
+    pub(crate) fn into_nonempty(self) -> impl Iterator<Item = (usize, Vec<Run>)> {
+        self.buckets.into_iter().enumerate().filter(|(_, b)| !b.is_empty())
+    }
+}
+
+impl RunSink for LocalBuckets {
+    fn push_run(&mut self, digit: usize, run: Run) {
+        debug_assert!(!run.is_empty());
+        self.buckets[digit].push(run);
+    }
+}
+
+/// Shared buckets for the parallel main loop.
+pub(crate) struct SharedBuckets {
+    buckets: Vec<Mutex<Vec<Run>>>,
+}
+
+impl SharedBuckets {
+    pub(crate) fn new() -> Self {
+        Self { buckets: (0..FANOUT).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    /// Consume into `(digit, bucket)` pairs for the non-empty buckets.
+    pub(crate) fn into_nonempty(self) -> impl Iterator<Item = (usize, Vec<Run>)> {
+        self.buckets
+            .into_iter()
+            .map(Mutex::into_inner)
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+    }
+}
+
+/// A `&SharedBuckets` is itself a sink (each push takes one short lock).
+impl RunSink for &SharedBuckets {
+    fn push_run(&mut self, digit: usize, run: Run) {
+        debug_assert!(!run.is_empty());
+        self.buckets[digit].lock().push(run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_of(n: u64) -> Run {
+        Run::from_rows(&(0..n).collect::<Vec<_>>(), &[])
+    }
+
+    #[test]
+    fn local_buckets_collect_by_digit() {
+        let mut b = LocalBuckets::new();
+        assert!(b.is_empty());
+        b.push_run(3, run_of(2));
+        b.push_run(3, run_of(1));
+        b.push_run(250, run_of(5));
+        assert!(!b.is_empty());
+        let got: Vec<(usize, usize)> = b.into_nonempty().map(|(d, v)| (d, v.len())).collect();
+        assert_eq!(got, vec![(3, 2), (250, 1)]);
+    }
+
+    #[test]
+    fn shared_buckets_accept_concurrent_pushes() {
+        let shared = SharedBuckets::new();
+        hsa_tasks::scope(4, |s| {
+            for d in 0..8usize {
+                let shared = &shared;
+                s.spawn(move |_| {
+                    let mut sink = shared;
+                    for _ in 0..10 {
+                        sink.push_run(d * 30, run_of(1));
+                    }
+                });
+            }
+        });
+        let got: Vec<(usize, usize)> = shared.into_nonempty().map(|(d, v)| (d, v.len())).collect();
+        assert_eq!(got.len(), 8);
+        assert!(got.iter().all(|&(d, n)| d % 30 == 0 && n == 10));
+    }
+}

@@ -1,0 +1,133 @@
+//! Execution statistics: what the paper's pass-breakdown and adaptation
+//! plots (Figures 4, 5, 9) are made of.
+
+use hsa_hash::MAX_LEVEL;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-level, lock-free accumulation; snapshotted into [`OpStats`] at the
+/// end of the operator.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    hash_rows: [AtomicU64; MAX_LEVEL as usize + 1],
+    part_rows: [AtomicU64; MAX_LEVEL as usize + 1],
+    level_nanos: [AtomicU64; MAX_LEVEL as usize + 1],
+    seals: AtomicU64,
+    switches_to_partitioning: AtomicU64,
+    switches_to_hashing: AtomicU64,
+    fallback_merges: AtomicU64,
+}
+
+impl AtomicStats {
+    pub(crate) fn add_hash_rows(&self, level: u32, rows: u64) {
+        self.hash_rows[level as usize].fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_part_rows(&self, level: u32, rows: u64) {
+        self.part_rows[level as usize].fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_level_nanos(&self, level: u32, nanos: u64) {
+        self.level_nanos[level as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_seal(&self) {
+        self.seals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_switch_to_partitioning(&self) {
+        self.switches_to_partitioning.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_switch_to_hashing(&self) {
+        self.switches_to_hashing.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_fallback_merge(&self) {
+        self.fallback_merges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> OpStats {
+        let take = |a: &[AtomicU64]| a.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+        OpStats {
+            hash_rows_per_level: take(&self.hash_rows),
+            part_rows_per_level: take(&self.part_rows),
+            nanos_per_level: take(&self.level_nanos),
+            seals: self.seals.load(Ordering::Relaxed),
+            switches_to_partitioning: self.switches_to_partitioning.load(Ordering::Relaxed),
+            switches_to_hashing: self.switches_to_hashing.load(Ordering::Relaxed),
+            fallback_merges: self.fallback_merges.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Statistics of one operator invocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Rows consumed by the `HASHING` routine, per recursion level.
+    pub hash_rows_per_level: Vec<u64>,
+    /// Rows consumed by the `PARTITIONING` routine, per recursion level.
+    pub part_rows_per_level: Vec<u64>,
+    /// Task time attributed to each level, in nanoseconds, summed over all
+    /// tasks (divide by the thread count for an approximate wall share).
+    pub nanos_per_level: Vec<u64>,
+    /// Hash tables sealed because they were full.
+    pub seals: u64,
+    /// Adaptive switches hashing → partitioning.
+    pub switches_to_partitioning: u64,
+    /// Adaptive switches partitioning → hashing (budget exhausted).
+    pub switches_to_hashing: u64,
+    /// Buckets merged by the growable fallback table (hash digits
+    /// exhausted, or the final pass of `PartitionAlways`).
+    pub fallback_merges: u64,
+}
+
+impl OpStats {
+    /// Number of passes that actually processed rows.
+    pub fn passes_used(&self) -> usize {
+        let used = |v: &[u64]| v.iter().rposition(|&r| r > 0).map_or(0, |i| i + 1);
+        used(&self.hash_rows_per_level).max(used(&self.part_rows_per_level))
+    }
+
+    /// Total rows routed through hashing (all levels).
+    pub fn total_hash_rows(&self) -> u64 {
+        self.hash_rows_per_level.iter().sum()
+    }
+
+    /// Total rows routed through partitioning (all levels).
+    pub fn total_part_rows(&self) -> u64 {
+        self.part_rows_per_level.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let a = AtomicStats::default();
+        a.add_hash_rows(0, 100);
+        a.add_hash_rows(1, 50);
+        a.add_part_rows(0, 30);
+        a.add_level_nanos(0, 999);
+        a.count_seal();
+        a.count_switch_to_partitioning();
+        a.count_fallback_merge();
+        let s = a.snapshot();
+        assert_eq!(s.hash_rows_per_level[0], 100);
+        assert_eq!(s.hash_rows_per_level[1], 50);
+        assert_eq!(s.part_rows_per_level[0], 30);
+        assert_eq!(s.nanos_per_level[0], 999);
+        assert_eq!(s.seals, 1);
+        assert_eq!(s.switches_to_partitioning, 1);
+        assert_eq!(s.fallback_merges, 1);
+        assert_eq!(s.passes_used(), 2);
+        assert_eq!(s.total_hash_rows(), 150);
+        assert_eq!(s.total_part_rows(), 30);
+    }
+
+    #[test]
+    fn passes_used_empty() {
+        assert_eq!(OpStats::default().passes_used(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Zipf sampling by rejection inversion (Hörmann & Derflinger 1996).
+//!
+//! The paper's `zipf` data set is a Zipfian distribution with exponent 0.5
+//! over K keys (§6.5). We implement the rejection-inversion sampler used by
+//! Apache Commons: O(1) per sample, no O(K) tables, exact for any exponent
+//! s > 0 (including s = 1 via log branches).
+
+use crate::prng::Xoshiro256StarStar;
+
+/// Zipf(s) sampler over `{1, …, n}` with `P(k) ∝ k^(-s)`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    threshold: f64,
+}
+
+/// `ln(1 + x) / x`, stable near 0.
+#[inline]
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x / 2.0 + x * x / 3.0
+    }
+}
+
+/// `(exp(x) - 1) / x`, stable near 0.
+#[inline]
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x / 2.0 * (1.0 + x / 3.0 * (1.0 + x / 4.0))
+    }
+}
+
+impl Zipf {
+    /// Create a sampler for `n ≥ 1` elements with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one element");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let h_integral_x1 = Self::h_integral(1.5, s) - 1.0;
+        let h_integral_n = Self::h_integral(n as f64 + 0.5, s);
+        let threshold = 2.0
+            - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        Self { n, s, h_integral_x1, h_integral_n, threshold }
+    }
+
+    /// `H(x) = ∫₁ˣ t^(-s) dt`, expressed stably for all s.
+    #[inline]
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - s) * log_x) * log_x
+    }
+
+    /// `h(x) = x^(-s)`.
+    #[inline]
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    /// Inverse of `h_integral`.
+    #[inline]
+    fn h_integral_inverse(u: f64, s: f64) -> f64 {
+        let mut t = u * (1.0 - s);
+        if t < -1.0 {
+            // Limit of the smallest representable argument; keeps the
+            // function monotone under floating-point round-off.
+            t = -1.0;
+        }
+        (helper1(t) * u).exp()
+    }
+
+    /// Draw one sample in `{1, …, n}`.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        loop {
+            let p = rng.next_f64();
+            let u = self.h_integral_n + p * (self.h_integral_x1 - self.h_integral_n);
+            let x = Self::h_integral_inverse(u, self.s);
+            let mut k = (x + 0.5) as i64;
+            if k < 1 {
+                k = 1;
+            } else if k as u64 > self.n {
+                k = self.n as i64;
+            }
+            let kf = k as f64;
+            if kf - x <= self.threshold
+                || u >= Self::h_integral(kf + 0.5, self.s) - Self::h(kf, self.s)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(n: u64, s: f64, samples: usize, seed: u64) -> Vec<f64> {
+        let z = Zipf::new(n, s);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            let k = z.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+    }
+
+    fn theoretical(n: u64, s: f64) -> Vec<f64> {
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    #[test]
+    fn matches_theory_small_n() {
+        for &s in &[0.5, 1.0, 2.0] {
+            let emp = frequencies(8, s, 200_000, 99);
+            let theo = theoretical(8, s);
+            for (k, (e, t)) in emp.iter().zip(&theo).enumerate() {
+                let rel = (e - t).abs() / t;
+                assert!(rel < 0.05, "s={s} k={} emp={e} theo={t}", k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_half_large_n_head_probability() {
+        // For s = 0.5 the normalizer is ≈ 2√n, so P(1) ≈ 1/(2√n).
+        let n = 10_000u64;
+        let emp = frequencies(n, 0.5, 300_000, 5);
+        let expected = 1.0 / (2.0 * (n as f64).sqrt());
+        let rel = (emp[0] - expected).abs() / expected;
+        assert!(rel < 0.2, "P(1)={} expected≈{expected}", emp[0]);
+    }
+
+    #[test]
+    fn n_one_always_returns_one() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = Xoshiro256StarStar::new(0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_frequencies() {
+        let emp = frequencies(16, 1.0, 400_000, 123);
+        for w in emp.windows(2) {
+            // Allow tiny sampling noise on the tail.
+            assert!(w[0] + 0.004 > w[1], "frequencies not decreasing: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn rejects_nonpositive_exponent() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! FNV-1a 64-bit, a popular byte-stream hash among practitioners.
+//!
+//! Included as one of the "many different hash functions" the paper
+//! benchmarked (§4.1). Byte-at-a-time processing makes it slower than
+//! Murmur2 on 8-byte keys, which the `hashing` criterion bench reproduces.
+
+use crate::Hasher64;
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hasher; the seed perturbs the offset basis.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Fnv1a {
+    basis: u64,
+}
+
+impl Fnv1a {
+    /// Create a hasher with a perturbed offset basis.
+    #[inline]
+    pub const fn with_seed(seed: u64) -> Self {
+        Self { basis: OFFSET_BASIS ^ seed }
+    }
+}
+
+impl Default for Fnv1a {
+    #[inline]
+    fn default() -> Self {
+        Self { basis: OFFSET_BASIS }
+    }
+}
+
+impl Hasher64 for Fnv1a {
+    #[inline(always)]
+    fn hash_u64(&self, key: u64) -> u64 {
+        let mut h = self.basis;
+        // Unrolled byte-at-a-time FNV-1a over the 8 key bytes.
+        let bytes = key.to_le_bytes();
+        for &b in &bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        let mut h = self.basis;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let h = Fnv1a::default();
+        assert_eq!(h.hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(h.hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(h.hash_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn u64_path_matches_bytes_path() {
+        let h = Fnv1a::default();
+        for k in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(h.hash_u64(k), h.hash_bytes(&k.to_le_bytes()));
+        }
+    }
+}

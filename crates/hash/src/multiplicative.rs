@@ -1,0 +1,90 @@
+//! Knuth multiplicative (Fibonacci) hashing.
+//!
+//! This is the "multiplicative hashing" the original competitor
+//! implementations used before the paper swapped it for MurmurHash2 (§6.4).
+//! It is a single multiply — as cheap as a hash can get — but its low bits
+//! mix poorly and value patterns in the keys survive into the hash, which is
+//! exactly why the paper observed "less predictable performance" with it.
+
+use crate::Hasher64;
+
+/// 2^64 / φ rounded to the nearest odd integer.
+const PHI64: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Multiplicative hasher: `h(k) = (k ^ seed) * PHI64`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Multiplicative {
+    seed: u64,
+}
+
+impl Multiplicative {
+    /// Create a hasher with an explicit seed.
+    #[inline]
+    pub const fn with_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for Multiplicative {
+    #[inline]
+    fn default() -> Self {
+        Self::with_seed(0)
+    }
+}
+
+impl Hasher64 for Multiplicative {
+    #[inline(always)]
+    fn hash_u64(&self, key: u64) -> u64 {
+        (key ^ self.seed).wrapping_mul(PHI64)
+    }
+
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        let mut h = self.seed ^ (bytes.len() as u64).wrapping_mul(PHI64);
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            h = (h ^ u64::from_le_bytes(buf)).wrapping_mul(PHI64);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digit;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Multiplication by an odd constant is a bijection mod 2^64.
+        let h = Multiplicative::default();
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..10_000 {
+            assert!(seen.insert(h.hash_u64(k)));
+        }
+    }
+
+    #[test]
+    fn top_digit_spreads_sequential_keys() {
+        // The classic virtue of Fibonacci hashing: consecutive keys land in
+        // different top digits.
+        let h = Multiplicative::default();
+        let mut counts = [0u32; crate::FANOUT];
+        for k in 0u64..(1 << 14) {
+            counts[digit(h.hash_u64(k), 0)] += 1;
+        }
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero > 250, "only {nonzero} digits hit");
+    }
+
+    #[test]
+    fn strided_keys_expose_weakness() {
+        // Keys that are multiples of a large power of two collapse the
+        // *low* hash bits — this documents why the paper moved away from it.
+        let h = Multiplicative::default();
+        let a = h.hash_u64(1 << 32);
+        let b = h.hash_u64(2 << 32);
+        assert_eq!(a & 0xffff_ffff, 0, "low bits vanish: {a:#x}");
+        assert_eq!(b & 0xffff_ffff, 0, "low bits vanish: {b:#x}");
+    }
+}

@@ -1,0 +1,201 @@
+//! A conventional growable open-addressing aggregation table.
+//!
+//! The recursive framework needs this in exactly one place: when all 64
+//! hash bits have been consumed (`level == MAX_LEVEL`) a bucket can no
+//! longer be partitioned, so its groups — however many — must be merged in
+//! one table. With a 64-bit Murmur hash this requires on the order of 2³²
+//! distinct keys to ever happen, but correctness must not depend on hash
+//! luck.
+//!
+//! The §6.4 baseline algorithms also build on this table: their design
+//! point is "one (growable or pre-sized) table per thread", which is
+//! precisely what the paper's recursive run-based design avoids.
+
+use hsa_agg::StateOp;
+use hsa_hash::{Hasher64, Murmur2};
+
+/// Growable open-addressing table with linear probing at ≤ 50% fill,
+/// aggregating state columns in place.
+pub struct GrowTable {
+    hasher: Murmur2,
+    keys: Vec<u64>,
+    occ: Vec<u64>,
+    cols: Vec<Vec<u64>>,
+    ops: Vec<StateOp>,
+    len: usize,
+    mask: usize,
+}
+
+impl GrowTable {
+    /// Create with space for at least `capacity` groups before any rehash.
+    pub fn with_capacity(capacity: usize, ops: &[StateOp]) -> Self {
+        let slots = (capacity.max(8) * 2).next_power_of_two();
+        Self {
+            hasher: Murmur2::default(),
+            keys: vec![0; slots],
+            occ: vec![0; slots / 64 + 1],
+            cols: ops.iter().map(|&op| vec![crate::identity_of(op); slots]).collect(),
+            ops: ops.to_vec(),
+            len: 0,
+            mask: slots - 1,
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no groups are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline(always)]
+    fn is_occupied(occ: &[u64], slot: usize) -> bool {
+        occ[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    /// Find the slot of `key`, growing if needed. Returns the slot index.
+    #[inline]
+    fn upsert_slot(&mut self, key: u64) -> usize {
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut slot = (self.hasher.hash_u64(key) as usize) & self.mask;
+        loop {
+            if !Self::is_occupied(&self.occ, slot) {
+                self.keys[slot] = key;
+                self.occ[slot >> 6] |= 1u64 << (slot & 63);
+                self.len += 1;
+                return slot;
+            }
+            if self.keys[slot] == key {
+                return slot;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let mut new_keys = vec![0u64; new_slots];
+        let mut new_occ = vec![0u64; new_slots / 64 + 1];
+        let mut new_cols: Vec<Vec<u64>> = self
+            .ops
+            .iter()
+            .map(|&op| vec![crate::identity_of(op); new_slots])
+            .collect();
+        let mask = new_slots - 1;
+        for slot in 0..self.keys.len() {
+            if !Self::is_occupied(&self.occ, slot) {
+                continue;
+            }
+            let key = self.keys[slot];
+            let mut ns = (self.hasher.hash_u64(key) as usize) & mask;
+            while Self::is_occupied(&new_occ, ns) {
+                ns = (ns + 1) & mask;
+            }
+            new_keys[ns] = key;
+            new_occ[ns >> 6] |= 1u64 << (ns & 63);
+            for (nc, oc) in new_cols.iter_mut().zip(&self.cols) {
+                nc[ns] = oc[slot];
+            }
+        }
+        self.keys = new_keys;
+        self.occ = new_occ;
+        self.cols = new_cols;
+        self.mask = mask;
+    }
+
+    /// Fold one row in. `values[i]` feeds state column `i`; for raw rows
+    /// (`aggregated == false`) the ops' `apply` is used, otherwise the
+    /// super-aggregate `merge`.
+    pub fn accumulate(&mut self, key: u64, values: &[u64], aggregated: bool) {
+        debug_assert_eq!(values.len(), self.ops.len());
+        let slot = self.upsert_slot(key);
+        for ((col, &op), &v) in self.cols.iter_mut().zip(&self.ops).zip(values) {
+            col[slot] = op.combine(col[slot], v, aggregated);
+        }
+    }
+
+    /// Drain into `(key, states)` pairs in unspecified order.
+    pub fn drain(self) -> impl Iterator<Item = (u64, Vec<u64>)> {
+        let Self { keys, occ, cols, .. } = self;
+        (0..keys.len()).filter_map(move |slot| {
+            if Self::is_occupied(&occ, slot) {
+                Some((keys[slot], cols.iter().map(|c| c[slot]).collect()))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t = GrowTable::with_capacity(4, &[StateOp::Count]);
+        for k in 0..10_000u64 {
+            t.accumulate(k, &[0], false);
+        }
+        assert_eq!(t.len(), 10_000);
+        let mut keys: Vec<u64> = t.drain().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn aggregates_match_reference() {
+        let mut t =
+            GrowTable::with_capacity(16, &[StateOp::Sum, StateOp::Min, StateOp::Max, StateOp::Count]);
+        let mut reference: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+        let mut state = 12345u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % 500;
+            let v = state % 1000;
+            t.accumulate(k, &[v, v, v, 0], false);
+            let e = reference.entry(k).or_insert((0, u64::MAX, 0, 0));
+            e.0 += v;
+            e.1 = e.1.min(v);
+            e.2 = e.2.max(v);
+            e.3 += 1;
+        }
+        let got: BTreeMap<u64, (u64, u64, u64, u64)> =
+            t.drain().map(|(k, s)| (k, (s[0], s[1], s[2], s[3]))).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn merge_mode_uses_super_aggregate() {
+        let mut t = GrowTable::with_capacity(4, &[StateOp::Count]);
+        // Two partial counts of 5 and 7 must merge to 12, not 2.
+        t.accumulate(1, &[5], true);
+        t.accumulate(1, &[7], true);
+        let out: Vec<_> = t.drain().collect();
+        assert_eq!(out, vec![(1, vec![12])]);
+    }
+
+    #[test]
+    fn mixed_raw_and_aggregated_rows() {
+        let mut t = GrowTable::with_capacity(4, &[StateOp::Count]);
+        t.accumulate(1, &[0], false); // raw row -> count 1
+        t.accumulate(1, &[4], true); // partial count 4 -> 5
+        t.accumulate(1, &[0], false); // raw row -> 6
+        let out: Vec<_> = t.drain().collect();
+        assert_eq!(out, vec![(1, vec![6])]);
+    }
+
+    #[test]
+    fn empty_drains_empty() {
+        let t = GrowTable::with_capacity(4, &[StateOp::Sum]);
+        assert!(t.is_empty());
+        assert_eq!(t.drain().count(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Work-stealing scoped task pool (§3.2).
+//!
+//! The operator parallelizes along two axes: the recursive calls on
+//! different buckets are completely independent tasks, while the main loop
+//! over the input runs is parallelized by **work-stealing** so that threads
+//! that finish their own buckets can help with large ones — the paper's
+//! answer to heavy row-skew, where an ideal hash function balances *groups*
+//! across buckets but cannot balance *rows*.
+//!
+//! [`scope`] runs a root closure on the calling thread plus `threads − 1`
+//! scoped worker threads. Every thread owns a deque: it pushes and pops its
+//! own tasks LIFO (depth-first recursion keeps working sets cache-hot) and
+//! steals FIFO from others when idle (breadth-first stealing finds the
+//! biggest remaining subtrees). Threads "synchronize only at a very coarse
+//! granularity" (§6.2): the only shared state is the deques and an
+//! outstanding-task counter used for quiescence detection.
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! let sum = AtomicU64::new(0);
+//! hsa_tasks::scope(4, |s| {
+//!     for i in 0..100u64 {
+//!         let sum = &sum;
+//!         s.spawn(move |_| {
+//!             sum.fetch_add(i, Ordering::Relaxed);
+//!         });
+//!     }
+//! });
+//! assert_eq!(sum.into_inner(), 4950);
+//! ```
+
+mod pool;
+mod util;
+
+pub use pool::{scope, Scope};
+pub use util::{chunk_ranges, scoped_map};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_spawned_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(4, |s| {
+            for _ in 0..1000 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 1000);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        scope(3, |s| {
+            for _ in 0..10 {
+                s.spawn(|s2| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..10 {
+                        s2.spawn(|s3| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            s3.spawn(|_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 10 + 100 + 100);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let mut touched = false;
+        let out = scope(1, |s| {
+            s.spawn(|_| {});
+            touched = true;
+            42
+        });
+        assert!(touched);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn borrows_stack_data() {
+        let data: Vec<u64> = (0..1024).collect();
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        scope(4, |s| {
+            for chunk in data.chunks(64) {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.into_inner(), 1024 * 1023 / 2);
+    }
+
+    #[test]
+    fn scope_returns_root_value() {
+        assert_eq!(scope(2, |_| "done"), "done");
+    }
+
+    #[test]
+    fn uneven_task_sizes_all_finish() {
+        // Tasks of wildly different cost — stealing must drain them all.
+        let counter = AtomicUsize::new(0);
+        scope(4, |s| {
+            for i in 0..64usize {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    let spins = if i == 0 { 200_000 } else { 10 };
+                    let mut x = 1u64;
+                    for _ in 0..spins {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    assert!(x != 42); // keep the loop alive
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "task panicked")]
+    fn task_panic_propagates() {
+        scope(2, |s| {
+            s.spawn(|_| panic!("boom"));
+        });
+    }
+}

@@ -1,0 +1,179 @@
+//! The work-stealing scope implementation.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A unit of work. Tasks receive the [`Scope`] so they can spawn subtasks
+/// (the recursive bucket calls of Algorithm 2).
+type Task<'env> = Box<dyn FnOnce(&Scope<'_, 'env>) + Send + 'env>;
+
+struct Shared<'env> {
+    /// One deque per worker. Owner pushes/pops at the back (LIFO), thieves
+    /// pop at the front (FIFO). A plain mutex per deque is plenty here:
+    /// tasks are coarse (whole runs / whole buckets), so queue operations
+    /// are orders of magnitude rarer than the row-level work they guard.
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    /// Tasks spawned but not yet finished; quiescence = 0.
+    pending: AtomicUsize,
+    /// Set when the scope is over and workers should exit.
+    done: AtomicBool,
+    /// Set when any task panicked (scope re-panics at the end).
+    poisoned: AtomicBool,
+    /// Sleeping-worker wakeup.
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl<'env> Shared<'env> {
+    fn new(threads: usize) -> Self {
+        Self {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        }
+    }
+
+    fn pop_own(&self, worker: usize) -> Option<Task<'env>> {
+        self.queues[worker].lock().pop_back()
+    }
+
+    fn steal(&self, worker: usize) -> Option<Task<'env>> {
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (worker + i) % n;
+            if let Some(task) = self.queues[victim].lock().pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Run one task if any is available. Returns whether work was done.
+    fn run_one(&self, scope: &Scope<'_, 'env>) -> bool {
+        let Some(task) = self.pop_own(scope.worker).or_else(|| self.steal(scope.worker)) else {
+            return false;
+        };
+        // Contain panics so that (a) worker threads stay alive, (b) pending
+        // still reaches zero, and (c) the scope can re-panic with a single
+        // consistent message once everything has quiesced.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(scope)));
+        if outcome.is_err() {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+        self.idle_cv.notify_all();
+        true
+    }
+}
+
+/// Handle through which tasks spawn subtasks; one per (scope, thread).
+pub struct Scope<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+    worker: usize,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Spawn a task. It may run on any thread of the scope, any time before
+    /// [`scope`] returns.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
+    {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.queues[self.worker].lock().push_back(Box::new(task));
+        self.shared.idle_cv.notify_one();
+    }
+
+    /// Number of threads participating in this scope.
+    pub fn threads(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Index of the current worker thread (0 = the caller of [`scope`]).
+    pub fn worker_index(&self) -> usize {
+        self.worker
+    }
+}
+
+fn worker_loop<'env>(shared: &Shared<'env>, worker: usize) {
+    let scope = Scope { shared, worker };
+    loop {
+        if shared.run_one(&scope) {
+            continue;
+        }
+        if shared.done.load(Ordering::Acquire) {
+            return;
+        }
+        // Nothing to do: park until a spawn or completion wakes us. The
+        // timeout is a safety net against lost wakeups, not a spin.
+        let mut guard = shared.idle_lock.lock();
+        if shared.pending.load(Ordering::Acquire) == 0 && shared.done.load(Ordering::Acquire) {
+            return;
+        }
+        shared
+            .idle_cv
+            .wait_for(&mut guard, std::time::Duration::from_millis(1));
+    }
+}
+
+/// Run `root` with a work-stealing scope of `threads` threads (including
+/// the calling thread). Returns after the root closure has returned *and*
+/// every spawned task (transitively) has finished.
+///
+/// Panics from tasks are surfaced as a panic of `scope` itself.
+pub fn scope<'env, R, F>(threads: usize, root: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+    R: Send,
+{
+    let threads = threads.max(1);
+    let shared = Shared::new(threads);
+
+    std::thread::scope(|ts| {
+        for w in 1..threads {
+            let shared = &shared;
+            ts.spawn(move || worker_loop(shared, w));
+        }
+
+        let root_scope = Scope { shared: &shared, worker: 0 };
+        let result = root(&root_scope);
+
+        // The caller thread helps until quiescence.
+        while shared.pending.load(Ordering::Acquire) > 0 {
+            if !shared.run_one(&root_scope) {
+                // All remaining tasks are running on other workers; wait
+                // for them to finish or to spawn more work we can steal.
+                let mut guard = shared.idle_lock.lock();
+                if shared.pending.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                shared
+                    .idle_cv
+                    .wait_for(&mut guard, std::time::Duration::from_millis(1));
+            }
+        }
+
+        shared.done.store(true, Ordering::Release);
+        shared.idle_cv.notify_all();
+        result
+    })
+    .pipe(|result| {
+        if shared.poisoned.load(Ordering::Acquire) {
+            panic!("task panicked inside hsa_tasks::scope");
+        }
+        result
+    })
+}
+
+/// Tiny `tap`-style helper so the panic check reads linearly.
+trait Pipe: Sized {
+    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}

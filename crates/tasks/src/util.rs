@@ -1,0 +1,90 @@
+//! Small parallel utilities used by the operator driver and the baselines.
+
+/// Split `0..n` into `parts` contiguous ranges of near-equal length.
+///
+/// Used to cut the input into per-thread morsels. Returns fewer than
+/// `parts` ranges when `n < parts` (empty ranges are omitted).
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Run `f(thread_index)` on `threads` scoped OS threads and collect the
+/// results in thread-index order. This is the fixed-partitioning primitive
+/// the *baseline* algorithms use (they have no work-stealing — one of the
+/// differences §6 highlights).
+pub fn scoped_map<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                s.spawn(move || f(t))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoped_map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 100, 101, 1024] {
+            for parts in [1usize, 2, 3, 7, 20] {
+                let ranges = chunk_ranges(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start);
+                    assert!(!r.is_empty());
+                    expected_start = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        let ranges = chunk_ranges(10, 4);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn scoped_map_orders_results() {
+        let out = scoped_map(8, |t| t * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn scoped_map_single_thread() {
+        assert_eq!(scoped_map(1, |t| t + 1), vec![1]);
+    }
+}

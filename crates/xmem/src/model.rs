@@ -1,0 +1,199 @@
+//! Closed-form cache-line-transfer counts (§2).
+//!
+//! All formulas count *line transfers* between cache and memory for an
+//! input of `N` rows aggregating to `K` groups, with a cache of `M` rows
+//! and `B` rows per cache line. They assume O(1) aggregate state per group
+//! (distributive/algebraic functions) and a hash function that balances
+//! groups across partitions — the same assumptions as the paper.
+
+/// Machine parameters of the external memory model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ModelParams {
+    /// Fast-memory (cache) capacity in rows.
+    pub m: u64,
+    /// Rows per cache line.
+    pub b: u64,
+}
+
+impl ModelParams {
+    /// Figure 1 uses `M = 2¹⁶`, `B = 16` ("typical values for modern CPU
+    /// caches" with 64-bit rows).
+    pub const FIGURE1: ModelParams = ModelParams { m: 1 << 16, b: 16 };
+
+    /// Partitioning fan-out of one bucket-sort pass: one output buffer of
+    /// `B` rows per partition must fit in cache.
+    #[inline]
+    pub fn fanout(&self) -> u64 {
+        (self.m / self.b).max(2)
+    }
+}
+
+/// `⌈log_base(x)⌉` for integer `x ≥ 1`, computed without floating point so
+/// the step positions in Figure 1 are exact.
+fn ceil_log(base: u64, x: u64) -> u64 {
+    debug_assert!(base >= 2);
+    if x <= 1 {
+        return 0;
+    }
+    let mut depth = 0u64;
+    let mut reach = 1u64;
+    while reach < x {
+        reach = reach.saturating_mul(base);
+        depth += 1;
+    }
+    depth
+}
+
+/// Ceiling division in u64.
+#[inline]
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// §2.1, first iteration: static-depth bucket sort + aggregation pass.
+///
+/// `2·(N/B)·⌈log_{M/B}(N/B)⌉ + N/B + K/B` — the depth ignores that the
+/// keys form a multiset (it sorts as if all N keys were distinct).
+pub fn sort_agg_static(p: ModelParams, n: u64, k: u64) -> u64 {
+    let scan = div_ceil(n, p.b);
+    let depth = ceil_log(p.fanout(), div_ceil(n, p.b));
+    2 * scan * depth + scan + div_ceil(k, p.b)
+}
+
+/// §2.1, second iteration: multiset-aware bucket sort + aggregation pass.
+///
+/// `2·(N/B)·⌈log_{M/B}(min(N/B, K))⌉ + N/B + K/B` — the call tree has at
+/// most `min(N/B, K)` leaves, matching the multiset-sorting lower bound.
+pub fn sort_agg(p: ModelParams, n: u64, k: u64) -> u64 {
+    let scan = div_ceil(n, p.b);
+    let depth = ceil_log(p.fanout(), div_ceil(n, p.b).min(k));
+    2 * scan * depth + scan + div_ceil(k, p.b)
+}
+
+/// §2.1, third iteration (`SORTAGGREGATION OPTIMIZED`): the last sort pass
+/// is merged with the aggregation pass, eliminating one full scan and
+/// raising the effective leaf capacity to `M` rows of *groups*:
+///
+/// `N/B + 2·(N/B)·max(0, ⌈log_{M/B}(K/B)⌉ − 1) + K/B`.
+///
+/// For `K < M` this degenerates to reading the input once and writing the
+/// output once — the same cost as in-cache hash aggregation.
+pub fn sort_agg_opt(p: ModelParams, n: u64, k: u64) -> u64 {
+    let scan = div_ceil(n, p.b);
+    let passes = ceil_log(p.fanout(), div_ceil(k, p.b)).saturating_sub(1);
+    scan + 2 * scan * passes + div_ceil(k, p.b)
+}
+
+/// [`sort_agg`] with an explicit partitioning fan-out instead of the
+/// model-derived `M/B` — used to compare against simulated runs whose
+/// concrete implementation uses a smaller fan-out.
+pub fn sort_agg_with_fanout(p: ModelParams, n: u64, k: u64, fanout: u64) -> u64 {
+    let scan = div_ceil(n, p.b);
+    let depth = ceil_log(fanout.max(2), div_ceil(n, p.b).min(k));
+    2 * scan * depth + scan + div_ceil(k, p.b)
+}
+
+/// §2.2: naive hash aggregation into a table of `K` entries.
+///
+/// In-cache (`K ≤ M`): one read pass plus the output write. Out-of-cache:
+/// only a fraction `M/K` of the table is cached, so a fraction `1 − M/K`
+/// of rows miss, each miss costing one write-back plus one read.
+pub fn hash_agg(p: ModelParams, n: u64, k: u64) -> u64 {
+    let scan = div_ceil(n, p.b);
+    let out = div_ceil(k, p.b);
+    if k <= p.m {
+        scan + out
+    } else {
+        let miss_fraction = 1.0 - (p.m as f64 / k as f64);
+        scan + out + (2.0 * n as f64 * miss_fraction) as u64
+    }
+}
+
+/// §2.2 (`HASHAGGREGATION OPTIMIZED`): recursive hash-partitioning as
+/// preprocessing makes every hash pass work in cache; the cost analysis is
+/// then identical to [`sort_agg_opt`] — this *is* the paper's point.
+pub fn hash_agg_opt(p: ModelParams, n: u64, k: u64) -> u64 {
+    sort_agg_opt(p, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: ModelParams = ModelParams::FIGURE1;
+    const N: u64 = 1 << 32;
+
+    #[test]
+    fn ceil_log_exact_steps() {
+        assert_eq!(ceil_log(4096, 1), 0);
+        assert_eq!(ceil_log(4096, 2), 1);
+        assert_eq!(ceil_log(4096, 4096), 1);
+        assert_eq!(ceil_log(4096, 4097), 2);
+        assert_eq!(ceil_log(4096, 4096 * 4096), 2);
+        assert_eq!(ceil_log(4096, 4096 * 4096 + 1), 3);
+    }
+
+    #[test]
+    fn optimized_variants_are_identical() {
+        for k in [1u64, 1 << 8, 1 << 16, 1 << 20, 1 << 28, N] {
+            assert_eq!(sort_agg_opt(P, N, k), hash_agg_opt(P, N, k), "K={k}");
+        }
+    }
+
+    #[test]
+    fn small_k_hash_is_two_scans_worth() {
+        // K ≤ M: read input once, write output once.
+        let k = 1 << 10;
+        assert_eq!(hash_agg(P, N, k), N / P.b + k / P.b);
+        assert_eq!(sort_agg_opt(P, N, k), N / P.b + k / P.b);
+    }
+
+    #[test]
+    fn naive_hash_explodes_beyond_cache() {
+        // One row past the cache boundary the cost jumps by orders of
+        // magnitude — the "explosion" visible in Figure 1.
+        // The jump is bounded by ≈ 2B× (a miss per row instead of 1/B
+        // amortized); with B = 16 that is a factor ~32.
+        let inside = hash_agg(P, N, P.m);
+        let outside = hash_agg(P, N, P.m * 256);
+        assert!(outside > inside * 20, "inside={inside} outside={outside}");
+    }
+
+    #[test]
+    fn naive_sort_pays_full_depth_even_for_tiny_k() {
+        // The static analysis sorts all the way down even for K = 1;
+        // multiset awareness removes that.
+        assert!(sort_agg_static(P, N, 1) > sort_agg(P, N, 1));
+        // And for K = N they agree.
+        assert_eq!(sort_agg_static(P, N, N), sort_agg(P, N, N));
+    }
+
+    #[test]
+    fn optimization_eliminates_a_pass() {
+        // §2.1: the merged last pass saves (at least) one full read+write
+        // of the data for medium K.
+        let k = 1 << 20;
+        let naive = sort_agg(P, N, k);
+        let opt = sort_agg_opt(P, N, k);
+        assert!(naive >= opt + 2 * (N / P.b), "naive={naive} opt={opt}");
+    }
+
+    #[test]
+    fn passes_grow_logarithmically() {
+        // Depth counts for Figure 1: K up to M → 0 extra passes,
+        // up to M·(M/B) → 1, up to M·(M/B)² → 2.
+        let scan = N / P.b;
+        assert_eq!(sort_agg_opt(P, N, 1 << 16), scan + (1 << 16) / P.b);
+        let one_pass = sort_agg_opt(P, N, 1 << 20);
+        assert_eq!(one_pass, scan + 2 * scan + (1 << 20) / P.b);
+        let two_pass = sort_agg_opt(P, N, 1 << 30);
+        assert_eq!(two_pass, scan + 4 * scan + (1 << 30) / P.b);
+    }
+
+    #[test]
+    fn monotone_in_n() {
+        for f in [sort_agg, sort_agg_opt, hash_agg] {
+            assert!(f(P, 1 << 20, 1 << 10) <= f(P, 1 << 24, 1 << 10));
+        }
+    }
+}

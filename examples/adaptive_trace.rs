@@ -1,0 +1,60 @@
+//! Watching the §5 adaptation decide.
+//!
+//! Runs the same DISTINCT-style aggregation over data sets with very
+//! different locality and prints how the operator routed the rows: skewed
+//! and clustered inputs stay on the early-aggregating `HASHING` path,
+//! while a high-cardinality uniform input is detected (α < α₀ at the
+//! first table seal) and rerouted through `PARTITIONING` — per thread, at
+//! runtime, with no optimizer estimate of K.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_trace
+//! ```
+
+use hashing_is_sorting::datagen::{generate, Distribution};
+use hashing_is_sorting::{distinct, AggregateConfig};
+
+fn main() {
+    let n = 4_000_000;
+    let cfg = AggregateConfig::default();
+
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>7} {:>9} {:>7}",
+        "distribution", "K", "hash rows", "part rows", "seals", "switches", "passes"
+    );
+    // K = 2^18 gives N/K = 16 repeats per key: above α₀ ≈ 11, so sorted /
+    // clustered inputs sustain hashing, while uniform at the same K (and
+    // heavy-hitter, whose non-hitter tail behaves like uniform — exactly
+    // §6.5's observation) drop below α₀ and switch.
+    for (dist, k) in [
+        (Distribution::Sorted, 1 << 18),
+        (Distribution::MovingCluster, 1 << 18),
+        (Distribution::SelfSimilar, 1 << 18),
+        (Distribution::HeavyHitter, 1 << 18),
+        (Distribution::Uniform, 1 << 10), // fits in cache: hashing wins
+        (Distribution::Uniform, 1 << 18), // exceeds cache: partitioning wins
+    ] {
+        let keys = generate(dist, n, k, 42);
+        let (out, stats) = distinct(&keys, &cfg);
+        println!(
+            "{:<16} {:>9} {:>12} {:>12} {:>7} {:>9} {:>7}",
+            dist.name(),
+            k,
+            stats.total_hash_rows(),
+            stats.total_part_rows(),
+            stats.seals,
+            stats.switches_to_partitioning,
+            stats.passes_used(),
+        );
+        assert!(out.n_groups() <= k as usize + 1);
+    }
+
+    println!(
+        "\nReading the table: spatial locality (sorted, moving-cluster) keeps the\n\
+         reduction factor α above α₀, so rows stay on the early-aggregating hashing\n\
+         path; uniform data with K beyond the cache drops α to ≈1 and the operator\n\
+         reroutes the bulk of the input through the ~4× faster partitioning routine.\n\
+         Heavy-hitter switches at the same point as uniform — §6.5's observation that\n\
+         the non-hitter keys are the hard part of that distribution."
+    );
+}

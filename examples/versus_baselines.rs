@@ -1,0 +1,47 @@
+//! The Figure 8 experiment in miniature: ADAPTIVE vs prior work.
+//!
+//! Runs the paper's comparison query (DISTINCT over a uniform key column)
+//! against the five re-implemented baselines for a small and a large K and
+//! prints element times. Exact numbers depend on the machine; the *shape*
+//! is the paper's: everyone is similar while the output fits in cache, and
+//! the fixed-pass baselines fall behind once it does not.
+//!
+//! ```sh
+//! cargo run --release --example versus_baselines
+//! ```
+
+use hashing_is_sorting::baselines::{all_baselines, BaselineConfig};
+use hashing_is_sorting::datagen::{generate, Distribution};
+use hashing_is_sorting::{distinct, AggregateConfig};
+use std::time::Instant;
+
+fn main() {
+    let n = 1 << 22;
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+
+    for k in [1u64 << 10, 1 << 20] {
+        let keys = generate(Distribution::Uniform, n, k, 1);
+        println!("N = 2^22, K = {k} ({} threads):", threads);
+
+        let cfg = AggregateConfig::default();
+        let t0 = Instant::now();
+        let (out, _) = distinct(&keys, &cfg);
+        let adaptive_ns = t0.elapsed().as_secs_f64() * 1e9 * threads as f64 / n as f64;
+        println!("  {:<24} {:>8.1} ns/element  ({} groups)", "ADAPTIVE (this paper)", adaptive_ns, out.n_groups());
+
+        let bcfg = BaselineConfig {
+            threads,
+            k_hint: k as usize,
+            count: false,
+            ..BaselineConfig::default()
+        };
+        for b in all_baselines() {
+            let t0 = Instant::now();
+            let bout = b.run(&keys, &bcfg);
+            let ns = t0.elapsed().as_secs_f64() * 1e9 * threads as f64 / n as f64;
+            assert_eq!(bout.keys.len(), out.n_groups(), "{} group count", b.name());
+            println!("  {:<24} {:>8.1} ns/element", b.name(), ns);
+        }
+        println!();
+    }
+}

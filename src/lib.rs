@@ -1,0 +1,77 @@
+//! # Hashing Is Sorting — cache-efficient adaptive aggregation
+//!
+//! A faithful, production-quality reproduction of *"Cache-Efficient
+//! Aggregation: Hashing Is Sorting"* (Müller, Sanders, Lacurie, Lehner,
+//! Färber — SIGMOD 2015): a relational `GROUP BY` operator that is
+//! cache-efficient without prior knowledge of input skew or output
+//! cardinality, built as a radix sort over hash values that switches
+//! per-thread between an early-aggregating `HASHING` routine and a
+//! software-write-combining `PARTITIONING` routine.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`aggregate`] / [`distinct`] and [`AggregateConfig`] / [`Strategy`] —
+//!   the operator (`hsa-core`),
+//! * [`AggSpec`] — the aggregate functions (COUNT/SUM/MIN/MAX/AVG) with
+//!   super-aggregate handling (`hsa-agg`),
+//! * [`Table`] — a small named-column table for application code
+//!   (`hsa-columnar`),
+//! * [`datagen`] — the paper's synthetic data distributions,
+//! * [`baselines`] — the five prior-work algorithms of the Figure 8
+//!   comparison,
+//! * [`xmem`] — the external-memory cost model and cache simulator behind
+//!   Figure 1.
+//!
+//! ```
+//! use hashing_is_sorting::{aggregate, AggregateConfig, AggSpec};
+//!
+//! // SELECT k, COUNT(*), AVG(v) FROM t GROUP BY k
+//! let keys = vec![10u64, 20, 10, 20, 10];
+//! let vals = vec![1u64, 2, 3, 4, 5];
+//! let (out, stats) = aggregate(
+//!     &keys,
+//!     &[&vals],
+//!     &[AggSpec::count(), AggSpec::avg(0)],
+//!     &AggregateConfig::default(),
+//! );
+//! assert_eq!(out.n_groups(), 2);
+//! assert!(stats.total_hash_rows() >= 5);
+//! ```
+
+mod query;
+
+pub use hsa_agg::{AggFn, AggSpec};
+pub use query::{AggValues, Query, QueryResult};
+pub use hsa_columnar::{encode_composite, Column, Dictionary, Table};
+pub use hsa_core::{
+    aggregate, distinct, merge_partials, AdaptiveParams, AggregateConfig, GroupByOutput,
+    OpStats, Strategy,
+};
+
+/// Synthetic data distributions (§6.5).
+pub mod datagen {
+    pub use hsa_datagen::*;
+}
+
+/// Prior-work baseline algorithms (§6.4).
+pub mod baselines {
+    pub use hsa_baselines::*;
+}
+
+/// External-memory cost model and cache simulator (§2).
+pub mod xmem {
+    pub use hsa_xmem::*;
+}
+
+/// Low-level building blocks, exposed for benchmarking and extension.
+pub mod kernels {
+    pub use hsa_hash::{
+        digit, Fnv1a, Hasher64, Identity, Multiplicative, Murmur2, Murmur3Finalizer, FANOUT,
+    };
+    pub use hsa_hashtbl::{identity_of, AggTable, GrowTable, Insert, TableConfig};
+    pub use hsa_partition::{
+        memcpy_nt, partition_keys, partition_keys_mapped, partition_naive, partition_overalloc,
+        partition_swc, partition_swc_with_mode, partition_unrolled,
+        partition_unrolled_with_mode, scatter_by_digits, FlushMode,
+    };
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) for the DESIGN.md §7 invariants.
+
+use hashing_is_sorting::kernels::{
+    digit, partition_keys_mapped, scatter_by_digits, AggTable, Hasher64, Insert, Murmur2,
+    TableConfig,
+};
+use hashing_is_sorting::{aggregate, AdaptiveParams, AggSpec, AggregateConfig, Strategy as Routing};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Small cache + morsels so recursion happens at proptest input sizes.
+fn tiny_cfg(strategy: Routing) -> AggregateConfig {
+    AggregateConfig {
+        cache_bytes: 32 << 10,
+        threads: 2,
+        strategy,
+        fill_percent: 25,
+        morsel_rows: 512,
+    }
+}
+
+fn reference(keys: &[u64], vals: &[u64]) -> BTreeMap<u64, (u64, u64, u64, u64)> {
+    let mut m = BTreeMap::new();
+    for (&k, &v) in keys.iter().zip(vals) {
+        let e = m.entry(k).or_insert((0u64, 0u64, u64::MAX, 0u64));
+        e.0 += 1;
+        e.1 = e.1.wrapping_add(v);
+        e.2 = e.2.min(v);
+        e.3 = e.3.max(v);
+    }
+    m
+}
+
+/// Row generator: keys from a narrow domain (forces collisions) or the
+/// full u64 range (forces distinctness), values arbitrary.
+fn rows() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    let narrow = prop::collection::vec(0u64..64, 0..2000);
+    let wide = prop::collection::vec(any::<u64>().prop_map(|k| k % (1 << 30)), 0..2000);
+    prop_oneof![narrow, wide].prop_flat_map(|keys| {
+        let n = keys.len();
+        (Just(keys), prop::collection::vec(0u64..1_000_000, n..=n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: operator output equals a scalar fold, any strategy.
+    #[test]
+    fn operator_matches_reference((keys, vals) in rows(), strat_ix in 0usize..4) {
+        let strategy = [
+            Routing::HashingOnly,
+            Routing::PartitionAlways { passes: 1 },
+            Routing::PartitionAlways { passes: 2 },
+            Routing::Adaptive(AdaptiveParams::default()),
+        ][strat_ix];
+        let (out, _) = aggregate(
+            &keys,
+            &[&vals],
+            &[AggSpec::count(), AggSpec::sum(0), AggSpec::min(0), AggSpec::max(0)],
+            &tiny_cfg(strategy),
+        );
+        let got: BTreeMap<u64, (u64, u64, u64, u64)> = out
+            .sorted_rows()
+            .into_iter()
+            .map(|(k, s)| (k, (s[0], s[1], s[2], s[3])))
+            .collect();
+        prop_assert_eq!(got, reference(&keys, &vals));
+    }
+
+    /// Invariant 3: partitioning is a stable permutation into the right
+    /// digits, and the mapping replay (invariant 4) aligns values with
+    /// their keys.
+    #[test]
+    fn partitioning_permutes_and_mapping_aligns(keys in prop::collection::vec(any::<u64>(), 0..3000)) {
+        let h = Murmur2::default();
+        let vals: Vec<u64> = keys.iter().map(|k| k.wrapping_mul(31).wrapping_add(7)).collect();
+        let mut mapping = Vec::new();
+        let kp = partition_keys_mapped([keys.as_slice()].into_iter(), h, 0, &mut mapping);
+        let vp = scatter_by_digits(&mapping, [vals.as_slice()].into_iter());
+
+        // Permutation: total count and multiset preserved.
+        let total: usize = kp.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, keys.len());
+        let mut collected: Vec<u64> = kp.iter().flat_map(|p| p.iter()).collect();
+        collected.sort_unstable();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(collected, sorted);
+
+        for (d, (pk, pv)) in kp.iter().zip(&vp).enumerate() {
+            prop_assert_eq!(pk.len(), pv.len());
+            for (k, v) in pk.iter().zip(pv.iter()) {
+                prop_assert_eq!(digit(h.hash_u64(k), 0), d);
+                prop_assert_eq!(v, k.wrapping_mul(31).wrapping_add(7));
+            }
+        }
+    }
+
+    /// Invariant 2: a sealed table partitions its keys by digit and emits
+    /// every inserted key exactly once.
+    #[test]
+    fn sealed_table_is_a_radix_partition(keys in prop::collection::vec(any::<u64>(), 0..800)) {
+        let h = Murmur2::default();
+        let mut t = AggTable::new(
+            TableConfig { total_slots: 1 << 13, fill_percent: 25 },
+            0,
+            &[],
+        );
+        let mut inserted = Vec::new();
+        for &k in &keys {
+            match t.insert_key(k, h.hash_u64(k)) {
+                Insert::New(_) => inserted.push(k),
+                Insert::Hit(_) => {}
+                Insert::Full => break,
+            }
+        }
+        let mut emitted = Vec::new();
+        let mut last_digit = None;
+        t.seal(|d, ks, _| {
+            if let Some(prev) = last_digit {
+                assert!(d > prev, "digits must be emitted in order");
+            }
+            last_digit = Some(d);
+            for &k in ks {
+                assert_eq!(digit(h.hash_u64(k), 0), d);
+                emitted.push(k);
+            }
+        });
+        emitted.sort_unstable();
+        inserted.sort_unstable();
+        prop_assert_eq!(emitted, inserted);
+    }
+
+    /// Invariant 6: aggregating pre-aggregated halves equals aggregating
+    /// the whole (super-aggregate correctness through the full operator).
+    #[test]
+    fn split_aggregation_composes((keys, vals) in rows()) {
+        prop_assume!(keys.len() >= 2);
+        let cfg = tiny_cfg(Routing::Adaptive(AdaptiveParams::default()));
+        let mid = keys.len() / 2;
+        let specs = [AggSpec::count(), AggSpec::sum(0), AggSpec::min(0), AggSpec::max(0)];
+
+        // Whole input in one operator call.
+        let (whole, _) = aggregate(&keys, &[&vals], &specs, &cfg);
+
+        // Two halves, recombined by a BTreeMap super-aggregate.
+        let (a, _) = aggregate(&keys[..mid], &[&vals[..mid]], &specs, &cfg);
+        let (b, _) = aggregate(&keys[mid..], &[&vals[mid..]], &specs, &cfg);
+        let mut merged: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+        for part in [a, b] {
+            for (k, s) in part.sorted_rows() {
+                let e = merged.entry(k).or_insert((0, 0, u64::MAX, 0));
+                e.0 += s[0];
+                e.1 = e.1.wrapping_add(s[1]);
+                e.2 = e.2.min(s[2]);
+                e.3 = e.3.max(s[3]);
+            }
+        }
+        let got: BTreeMap<u64, (u64, u64, u64, u64)> = whole
+            .sorted_rows()
+            .into_iter()
+            .map(|(k, s)| (k, (s[0], s[1], s[2], s[3])))
+            .collect();
+        prop_assert_eq!(got, merged);
+    }
+
+    /// COUNT conservation: counts sum to N under any adaptive parameters.
+    #[test]
+    fn counts_conserved_under_any_adaptive_params(
+        (keys, _) in rows(),
+        alpha0 in 0.0f64..100.0,
+        c in 0.0f64..20.0,
+    ) {
+        let cfg = tiny_cfg(Routing::Adaptive(AdaptiveParams { alpha0, c }));
+        let (out, _) = aggregate(&keys, &[], &[AggSpec::count()], &cfg);
+        let total: u64 = out.states[0].iter().sum();
+        prop_assert_eq!(total, keys.len() as u64);
+    }
+}
