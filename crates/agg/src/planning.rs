@@ -139,8 +139,7 @@ pub fn plan(specs: &[AggSpec]) -> Plan {
             }
             AggFn::Avg => {
                 let input = spec.input.expect("AVG needs an input column");
-                let sum =
-                    intern(&mut cols, PhysicalCol { op: StateOp::Sum, input: Some(input) });
+                let sum = intern(&mut cols, PhysicalCol { op: StateOp::Sum, input: Some(input) });
                 let count = intern(&mut cols, PhysicalCol { op: StateOp::Count, input: None });
                 finalizers.push(Finalizer::Ratio { sum, count });
             }
@@ -174,11 +173,7 @@ mod tests {
         );
         assert_eq!(
             p.finalizers,
-            vec![
-                Finalizer::Ratio { sum: 0, count: 1 },
-                Finalizer::State(1),
-                Finalizer::State(0),
-            ]
+            vec![Finalizer::Ratio { sum: 0, count: 1 }, Finalizer::State(1), Finalizer::State(0),]
         );
     }
 

@@ -32,11 +32,8 @@ impl Baseline for Atomic {
         let slots = table_slots(cfg, cfg.k_hint.max(keys.len().min(1 << 24)));
         let mask = slots - 1;
         let table: Vec<AtomicU64> = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
-        let counts: Vec<AtomicU64> = if cfg.count {
-            (0..slots).map(|_| AtomicU64::new(0)).collect()
-        } else {
-            Vec::new()
-        };
+        let counts: Vec<AtomicU64> =
+            if cfg.count { (0..slots).map(|_| AtomicU64::new(0)).collect() } else { Vec::new() };
         let hasher = Murmur2::default();
 
         let ranges = chunk_ranges(keys.len(), cfg.threads);

@@ -37,9 +37,7 @@ fn push_global(
             break;
         }
         if cur == EMPTY
-            && table[slot]
-                .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
+            && table[slot].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire).is_ok()
         {
             break;
         }
@@ -71,11 +69,8 @@ impl Baseline for Hybrid {
         let g_slots = table_slots(cfg, cfg.k_hint.max(keys.len().min(1 << 24)));
         let g_mask = g_slots - 1;
         let global: Vec<AtomicU64> = (0..g_slots).map(|_| AtomicU64::new(EMPTY)).collect();
-        let g_counts: Vec<AtomicU64> = if cfg.count {
-            (0..g_slots).map(|_| AtomicU64::new(0)).collect()
-        } else {
-            Vec::new()
-        };
+        let g_counts: Vec<AtomicU64> =
+            if cfg.count { (0..g_slots).map(|_| AtomicU64::new(0)).collect() } else { Vec::new() };
 
         // Private tables: per-thread share of the cache.
         let p_slots = (cfg.cache_bytes / 16).max(64).next_power_of_two();
@@ -107,7 +102,9 @@ impl Baseline for Hybrid {
                     if !placed {
                         // Evict the home slot's tenant to the shared table
                         // and take its place — the "old entry" heuristic.
-                        push_global(&global, &g_counts, g_mask, hasher, pk[home], pc[home], cfg.count);
+                        push_global(
+                            &global, &g_counts, g_mask, hasher, pk[home], pc[home], cfg.count,
+                        );
                         pk[home] = key;
                         pc[home] = 1;
                     }
@@ -126,11 +123,7 @@ impl Baseline for Hybrid {
             let k = global[slot].load(Ordering::Acquire);
             if k != EMPTY {
                 out.keys.push(k);
-                out.counts.push(if cfg.count {
-                    g_counts[slot].load(Ordering::Relaxed)
-                } else {
-                    0
-                });
+                out.counts.push(if cfg.count { g_counts[slot].load(Ordering::Relaxed) } else { 0 });
             }
         }
         out

@@ -34,15 +34,11 @@ impl Baseline for Independent {
         let ranges = chunk_ranges(keys.len(), threads);
         let privates: Vec<Vec<(u64, u64)>> = scoped_map(ranges.len().max(1), |t| {
             let Some(range) = ranges.get(t) else { return Vec::new() };
-            let mut table =
-                GrowTable::with_capacity((cfg.k_hint / threads).max(64), &ops);
+            let mut table = GrowTable::with_capacity((cfg.k_hint / threads).max(64), &ops);
             for &key in &keys[range.clone()] {
                 table.accumulate(key, if cfg.count { &[0] } else { &[] }, false);
             }
-            table
-                .drain()
-                .map(|(k, s)| (k, s.first().copied().unwrap_or(0)))
-                .collect()
+            table.drain().map(|(k, s)| (k, s.first().copied().unwrap_or(0))).collect()
         });
 
         // Pass 2: split the hash space, merge in parallel.
@@ -63,10 +59,7 @@ impl Baseline for Independent {
                     }
                 }
             }
-            table
-                .drain()
-                .map(|(k, s)| (k, s.first().copied().unwrap_or(0)))
-                .collect()
+            table.drain().map(|(k, s)| (k, s.first().copied().unwrap_or(0))).collect()
         });
 
         let mut out = BaselineOutput { keys: Vec::new(), counts: Vec::new() };

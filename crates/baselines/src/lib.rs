@@ -234,7 +234,13 @@ mod tests {
 
     #[test]
     fn names_and_passes() {
-        let expected = [("HYBRID", 1), ("ATOMIC", 1), ("INDEPENDENT", 2), ("PARTITION-AND-AGGREGATE", 2), ("PLAT", 2)];
+        let expected = [
+            ("HYBRID", 1),
+            ("ATOMIC", 1),
+            ("INDEPENDENT", 2),
+            ("PARTITION-AND-AGGREGATE", 2),
+            ("PLAT", 2),
+        ];
         for (b, (name, passes)) in all_baselines().iter().zip(expected) {
             assert_eq!(b.name(), name);
             assert_eq!(b.passes(), passes);

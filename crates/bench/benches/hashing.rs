@@ -1,82 +1,71 @@
-//! Criterion microbenchmarks for §4.1: hash-function cost and in-cache
-//! hash-table insertion cost.
+//! Microbenchmarks for §4.1: hash-function cost and in-cache hash-table
+//! insertion cost (`cargo bench --bench hashing`).
 //!
 //! Paper claims to check: MurmurHash2 is the fastest adequate hash for
 //! 8-byte keys, and the tuned table inserts below ~6 ns per element while
 //! working in cache (the paper's 2.4 GHz Westmere; scale accordingly).
+//!
+//! Plain `harness = false` timing: median of repeats over a fixed
+//! iteration count, ns/element on stdout.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hsa_bench::{median_secs, random_keys};
 use hsa_hash::{Fnv1a, Hasher64, Identity, Multiplicative, Murmur2, Murmur3Finalizer};
 use hsa_hashtbl::{AggTable, Insert, TableConfig};
 use std::hint::black_box;
 
-fn keys(n: usize) -> Vec<u64> {
-    let mut s = 1u64;
-    (0..n)
-        .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            s ^ (s >> 31)
-        })
-        .collect()
+const REPEATS: usize = 9;
+
+fn bench_hash<H: Hasher64 + Copy>(name: &str, h: H, data: &[u64]) {
+    let (secs, acc) = median_secs(REPEATS, || {
+        let mut acc = 0u64;
+        for _ in 0..8 {
+            for &k in data {
+                acc ^= h.hash_u64(black_box(k));
+            }
+        }
+        acc
+    });
+    black_box(acc);
+    let per = secs * 1e9 / (data.len() * 8) as f64;
+    println!("hash_u64/{name:<16} {per:6.2} ns/el");
 }
 
-fn bench_hash_functions(c: &mut Criterion) {
-    let data = keys(1 << 14);
-    let mut g = c.benchmark_group("hash_u64");
-    g.throughput(Throughput::Elements(data.len() as u64));
-
-    macro_rules! hash_bench {
-        ($name:literal, $h:expr) => {
-            g.bench_function($name, |b| {
-                b.iter(|| {
-                    let mut acc = 0u64;
-                    for &k in &data {
-                        acc ^= $h.hash_u64(black_box(k));
-                    }
-                    acc
-                })
-            });
-        };
-    }
-    hash_bench!("murmur2", Murmur2::default());
-    hash_bench!("murmur3_fmix", Murmur3Finalizer::default());
-    hash_bench!("multiplicative", Multiplicative::default());
-    hash_bench!("fnv1a", Fnv1a::default());
-    hash_bench!("identity", Identity);
-    g.finish();
+fn bench_hash_functions() {
+    let data = random_keys(1 << 14, 42);
+    bench_hash("murmur2", Murmur2::default(), &data);
+    bench_hash("murmur3_fmix", Murmur3Finalizer::default(), &data);
+    bench_hash("multiplicative", Multiplicative::default(), &data);
+    bench_hash("fnv1a", Fnv1a::default(), &data);
+    bench_hash("identity", Identity, &data);
 }
 
-fn bench_table_insert(c: &mut Criterion) {
+fn bench_table_insert() {
     // In-cache table: 2^16 slots (512 KiB of keys), 25% fill = 16 Ki groups.
     let cfg = TableConfig { total_slots: 1 << 16, fill_percent: 25 };
     let h = Murmur2::default();
     // 8 Ki distinct keys (half the fill limit) repeated twice: half
     // inserts, half hits, never Full.
-    let mut data = keys(1 << 13);
+    let mut data = random_keys(1 << 13, 42);
     let copy = data.clone();
     data.extend(copy);
 
-    let mut g = c.benchmark_group("agg_table");
-    g.throughput(Throughput::Elements(data.len() as u64));
-    g.bench_function("insert_in_cache", |b| {
-        b.iter_batched(
-            || AggTable::new(cfg, 0, &[]),
-            |mut t| {
-                for &k in &data {
-                    match t.insert_key(k, h.hash_u64(k)) {
-                        Insert::Full => unreachable!("sized for the data"),
-                        other => {
-                            black_box(other);
-                        }
-                    }
+    let (secs, _) = median_secs(REPEATS, || {
+        let mut t = AggTable::new(cfg, 0, &[]);
+        for &k in &data {
+            match t.insert_key(k, h.hash_u64(k)) {
+                Insert::Full => unreachable!("sized for the data"),
+                other => {
+                    black_box(&other);
                 }
-                t
-            },
-            BatchSize::LargeInput,
-        )
+            }
+        }
+        t
     });
-    g.finish();
+    let per = secs * 1e9 / data.len() as f64;
+    println!("agg_table/insert_in_cache {per:6.2} ns/el (paper: <6 ns at 2.4 GHz)");
 }
 
-criterion_group!(benches, bench_hash_functions, bench_table_insert);
-criterion_main!(benches);
+fn main() {
+    bench_hash_functions();
+    bench_table_insert();
+}

@@ -1,53 +1,54 @@
-//! Criterion microbenchmarks for §4.2: the Figure 3 partitioning ladder
-//! at a cache-friendly size (the `fig03` binary covers the full-size
-//! memory-bound measurement).
+//! Microbenchmarks for §4.2: the Figure 3 partitioning ladder at a
+//! cache-friendly size (`cargo bench --bench partitioning`; the `fig03`
+//! binary covers the full-size memory-bound measurement).
+//!
+//! Plain `harness = false` timing: median of repeats, GiB/s on stdout.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hsa_bench::{bandwidth_gib_s, median_secs, random_keys};
 use hsa_partition::{
     memcpy_nt, partition_naive, partition_swc_with_mode, partition_unrolled_with_mode, FlushMode,
 };
 use std::hint::black_box;
 
-fn keys(n: usize) -> Vec<u64> {
-    let mut s = 1u64;
-    (0..n)
-        .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            s ^ (s >> 31)
-        })
-        .collect()
-}
+const REPEATS: usize = 5;
 
-fn bench_partitioning(c: &mut Criterion) {
-    let data = keys(1 << 20);
+fn main() {
+    let data = random_keys(1 << 20, 42);
+    let n = data.len();
     let murmur = hsa_hash::Murmur2::default();
     let identity = hsa_hash::Identity;
 
-    let mut g = c.benchmark_group("partition_2^20");
-    g.throughput(Throughput::Bytes((data.len() * 8) as u64));
-    g.sample_size(10);
+    let report = |name: &str, secs: f64| {
+        println!("partition_2^20/{name:<16} {:6.2} GiB/s", bandwidth_gib_s(secs, n));
+    };
 
-    g.bench_function("memcpy_nt", |b| {
-        let mut dst = Vec::new();
-        b.iter(|| memcpy_nt(&mut dst, black_box(&data)))
+    let mut dst = Vec::new();
+    let (t, _) = median_secs(REPEATS, || {
+        memcpy_nt(&mut dst, black_box(&data));
+        black_box(&dst);
     });
-    g.bench_function("naive_key", |b| {
-        b.iter(|| partition_naive(data.iter().copied(), identity, 0))
+    report("memcpy_nt", t);
+
+    let (t, _) =
+        median_secs(REPEATS, || black_box(partition_naive(data.iter().copied(), identity, 0)));
+    report("naive_key", t);
+
+    let (t, _) =
+        median_secs(REPEATS, || black_box(partition_naive(data.iter().copied(), murmur, 0)));
+    report("naive_hash", t);
+
+    let (t, _) = median_secs(REPEATS, || {
+        black_box(partition_swc_with_mode(data.iter().copied(), murmur, 0, FlushMode::Cached))
     });
-    g.bench_function("naive_hash", |b| {
-        b.iter(|| partition_naive(data.iter().copied(), murmur, 0))
+    report("swc_cached", t);
+
+    let (t, _) = median_secs(REPEATS, || {
+        black_box(partition_swc_with_mode(data.iter().copied(), murmur, 0, FlushMode::Streaming))
     });
-    g.bench_function("swc_cached", |b| {
-        b.iter(|| partition_swc_with_mode(data.iter().copied(), murmur, 0, FlushMode::Cached))
+    report("swc_streaming", t);
+
+    let (t, _) = median_secs(REPEATS, || {
+        black_box(partition_unrolled_with_mode(&data, murmur, 0, FlushMode::Cached))
     });
-    g.bench_function("swc_streaming", |b| {
-        b.iter(|| partition_swc_with_mode(data.iter().copied(), murmur, 0, FlushMode::Streaming))
-    });
-    g.bench_function("unrolled_cached", |b| {
-        b.iter(|| partition_unrolled_with_mode(&data, murmur, 0, FlushMode::Cached))
-    });
-    g.finish();
+    report("unrolled_cached", t);
 }
-
-criterion_group!(benches, bench_partitioning);
-criterion_main!(benches);

@@ -9,22 +9,19 @@
 //! cargo run --release -p hsa-bench --bin ablation_fill [rows_log2]
 //! ```
 
-use hsa_bench::{cells, element_time_ns, row};
+use hsa_bench::*;
 use hsa_core::{AdaptiveParams, AggregateConfig, Strategy};
 use hsa_datagen::{generate, Distribution};
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("ablation_fill");
     let rows_log2: u32 = arg(1).unwrap_or(22);
     let n = 1usize << rows_log2;
     let threads = default_threads();
     let repeats = repeats_for(n).min(3);
 
     println!("# Ablation: table fill limit, uniform, N = 2^{rows_log2}");
-    row(&cells!["log2(K)", "fill %", "ns/element", "seals"]);
+    out.header(&cells!["log2(K)", "fill %", "ns/element", "seals"]);
 
     for k in [1u64 << 12, 1 << 16, 1 << 20] {
         let keys = generate(Distribution::Uniform, n, k, 42);
@@ -36,7 +33,7 @@ fn main() {
                 ..AggregateConfig::default()
             };
             let (secs, stats) = time_distinct(&keys, &cfg, repeats);
-            row(&cells![
+            out.row(&cells![
                 k.ilog2(),
                 fill,
                 format!("{:.1}", element_time_ns(secs, threads, n, 1)),

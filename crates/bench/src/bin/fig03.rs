@@ -18,14 +18,11 @@
 //! cargo run --release -p hsa-bench --bin fig03 [rows_log2]
 //! ```
 
-use hsa_bench::{bandwidth_gib_s, cells, median_secs, row};
+use hsa_bench::*;
 use hsa_partition as part;
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("fig03");
     let rows_log2: u32 = arg(1).unwrap_or(24);
     let n = 1usize << rows_log2;
     let repeats = repeats_for(n);
@@ -35,16 +32,16 @@ fn main() {
 
     println!("# Figure 3: partitioning bandwidth, N = 2^{rows_log2} uniform random u64");
     println!("# paper: swc ≈ 2.9x naive-key, oo +24%, 2lvl -2%, final ≈ 97% of memcpy");
-    row(&cells!["variant", "GiB/s", "vs memcpy"]);
+    out.header(&cells!["variant", "GiB/s", "vs memcpy"]);
 
     let mut dst = Vec::new();
     let (t_memcpy, _) = median_secs(repeats, || part::memcpy_nt(&mut dst, &keys));
     let memcpy_bw = bandwidth_gib_s(t_memcpy, n);
-    row(&cells!["memcpy_nt", format!("{memcpy_bw:.2}"), "1.00"]);
+    out.row(&cells!["memcpy_nt", format!("{memcpy_bw:.2}"), "1.00"]);
 
-    let report = |name: &str, secs: f64| {
+    let mut report = |name: &str, secs: f64| {
         let bw = bandwidth_gib_s(secs, n);
-        row(&cells![name, format!("{bw:.2}"), format!("{:.2}", bw / memcpy_bw)]);
+        out.row(&cells![name, format!("{bw:.2}"), format!("{:.2}", bw / memcpy_bw)]);
     };
 
     let (t, _) = median_secs(repeats, || part::partition_naive(keys.iter().copied(), identity, 0));
@@ -66,20 +63,18 @@ fn main() {
     report("swc hash (nt stores)", t);
     let (t, _) = median_secs(repeats, || part::partition_overalloc(&keys, murmur, 0));
     report("oo (overalloc)", t);
-    let (t, _) = median_secs(repeats, || {
-        part::partition_unrolled_with_mode(&keys, murmur, 0, Cached)
-    });
+    let (t, _) =
+        median_secs(repeats, || part::partition_unrolled_with_mode(&keys, murmur, 0, Cached));
     report("oo + 2lvl (production)", t);
-    let (t, _) = median_secs(repeats, || {
-        part::partition_unrolled_with_mode(&keys, murmur, 0, Streaming)
-    });
+    let (t, _) =
+        median_secs(repeats, || part::partition_unrolled_with_mode(&keys, murmur, 0, Streaming));
     report("oo + 2lvl (nt stores)", t);
 
     let mut mapping = Vec::new();
-    let parts =
-        part::partition_keys_mapped([keys.as_slice()].into_iter(), murmur, 0, &mut mapping);
+    let parts = part::partition_keys_mapped([keys.as_slice()].into_iter(), murmur, 0, &mut mapping);
     assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), n);
     let vals = random_keys(n, 7);
-    let (t, _) = median_secs(repeats, || part::scatter_by_digits(&mapping, [vals.as_slice()].into_iter()));
+    let (t, _) =
+        median_secs(repeats, || part::scatter_by_digits(&mapping, [vals.as_slice()].into_iter()));
     report("map (aggregate column)", t);
 }

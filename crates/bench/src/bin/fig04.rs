@@ -13,23 +13,25 @@
 //! cargo run --release -p hsa-bench --bin fig04 [rows_log2]
 //! ```
 
-use hsa_bench::{cells, element_time_ns, k_sweep, row};
+use hsa_bench::*;
 use hsa_core::Strategy;
 use hsa_datagen::{generate, Distribution};
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("fig04");
     let rows_log2: u32 = arg(1).unwrap_or(22);
     let n = 1usize << rows_log2;
     let threads = default_threads();
     let repeats = repeats_for(n).min(5);
 
     println!("# Figure 4: pass breakdown on uniform data, N = 2^{rows_log2}, P = {threads}");
-    row(&cells![
-        "strategy", "log2(K)", "total ns/el", "level0 ns/el", "level1 ns/el", "level2+ ns/el",
+    out.header(&cells![
+        "strategy",
+        "log2(K)",
+        "total ns/el",
+        "level0 ns/el",
+        "level1 ns/el",
+        "level2+ ns/el",
         "passes"
     ]);
 
@@ -44,12 +46,9 @@ fn main() {
         for (name, strategy) in strategies {
             let cfg = sweep_cfg(strategy, threads);
             let (secs, stats) = time_distinct(&keys, &cfg, repeats);
-            let per_level: Vec<f64> = stats
-                .nanos_per_level
-                .iter()
-                .map(|&ns| ns as f64 / n as f64)
-                .collect();
-            row(&cells![
+            let per_level: Vec<f64> =
+                stats.task_nanos_per_level.iter().map(|&ns| ns as f64 / n as f64).collect();
+            out.row(&cells![
                 name,
                 k.ilog2(),
                 format!("{:.2}", element_time_ns(secs, threads, n, 1)),

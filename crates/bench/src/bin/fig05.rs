@@ -9,15 +9,12 @@
 //! cargo run --release -p hsa-bench --bin fig05 [rows_log2]
 //! ```
 
-use hsa_bench::{cells, element_time_ns, k_sweep, row};
+use hsa_bench::*;
 use hsa_core::{AdaptiveParams, Strategy};
 use hsa_datagen::{generate, Distribution};
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("fig05");
     let rows_log2: u32 = arg(1).unwrap_or(22);
     let n = 1usize << rows_log2;
     let threads = default_threads();
@@ -25,8 +22,13 @@ fn main() {
 
     println!("# Figure 5: ADAPTIVE vs illustrative strategies, uniform, N = 2^{rows_log2}, P = {threads}");
     println!("# expectation: ADAPTIVE ≈ min(HashingOnly, PartitionAlways*) at every K");
-    row(&cells![
-        "log2(K)", "HashingOnly", "Part(1)+H", "Part(2)+H", "ADAPTIVE", "adaptive part rows %"
+    out.header(&cells![
+        "log2(K)",
+        "HashingOnly",
+        "Part(1)+H",
+        "Part(2)+H",
+        "ADAPTIVE",
+        "adaptive part rows %"
     ]);
 
     for k in k_sweep(4, rows_log2) {
@@ -44,7 +46,7 @@ fn main() {
         }
         let part_share = 100.0 * results[3].1.total_part_rows() as f64
             / (results[3].1.total_part_rows() + results[3].1.total_hash_rows()).max(1) as f64;
-        row(&cells![
+        out.row(&cells![
             k.ilog2(),
             format!("{:.2}", results[0].0),
             format!("{:.2}", results[1].0),

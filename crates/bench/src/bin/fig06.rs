@@ -14,15 +14,12 @@
 //! cargo run --release -p hsa-bench --bin fig06 [rows_log2] [max_threads]
 //! ```
 
-use hsa_bench::{cells, row};
+use hsa_bench::*;
 use hsa_core::{AdaptiveParams, Strategy};
 use hsa_datagen::{generate, Distribution};
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("fig06");
     let rows_log2: u32 = arg(1).unwrap_or(22);
     let max_threads: usize = arg(2).unwrap_or_else(|| default_threads().max(4));
     let n = 1usize << rows_log2;
@@ -32,7 +29,7 @@ fn main() {
         "# Figure 6: speedup vs threads, uniform, N = 2^{rows_log2} (host parallelism: {})",
         default_threads()
     );
-    row(&cells!["log2(K)", "threads", "seconds", "speedup vs 1 thread"]);
+    out.header(&cells!["log2(K)", "threads", "seconds", "speedup vs 1 thread"]);
 
     for k in [1u64 << 6, 1 << 12, 1 << 18] {
         let keys = generate(Distribution::Uniform, n, k, 42);
@@ -42,12 +39,7 @@ fn main() {
             let cfg = sweep_cfg(Strategy::Adaptive(AdaptiveParams::default()), t);
             let (secs, _) = time_distinct(&keys, &cfg, repeats);
             let baseline = *base.get_or_insert(secs);
-            row(&cells![
-                k.ilog2(),
-                t,
-                format!("{secs:.4}"),
-                format!("{:.2}", baseline / secs)
-            ]);
+            out.row(&cells![k.ilog2(), t, format!("{secs:.4}"), format!("{:.2}", baseline / secs)]);
             t *= 2;
         }
     }

@@ -10,16 +10,13 @@
 //! cargo run --release -p hsa-bench --bin fig07 [rows_log2]
 //! ```
 
-use hsa_bench::{cells, element_time_ns, median_secs, row};
 use hsa_agg::AggSpec;
+use hsa_bench::*;
 use hsa_core::{aggregate, AdaptiveParams, Strategy};
 use hsa_datagen::{generate, generate_values, Distribution};
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("fig07");
     let rows_log2: u32 = arg(1).unwrap_or(21);
     let n = 1usize << rows_log2;
     let threads = default_threads();
@@ -27,7 +24,7 @@ fn main() {
 
     println!("# Figure 7: ns per element-cell vs number of aggregate columns, N = 2^{rows_log2}");
     println!("# expectation: roughly flat per K (columns scale linearly)");
-    row(&cells!["log2(K)", "C", "ns/element-cell", "total seconds"]);
+    out.header(&cells!["log2(K)", "C", "ns/element-cell", "total seconds"]);
 
     let value_cols: Vec<Vec<u64>> = (0..8).map(|i| generate_values(n, 100 + i)).collect();
 
@@ -37,9 +34,8 @@ fn main() {
             let inputs: Vec<&[u64]> = value_cols[..c].iter().map(Vec::as_slice).collect();
             let specs: Vec<AggSpec> = (0..c).map(AggSpec::sum).collect();
             let cfg = sweep_cfg(Strategy::Adaptive(AdaptiveParams::default()), threads);
-            let (secs, _) =
-                median_secs(repeats, || aggregate(&keys, &inputs, &specs, &cfg));
-            row(&cells![
+            let (secs, _) = median_secs(repeats, || aggregate(&keys, &inputs, &specs, &cfg));
+            out.row(&cells![
                 k.ilog2(),
                 c,
                 format!("{:.2}", element_time_ns(secs, threads, n, c + 1)),

@@ -15,26 +15,25 @@
 //! ```
 
 use hsa_baselines::{all_baselines, BaselineConfig};
-use hsa_bench::{element_time_ns, k_sweep, median_secs, row};
+use hsa_bench::*;
 use hsa_core::{AdaptiveParams, Strategy};
 use hsa_datagen::{generate, Distribution};
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("fig08");
     let rows_log2: u32 = arg(1).unwrap_or(22);
     let n = 1usize << rows_log2;
     let threads = default_threads();
     let repeats = repeats_for(n).min(3);
     let baselines = all_baselines();
 
-    println!("# Figure 8: DISTINCT on uniform data vs prior work, N = 2^{rows_log2}, P = {threads}");
+    println!(
+        "# Figure 8: DISTINCT on uniform data vs prior work, N = 2^{rows_log2}, P = {threads}"
+    );
     println!("# element time in ns; baselines get k_hint = true K (§6.4)");
     let mut header = vec!["log2(K)".to_string(), "ADAPTIVE".to_string()];
     header.extend(baselines.iter().map(|b| b.name().to_string()));
-    row(&header);
+    out.header(&header);
 
     for k in k_sweep(4, rows_log2) {
         let keys = generate(Distribution::Uniform, n, k, 42);
@@ -54,6 +53,6 @@ fn main() {
             let (secs, _) = median_secs(repeats, || b.run(&keys, &bcfg));
             line.push(format!("{:.1}", element_time_ns(secs, threads, n, 1)));
         }
-        row(&line);
+        out.row(&line);
     }
 }

@@ -11,15 +11,12 @@
 //! cargo run --release -p hsa-bench --bin fig09 [rows_log2]
 //! ```
 
-use hsa_bench::{cells, element_time_ns, k_sweep, median_secs, row};
+use hsa_bench::*;
 use hsa_core::{distinct, AdaptiveParams, Strategy};
 use hsa_datagen::{generate, Distribution};
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("fig09");
     let rows_log2: u32 = arg(1).unwrap_or(22);
     let n = 1usize << rows_log2;
     let threads = default_threads();
@@ -27,21 +24,21 @@ fn main() {
 
     println!("# Figure 9: ADAPTIVE per distribution, N = 2^{rows_log2}, P = {threads}");
     println!("# hash% = share of rows routed through HASHING (the paper's solid markers)");
-    row(&cells!["distribution", "log2(K)", "ns/element", "hash%", "groups"]);
+    out.header(&cells!["distribution", "log2(K)", "ns/element", "hash%", "groups"]);
 
     for dist in Distribution::all() {
         for k in k_sweep(6, rows_log2).into_iter().step_by(2) {
             let keys = generate(dist, n, k, 42);
             let cfg = sweep_cfg(Strategy::Adaptive(AdaptiveParams::default()), threads);
-            let (secs, (out, stats)) = median_secs(repeats, || distinct(&keys, &cfg));
+            let (secs, (agg, stats)) = median_secs(repeats, || distinct(&keys, &cfg));
             let hash_share = 100.0 * stats.total_hash_rows() as f64
                 / (stats.total_hash_rows() + stats.total_part_rows()).max(1) as f64;
-            row(&cells![
+            out.row(&cells![
                 dist.name(),
                 k.ilog2(),
                 format!("{:.1}", element_time_ns(secs, threads, n, 1)),
                 format!("{hash_share:.0}"),
-                out.n_groups()
+                agg.n_groups()
             ]);
         }
     }

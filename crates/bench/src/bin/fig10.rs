@@ -11,15 +11,12 @@
 //! cargo run --release -p hsa-bench --bin fig10 [rows_log2]
 //! ```
 
-use hsa_bench::{cells, element_time_ns, row};
+use hsa_bench::*;
 use hsa_core::Strategy;
 use hsa_datagen::{generate, Distribution};
-use hsa_rbench_util::*;
-
-#[path = "util.rs"]
-mod hsa_rbench_util;
 
 fn main() {
+    let mut out = Sidecar::from_args("fig10");
     let rows_log2: u32 = arg(1).unwrap_or(22);
     let n = 1usize << rows_log2;
     let threads = default_threads();
@@ -27,8 +24,13 @@ fn main() {
 
     println!("# Figure 10: HashingOnly vs PartitionAlways(1) as a function of observed alpha");
     println!("# N = 2^{rows_log2}; alpha = N / rows entering pass 2 under HashingOnly");
-    row(&cells![
-        "distribution", "log2(K)", "alpha", "HashingOnly ns/el", "Partition(1) ns/el", "hash wins"
+    out.header(&cells![
+        "distribution",
+        "log2(K)",
+        "alpha",
+        "HashingOnly ns/el",
+        "Partition(1) ns/el",
+        "hash wins"
     ]);
 
     let mut crossovers: Vec<f64> = Vec::new();
@@ -45,8 +47,7 @@ fn main() {
 
             let (h_secs, h_stats) =
                 time_distinct(&keys, &sweep_cfg(Strategy::HashingOnly, threads), repeats);
-            let pass2_rows: u64 =
-                h_stats.hash_rows_per_level.iter().skip(1).sum::<u64>().max(1);
+            let pass2_rows: u64 = h_stats.hash_rows_per_level.iter().skip(1).sum::<u64>().max(1);
             let alpha = n as f64 / pass2_rows as f64;
 
             let (p_secs, _) = time_distinct(
@@ -58,7 +59,7 @@ fn main() {
             let h_ns = element_time_ns(h_secs, threads, n, 1);
             let p_ns = element_time_ns(p_secs, threads, n, 1);
             let hash_wins = h_ns < p_ns;
-            row(&cells![
+            out.row(&cells![
                 dist.name(),
                 e,
                 format!("{alpha:.1}"),
@@ -77,9 +78,8 @@ fn main() {
     if crossovers.is_empty() {
         println!("# no crossover observed in this sweep");
     } else {
-        let geo: f64 = (crossovers.iter().map(|a| a.ln()).sum::<f64>()
-            / crossovers.len() as f64)
-            .exp();
+        let geo: f64 =
+            (crossovers.iter().map(|a| a.ln()).sum::<f64>() / crossovers.len() as f64).exp();
         println!(
             "# crossovers at alpha = {:?} -> suggested alpha0 ≈ {geo:.1} (paper: [7,16], ≈11)",
             crossovers.iter().map(|a| format!("{a:.1}")).collect::<Vec<_>>()

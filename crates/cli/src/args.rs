@@ -27,8 +27,20 @@ pub struct CliArgs {
     pub aggs: Vec<(String, String, String)>,
     /// Operator configuration.
     pub config: AggregateConfig,
-    /// Print operator statistics after the result.
+    /// Print the full run report after the result.
     pub show_stats: bool,
+    /// Write the machine-readable run report (JSON) to this path.
+    pub stats_json: Option<String>,
+    /// Write a Chrome trace (load in Perfetto / `chrome://tracing`) to
+    /// this path.
+    pub trace: Option<String>,
+}
+
+impl CliArgs {
+    /// Whether any form of deep observability was requested.
+    pub fn wants_metrics(&self) -> bool {
+        self.show_stats || self.stats_json.is_some()
+    }
 }
 
 impl CliArgs {
@@ -41,11 +53,7 @@ impl CliArgs {
 
     /// Column names that must be numeric (aggregate inputs).
     pub fn numeric_column_refs(&self) -> Vec<&str> {
-        self.aggs
-            .iter()
-            .filter(|(f, ..)| f != "count")
-            .map(|(_, c, _)| c.as_str())
-            .collect()
+        self.aggs.iter().filter(|(f, ..)| f != "count").map(|(_, c, _)| c.as_str()).collect()
     }
 }
 
@@ -63,7 +71,11 @@ aggregates (repeatable):
 options:
   --threads <n>           worker threads (default: all cores)
   --strategy <s>          adaptive | hashing | partition:<passes>
-  --stats                 print operator statistics
+  --stats                 print the full run report (per-level passes,
+                          probe lengths, SWC flushes, switch alphas, ...)
+  --stats-json <path>     write the run report as JSON to <path>
+  --trace <path>          write a Chrome trace of the task timeline to
+                          <path> (open with Perfetto or chrome://tracing)
   --help                  this text
 
 With no aggregates the query is SELECT DISTINCT over the group columns.";
@@ -102,6 +114,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
     let mut aggs: Vec<(String, String, String)> = Vec::new();
     let mut config = AggregateConfig::default();
     let mut show_stats = false;
+    let mut stats_json = None;
+    let mut trace = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -122,15 +136,16 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
             }
             "--threads" => {
                 let v = take_value(&mut args, "--threads")?;
-                config.threads = v
-                    .parse()
-                    .map_err(|_| UsageError(format!("bad thread count {v:?}")))?;
+                config.threads =
+                    v.parse().map_err(|_| UsageError(format!("bad thread count {v:?}")))?;
             }
             "--strategy" => {
                 let v = take_value(&mut args, "--strategy")?;
                 config.strategy = parse_strategy(&v)?;
             }
             "--stats" => show_stats = true,
+            "--stats-json" => stats_json = Some(take_value(&mut args, "--stats-json")?),
+            "--trace" => trace = Some(take_value(&mut args, "--trace")?),
             other if is_flag(other) => {
                 return Err(UsageError(format!("unknown option {other:?}")));
             }
@@ -146,7 +161,7 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
     if group_by.is_empty() {
         return Err(UsageError("missing --group-by".into()));
     }
-    Ok(CliArgs { file, group_by, aggs, config, show_stats })
+    Ok(CliArgs { file, group_by, aggs, config, show_stats, stats_json, trace })
 }
 
 fn parse_strategy(s: &str) -> Result<Strategy, UsageError> {
@@ -242,6 +257,31 @@ mod tests {
     fn bad_strategy_and_unknown_flag() {
         assert!(parse(&["f.csv", "--group-by", "k", "--strategy", "magic"]).is_err());
         assert!(parse(&["f.csv", "--group-by", "k", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags() {
+        let a = parse(&[
+            "f.csv",
+            "--group-by",
+            "k",
+            "--stats-json",
+            "report.json",
+            "--trace",
+            "trace.json",
+        ])
+        .unwrap();
+        assert_eq!(a.stats_json.as_deref(), Some("report.json"));
+        assert_eq!(a.trace.as_deref(), Some("trace.json"));
+        assert!(!a.show_stats);
+        assert!(a.wants_metrics(), "--stats-json implies metrics collection");
+
+        let b = parse(&["f.csv", "--group-by", "k"]).unwrap();
+        assert!(!b.wants_metrics());
+        assert!(b.trace.is_none());
+
+        assert!(parse(&["f.csv", "--group-by", "k", "--stats-json"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--trace", "--stats"]).is_err());
     }
 
     #[test]

@@ -19,11 +19,22 @@ pub use args::{parse_args, CliArgs, UsageError};
 pub use csv::{parse_csv, CsvError};
 pub use load::{load_table, LoadedTable};
 
-use hashing_is_sorting::Query;
+use hashing_is_sorting::{ObsConfig, Query, RunReport};
 
-/// Run a parsed CLI invocation against CSV `text`, returning the rendered
-/// result table (and a stats line when requested).
-pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<String, String> {
+/// Everything one CLI invocation produced: the rendered result table plus
+/// the run report behind `--stats` / `--stats-json` / `--trace`.
+#[derive(Debug)]
+pub struct CliRun {
+    /// Aligned result table, with the pretty report appended when
+    /// `--stats` was given.
+    pub rendered: String,
+    /// The operator's run report (deep sections populated only when
+    /// requested).
+    pub report: RunReport,
+}
+
+/// Run a parsed CLI invocation against CSV `text`.
+pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
     let rows = parse_csv(text).map_err(|e| e.to_string())?;
     let loaded = load_table(&rows).map_err(|e| e.to_string())?;
 
@@ -40,7 +51,12 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<String, String> {
         }
     }
 
-    let mut q = Query::over(&loaded.table).with_config(args.config.clone());
+    let obs = ObsConfig {
+        metrics: args.wants_metrics(),
+        trace: args.trace.is_some(),
+        ..ObsConfig::disabled()
+    };
+    let mut q = Query::over(&loaded.table).with_config(args.config.clone()).with_obs(obs);
     for g in &args.group_by {
         q = q.group_by(g);
     }
@@ -57,25 +73,16 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<String, String> {
     let result = q.run();
 
     let group_names = args.group_by.clone();
-    let mut out = result.format_table(|col_ix, v| {
-        match loaded.dictionary_of(&group_names[col_ix]) {
+    let mut out =
+        result.format_table(|col_ix, v| match loaded.dictionary_of(&group_names[col_ix]) {
             Some(dict) => dict.decode_str(v).unwrap_or("<?>").to_string(),
             None => v.to_string(),
-        }
-    });
+        });
     if args.show_stats {
-        let s = &result.stats;
-        out.push_str(&format!(
-            "\n{} groups; rows hashed {}, partitioned {}; {} seals, {} switches, {} passes\n",
-            result.n_rows(),
-            s.total_hash_rows(),
-            s.total_part_rows(),
-            s.seals,
-            s.switches_to_partitioning,
-            s.passes_used(),
-        ));
+        out.push('\n');
+        out.push_str(&result.report.pretty());
     }
-    Ok(out)
+    Ok(CliRun { rendered: out, report: result.report })
 }
 
 #[cfg(test)]
@@ -95,7 +102,7 @@ mod tests {
     #[test]
     fn end_to_end_grouped_sum() {
         let a = args(&["x.csv", "--group-by", "country", "--count", "--sum", "amount"]);
-        let out = run_on_csv_text(CSV, &a).unwrap();
+        let out = run_on_csv_text(CSV, &a).unwrap().rendered;
         let lines: Vec<&str> = out.lines().collect();
         assert!(lines[0].contains("country"));
         assert!(lines[1].contains("de") && lines[1].contains('3') && lines[1].contains("70"));
@@ -105,7 +112,7 @@ mod tests {
     #[test]
     fn composite_group_with_strings() {
         let a = args(&["x.csv", "--group-by", "country,city", "--sum", "amount"]);
-        let out = run_on_csv_text(CSV, &a).unwrap();
+        let out = run_on_csv_text(CSV, &a).unwrap().rendered;
         assert!(out.contains("berlin"));
         assert!(out.contains("50")); // berlin: 10 + 40
     }
@@ -113,7 +120,7 @@ mod tests {
     #[test]
     fn distinct_only() {
         let a = args(&["x.csv", "--group-by", "city"]);
-        let out = run_on_csv_text(CSV, &a).unwrap();
+        let out = run_on_csv_text(CSV, &a).unwrap().rendered;
         assert_eq!(out.lines().count(), 4); // header + 3 cities
     }
 
@@ -132,9 +139,39 @@ mod tests {
     }
 
     #[test]
-    fn stats_line() {
+    fn stats_flag_appends_the_full_report() {
         let a = args(&["x.csv", "--group-by", "country", "--stats"]);
-        let out = run_on_csv_text(CSV, &a).unwrap();
-        assert!(out.contains("2 groups"), "{out}");
+        let run = run_on_csv_text(CSV, &a).unwrap();
+        assert!(run.rendered.contains("rows in            4"), "{}", run.rendered);
+        assert!(run.rendered.contains("groups out         2"), "{}", run.rendered);
+        assert!(run.rendered.contains("passes used"), "{}", run.rendered);
+        // --stats implies deep metrics; tracing stays off.
+        assert!(run.report.metrics.is_some());
+        assert!(run.report.trace_json.is_none());
+    }
+
+    #[test]
+    fn report_and_trace_are_valid_json() {
+        use hashing_is_sorting::obs::json;
+        let a = args(&[
+            "x.csv",
+            "--group-by",
+            "country",
+            "--count",
+            "--stats-json",
+            "r.json",
+            "--trace",
+            "t.json",
+        ]);
+        let run = run_on_csv_text(CSV, &a).unwrap();
+        // No report text on stdout unless --stats was given...
+        assert!(!run.rendered.contains("rows in"));
+        // ...but both artifacts are present and valid JSON.
+        let report = json::parse(&run.report.to_json().to_string_pretty(2)).unwrap();
+        assert_eq!(report.get("rows_in").unwrap().as_u64(), Some(4));
+        assert_eq!(report.get("groups_out").unwrap().as_u64(), Some(2));
+        assert!(report.get("metrics").is_some());
+        let trace = json::parse(run.report.trace_json.as_ref().unwrap()).unwrap();
+        assert!(!trace.get("traceEvents").unwrap().as_array().unwrap().is_empty());
     }
 }

@@ -18,14 +18,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_on_csv_text(&text, &args) {
-        Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
-        }
+    let run = match run_on_csv_text(&text, &args) {
+        Ok(run) => run,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", run.rendered);
+    if let Some(path) = &args.stats_json {
+        let json = run.report.to_json().to_string_pretty(2);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &args.trace {
+        let trace = run.report.trace_json.as_deref().unwrap_or("{\"traceEvents\":[]}");
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -462,12 +462,8 @@ mod tests {
         // chunk_len 12 is not a multiple of 8: the second line straddles.
         let mut v = ChunkedVec::with_chunk_len(12);
         let line = [9u64; 8];
-        v.extend_with_line(&line, |dst, src| unsafe {
-            std::ptr::copy_nonoverlapping(src, dst, 8)
-        });
-        v.extend_with_line(&line, |dst, src| unsafe {
-            std::ptr::copy_nonoverlapping(src, dst, 8)
-        });
+        v.extend_with_line(&line, |dst, src| unsafe { std::ptr::copy_nonoverlapping(src, dst, 8) });
+        v.extend_with_line(&line, |dst, src| unsafe { std::ptr::copy_nonoverlapping(src, dst, 8) });
         assert_eq!(v.to_vec(), vec![9u64; 16]);
     }
 }

@@ -32,10 +32,7 @@ impl Table {
     /// must match it and names must be unique.
     pub fn add_column(&mut self, name: impl Into<String>, data: Vec<u64>) -> &mut Self {
         let name = name.into();
-        assert!(
-            self.column(&name).is_none(),
-            "duplicate column name {name:?}"
-        );
+        assert!(self.column(&name).is_none(), "duplicate column name {name:?}");
         if self.columns.is_empty() {
             self.rows = data.len();
         } else {
@@ -63,10 +60,7 @@ impl Table {
     /// Borrow a column's values, panicking on unknown names (examples keep
     /// error handling out of the way; library users get `column`).
     pub fn col(&self, name: &str) -> &[u64] {
-        &self
-            .column(name)
-            .unwrap_or_else(|| panic!("no column named {name:?}"))
-            .data
+        &self.column(name).unwrap_or_else(|| panic!("no column named {name:?}")).data
     }
 
     /// Iterate over all columns.

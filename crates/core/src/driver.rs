@@ -19,8 +19,10 @@
 
 use crate::adaptive::{ModeState, Strategy};
 use crate::hashing::{hash_run, seal_into, HashOutcome};
+use crate::obs::{flush_table_metrics, Obs};
 use crate::output::{Collector, GroupByOutput};
 use crate::partitioning::partition_run;
+use crate::report::{ObsConfig, RunReport};
 use crate::sink::{LocalBuckets, RunSink, SharedBuckets};
 use crate::stats::{AtomicStats, OpStats};
 use crate::view::RunView;
@@ -29,8 +31,9 @@ use hsa_agg::{plan, AggSpec, StateOp};
 use hsa_columnar::Run;
 use hsa_hash::MAX_LEVEL;
 use hsa_hashtbl::{identity_of, AggTable, GrowTable, TableConfig};
-use hsa_tasks::{chunk_ranges, Scope};
-use parking_lot::Mutex;
+use hsa_obs::{Counter, Hist, Recorder, Tracer};
+use hsa_tasks::sync::Mutex;
+use hsa_tasks::{chunk_ranges, PoolMetrics, Scope};
 use std::time::Instant;
 
 /// Reuse pool for the cache-sized tables: "one or very few hash tables per
@@ -39,6 +42,8 @@ struct TablePool {
     cfg: TableConfig,
     identities: Vec<u64>,
     free: Mutex<Vec<AggTable>>,
+    /// Enable probe metrics on handed-out tables (deep metrics on).
+    metrics: bool,
 }
 
 impl TablePool {
@@ -47,7 +52,9 @@ impl TablePool {
             t.set_level(level);
             t
         } else {
-            AggTable::new(self.cfg, level, &self.identities)
+            let mut t = AggTable::new(self.cfg, level, &self.identities);
+            t.set_metrics_enabled(self.metrics);
+            t
         }
     }
 
@@ -64,6 +71,15 @@ struct Ctx<'a> {
     pool: TablePool,
     collector: Collector,
     stats: AtomicStats,
+    recorder: Recorder,
+    tracer: Tracer,
+}
+
+impl Ctx<'_> {
+    /// The observability handle for a task running as `worker`.
+    fn obs(&self, worker: usize) -> Obs {
+        Obs { recorder: self.recorder.clone(), tracer: self.tracer.clone(), worker }
+    }
 }
 
 /// Per-worker persistent state of the level-0 main loop.
@@ -99,21 +115,25 @@ fn process_view(
     map32: &mut Vec<u32>,
     map8: &mut Vec<u8>,
     sink: &mut impl RunSink,
+    obs: &Obs,
 ) {
     let mut row = 0;
     while row < view.len() {
         if mode.use_hashing(level) {
             let table = table_slot.get_or_insert_with(|| ctx.pool.get(level));
-            match hash_run(view, row, table, &ctx.ops, mode, epoch_rows, map32, sink, &ctx.stats)
-            {
+            match hash_run(
+                view, row, table, &ctx.ops, mode, epoch_rows, map32, sink, &ctx.stats, obs,
+            ) {
                 HashOutcome::Done => return,
                 HashOutcome::Switched { next_row } => row = next_row,
             }
         } else {
             let rows = (view.len() - row) as u64;
-            partition_run(view, row, level, ctx.ops.len(), map8, sink, &ctx.stats);
+            partition_run(view, row, level, ctx.ops.len(), map8, sink, &ctx.stats, obs);
             if mode.on_partitioned(rows) {
                 ctx.stats.count_switch_to_hashing();
+                obs.recorder.add(obs.worker, Counter::SwitchesToHashing, 1);
+                obs.tracer.instant(obs.worker, "switch_to_hashing", &[("level", level as u64)]);
             }
             return;
         }
@@ -121,14 +141,21 @@ fn process_view(
 }
 
 /// Emit a completed bucket's table as final groups.
-fn emit_final_from_table(ctx: &Ctx<'_>, table: &mut AggTable) {
+fn emit_final_from_table(ctx: &Ctx<'_>, table: &mut AggTable, obs: &Obs) {
     table.seal(|_digit, keys, cols| ctx.collector.push_block(keys, cols));
+    flush_table_metrics(obs, table);
 }
 
 /// Merge a bucket with the growable key-addressed table (recursion floor
 /// and the final pass of `PartitionAlways`).
-fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>) {
+fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>, obs: &Obs) {
     ctx.stats.count_fallback_merge();
+    obs.recorder.add(obs.worker, Counter::FallbackMerges, 1);
+    obs.tracer.instant(
+        obs.worker,
+        "fallback_merge",
+        &[("rows", bucket.iter().map(Run::len).sum::<usize>() as u64)],
+    );
     let rows: usize = bucket.iter().map(Run::len).sum();
     let mut table = GrowTable::with_capacity(rows.clamp(16, 1 << 20), &ctx.ops);
     let n_cols = ctx.ops.len();
@@ -151,7 +178,8 @@ fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>) {
         }
     }
     let mut keys = Vec::with_capacity(table.len());
-    let mut cols: Vec<Vec<u64>> = (0..n_cols).map(|_| Vec::with_capacity(keys.capacity())).collect();
+    let mut cols: Vec<Vec<u64>> =
+        (0..n_cols).map(|_| Vec::with_capacity(keys.capacity())).collect();
     for (k, states) in table.drain() {
         keys.push(k);
         for (c, s) in cols.iter_mut().zip(states) {
@@ -169,13 +197,25 @@ fn process_bucket<'env>(
     level: u32,
 ) {
     let t0 = Instant::now();
+    let obs = ctx.obs(scope.worker_index());
+    let trace_t0 = obs.tracer.now();
+    let bucket_rows: u64 = bucket.iter().map(|r| r.len() as u64).sum();
+    let end_span = |obs: &Obs| {
+        obs.tracer.span_args(
+            obs.worker,
+            "bucket",
+            trace_t0,
+            &[("level", level as u64), ("rows", bucket_rows)],
+        );
+    };
     let final_hash_pass = matches!(
         ctx.cfg.strategy,
         Strategy::PartitionAlways { passes } if level >= passes
     );
     if level >= MAX_LEVEL || final_hash_pass {
-        grow_merge(ctx, bucket);
+        grow_merge(ctx, bucket, &obs);
         ctx.stats.add_level_nanos(level.min(MAX_LEVEL), t0.elapsed().as_nanos() as u64);
+        end_span(&obs);
         return;
     }
 
@@ -199,6 +239,7 @@ fn process_bucket<'env>(
             &mut map32,
             &mut map8,
             &mut local,
+            &obs,
         );
     }
 
@@ -206,21 +247,23 @@ fn process_bucket<'env>(
         // The entire bucket was absorbed by one table: its groups are
         // final — "the recursion stops automatically" (§5).
         if let Some(mut table) = table_slot {
-            emit_final_from_table(ctx, &mut table);
+            emit_final_from_table(ctx, &mut table, &obs);
             ctx.pool.put(table);
         }
         ctx.stats.add_level_nanos(level, t0.elapsed().as_nanos() as u64);
+        end_span(&obs);
         return;
     }
 
     // Something spilled: the leftover table content is one more run set.
     if let Some(mut table) = table_slot {
         if !table.is_empty() {
-            seal_into(&mut table, &mut local, &ctx.stats);
+            seal_into(&mut table, &mut local, &ctx.stats, &obs);
         }
         ctx.pool.put(table);
     }
     ctx.stats.add_level_nanos(level, t0.elapsed().as_nanos() as u64);
+    end_span(&obs);
     for (_digit, sub) in local.into_nonempty() {
         scope.spawn(move |s| process_bucket(ctx, s, sub, level + 1));
     }
@@ -241,6 +284,22 @@ pub fn aggregate(
     specs: &[AggSpec],
     cfg: &AggregateConfig,
 ) -> (GroupByOutput, OpStats) {
+    let (out, report) = aggregate_observed(keys, inputs, specs, cfg, &ObsConfig::disabled());
+    (out, report.stats)
+}
+
+/// [`aggregate`] with the full observability layer: returns a
+/// [`RunReport`] carrying per-worker deep metrics and (optionally) the
+/// Chrome task timeline, as selected by `obs_cfg`. With
+/// [`ObsConfig::disabled`] the extra cost is a null check per recording
+/// site.
+pub fn aggregate_observed(
+    keys: &[u64],
+    inputs: &[&[u64]],
+    specs: &[AggSpec],
+    cfg: &AggregateConfig,
+    obs_cfg: &ObsConfig,
+) -> (GroupByOutput, RunReport) {
     for (i, col) in inputs.iter().enumerate() {
         assert_eq!(col.len(), keys.len(), "aggregate input column {i} row count mismatch");
     }
@@ -258,7 +317,7 @@ pub fn aggregate(
             None => keys,
         })
         .collect();
-    run_operator(keys, &raw_cols, false, lowered, cfg)
+    run_operator(keys, &raw_cols, false, lowered, cfg, obs_cfg)
 }
 
 /// Merge pre-aggregated partial results — the distributed-aggregation
@@ -275,18 +334,16 @@ pub fn merge_partials(
     let mut keys = Vec::new();
     let mut states: Vec<Vec<u64>> = (0..lowered.cols.len()).map(|_| Vec::new()).collect();
     for p in partials {
-        assert_eq!(
-            p.plan(),
-            &lowered,
-            "partials were produced with different aggregate specs"
-        );
+        assert_eq!(p.plan(), &lowered, "partials were produced with different aggregate specs");
         keys.extend_from_slice(&p.keys);
         for (dst, src) in states.iter_mut().zip(&p.states) {
             dst.extend_from_slice(src);
         }
     }
     let state_slices: Vec<&[u64]> = states.iter().map(Vec::as_slice).collect();
-    run_operator(&keys, &state_slices, true, lowered, cfg)
+    let (out, report) =
+        run_operator(&keys, &state_slices, true, lowered, cfg, &ObsConfig::disabled());
+    (out, report.stats)
 }
 
 /// Shared driver body: `raw_cols[i]` feeds physical state column `i`;
@@ -297,11 +354,14 @@ fn run_operator(
     input_aggregated: bool,
     lowered: hsa_agg::Plan,
     cfg: &AggregateConfig,
-) -> (GroupByOutput, OpStats) {
+    obs_cfg: &ObsConfig,
+) -> (GroupByOutput, RunReport) {
+    let wall0 = Instant::now();
     let ops: Vec<StateOp> = lowered.cols.iter().map(|c| c.op).collect();
     let identities: Vec<u64> = ops.iter().map(|&o| identity_of(o)).collect();
     let threads = cfg.threads.max(1);
     let table_cfg = cfg.table_config(ops.len());
+    let observed = obs_cfg.metrics;
     let ctx = Ctx {
         cfg,
         ops,
@@ -309,9 +369,16 @@ fn run_operator(
             cfg: table_cfg,
             identities: identities.clone(),
             free: Mutex::new(Vec::new()),
+            metrics: observed,
         },
         collector: Collector::new(lowered.cols.len()),
         stats: AtomicStats::default(),
+        recorder: if observed { Recorder::enabled(threads) } else { Recorder::disabled() },
+        tracer: if obs_cfg.trace {
+            Tracer::enabled(threads, obs_cfg.trace_capacity)
+        } else {
+            Tracer::disabled()
+        },
     };
 
     // Phase 1: the work-stealing main loop over the input morsels.
@@ -319,11 +386,16 @@ fn run_operator(
     let workers: Vec<Mutex<WorkerState>> =
         (0..threads).map(|_| Mutex::new(WorkerState::new(cfg.strategy))).collect();
     let n_morsels = keys.len().div_ceil(cfg.morsel_rows.max(1)).max(1);
-    hsa_tasks::scope(threads, |s| {
+    let ((), pm1) = hsa_tasks::scope_observed(threads, |s| {
         for range in chunk_ranges(keys.len(), n_morsels) {
             let (ctx, shared, workers, raw_cols) = (&ctx, &shared, &workers, &raw_cols);
             s.spawn(move |s2| {
                 let t0 = Instant::now();
+                let obs = ctx.obs(s2.worker_index());
+                let trace_t0 = obs.tracer.now();
+                let rows = range.len() as u64;
+                obs.recorder.add(obs.worker, Counter::MorselsClaimed, 1);
+                obs.recorder.observe(obs.worker, Hist::MorselRows, rows);
                 let mut guard = workers[s2.worker_index()].lock();
                 let ws = &mut *guard;
                 let view = RunView::Borrowed {
@@ -342,38 +414,68 @@ fn run_operator(
                     &mut ws.map32,
                     &mut ws.map8,
                     &mut sink,
+                    &obs,
                 );
                 ctx.stats.add_level_nanos(0, t0.elapsed().as_nanos() as u64);
+                obs.tracer.span_args(obs.worker, "morsel", trace_t0, &[("rows", rows)]);
             });
         }
     });
 
-    // Seal every worker's leftover table into the level-1 buckets.
-    for w in workers {
+    // Seal every worker's leftover table into the level-1 buckets. The
+    // scope has quiesced, so recording into each worker's shard from here
+    // preserves the sharding contract.
+    for (w_idx, w) in workers.into_iter().enumerate() {
         if let Some(mut table) = w.into_inner().table {
             if !table.is_empty() {
-                seal_into(&mut table, &mut &shared, &ctx.stats);
+                seal_into(&mut table, &mut &shared, &ctx.stats, &ctx.obs(w_idx));
             }
             ctx.pool.put(table);
         }
     }
 
     // Phase 2: recurse into the buckets, one task each.
-    hsa_tasks::scope(threads, |s| {
+    let ((), pm2) = hsa_tasks::scope_observed(threads, |s| {
         for (_digit, bucket) in shared.into_nonempty() {
             let ctx = &ctx;
             s.spawn(move |s2| process_bucket(ctx, s2, bucket, 1));
         }
     });
+    let pool_metrics: Option<PoolMetrics> = observed.then(|| {
+        let mut p = pm1;
+        p.merge(&pm2);
+        p
+    });
 
-    let Ctx { collector, stats, .. } = ctx;
-    (collector.into_output(lowered), stats.snapshot())
+    let Ctx { collector, stats, recorder, tracer, .. } = ctx;
+    let output = collector.into_output(lowered);
+    let report = RunReport {
+        rows_in: keys.len() as u64,
+        groups_out: output.n_groups() as u64,
+        threads,
+        wall_nanos: wall0.elapsed().as_nanos() as u64,
+        stats: stats.snapshot(),
+        pool: pool_metrics,
+        metrics: observed.then(|| recorder.snapshot()),
+        trace_json: tracer.is_enabled().then(|| tracer.to_chrome_json()),
+    };
+    (output, report)
 }
 
 /// `SELECT DISTINCT key` — the C = 1, no-aggregates query the paper uses
 /// for its architecture-neutral comparison with prior work (§6.4).
 pub fn distinct(keys: &[u64], cfg: &AggregateConfig) -> (GroupByOutput, OpStats) {
     aggregate(keys, &[], &[], cfg)
+}
+
+/// [`distinct`] with the full observability layer (see
+/// [`aggregate_observed`]).
+pub fn distinct_observed(
+    keys: &[u64],
+    cfg: &AggregateConfig,
+    obs_cfg: &ObsConfig,
+) -> (GroupByOutput, RunReport) {
+    aggregate_observed(keys, &[], &[], cfg, obs_cfg)
 }
 
 #[cfg(test)]
@@ -438,11 +540,8 @@ mod tests {
                 &[AggSpec::count(), AggSpec::sum(0), AggSpec::min(0), AggSpec::max(0)],
                 &small_cfg(strat),
             );
-            let got: BTreeMap<u64, (u64, u64, u64, u64)> = out
-                .sorted_rows()
-                .into_iter()
-                .map(|(k, s)| (k, (s[0], s[1], s[2], s[3])))
-                .collect();
+            let got: BTreeMap<u64, (u64, u64, u64, u64)> =
+                out.sorted_rows().into_iter().map(|(k, s)| (k, (s[0], s[1], s[2], s[3]))).collect();
             assert_eq!(got, expect, "strategy {strat:?}");
         }
     }
@@ -459,11 +558,8 @@ mod tests {
                 &[AggSpec::count(), AggSpec::sum(0), AggSpec::min(0), AggSpec::max(0)],
                 &small_cfg(strat),
             );
-            let got: BTreeMap<u64, (u64, u64, u64, u64)> = out
-                .sorted_rows()
-                .into_iter()
-                .map(|(k, s)| (k, (s[0], s[1], s[2], s[3])))
-                .collect();
+            let got: BTreeMap<u64, (u64, u64, u64, u64)> =
+                out.sorted_rows().into_iter().map(|(k, s)| (k, (s[0], s[1], s[2], s[3]))).collect();
             assert_eq!(got, expect, "strategy {strat:?}");
             assert!(stats.passes_used() >= 1, "strategy {strat:?}");
         }
@@ -492,8 +588,7 @@ mod tests {
 
     #[test]
     fn single_row() {
-        let (out, _) =
-            aggregate(&[7], &[&[99]], &[AggSpec::sum(0)], &AggregateConfig::default());
+        let (out, _) = aggregate(&[7], &[&[99]], &[AggSpec::sum(0)], &AggregateConfig::default());
         assert_eq!(out.sorted_rows(), vec![(7, vec![99])]);
     }
 
@@ -544,12 +639,8 @@ mod tests {
         // Distinct keys, K ≫ table: α = 1 at every seal → adaptive must
         // route the bulk of the data through partitioning.
         let keys: Vec<u64> = (0..100_000).collect();
-        let (_, stats) = aggregate(
-            &keys,
-            &[],
-            &[],
-            &small_cfg(Strategy::Adaptive(AdaptiveParams::default())),
-        );
+        let (_, stats) =
+            aggregate(&keys, &[], &[], &small_cfg(Strategy::Adaptive(AdaptiveParams::default())));
         assert!(stats.switches_to_partitioning > 0);
         assert!(
             stats.total_part_rows() > stats.total_hash_rows() / 2,
@@ -563,12 +654,8 @@ mod tests {
     fn adaptive_keeps_hashing_on_heavy_locality() {
         // One key: every table absorbs rows without filling; never switch.
         let keys = vec![1u64; 100_000];
-        let (_, stats) = aggregate(
-            &keys,
-            &[],
-            &[],
-            &small_cfg(Strategy::Adaptive(AdaptiveParams::default())),
-        );
+        let (_, stats) =
+            aggregate(&keys, &[], &[], &small_cfg(Strategy::Adaptive(AdaptiveParams::default())));
         assert_eq!(stats.switches_to_partitioning, 0);
         assert_eq!(stats.total_part_rows(), 0);
     }
@@ -577,8 +664,7 @@ mod tests {
     fn avg_finalizes() {
         let keys = vec![1u64, 1, 2];
         let vals = vec![10u64, 20, 5];
-        let (out, _) =
-            aggregate(&keys, &[&vals], &[AggSpec::avg(0)], &AggregateConfig::default());
+        let (out, _) = aggregate(&keys, &[&vals], &[AggSpec::avg(0)], &AggregateConfig::default());
         let rows = out.sorted_rows();
         assert_eq!(rows.len(), 2);
         // keys sorted: group 1 then 2.

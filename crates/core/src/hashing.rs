@@ -12,6 +12,7 @@
 //! now-empty table or to hand the rest of the run to `PARTITIONING`.
 
 use crate::adaptive::{ModeState, SealDecision};
+use crate::obs::{flush_table_metrics, Obs};
 use crate::sink::RunSink;
 use crate::stats::AtomicStats;
 use crate::view::RunView;
@@ -19,6 +20,7 @@ use hsa_agg::StateOp;
 use hsa_columnar::{ChunkedVec, Run};
 use hsa_hash::{Hasher64, Murmur2};
 use hsa_hashtbl::{AggTable, Insert};
+use hsa_obs::{Counter, Hist};
 
 /// Outcome of hashing (part of) a run.
 #[derive(Debug, PartialEq, Eq)]
@@ -42,7 +44,14 @@ pub(crate) fn seal_into(
     table: &mut AggTable,
     sink: &mut impl RunSink,
     stats: &AtomicStats,
+    obs: &Obs,
 ) {
+    let groups = table.len() as u64;
+    obs.recorder.observe(
+        obs.worker,
+        Hist::SealFillPct,
+        groups * 100 / table.total_slots().max(1) as u64,
+    );
     let next_level = table.level() + 1;
     table.seal(|digit, keys, cols| {
         let run = Run {
@@ -55,6 +64,9 @@ pub(crate) fn seal_into(
         sink.push_run(digit, run);
     });
     stats.count_seal();
+    obs.recorder.add(obs.worker, Counter::TablesSealed, 1);
+    flush_table_metrics(obs, table);
+    obs.tracer.instant(obs.worker, "seal", &[("level", next_level as u64 - 1), ("groups", groups)]);
 }
 
 /// Hash rows `[from_row..]` of `view` into `table`.
@@ -74,6 +86,7 @@ pub(crate) fn hash_run(
     mapping: &mut Vec<u32>,
     sink: &mut impl RunSink,
     stats: &AtomicStats,
+    obs: &Obs,
 ) -> HashOutcome {
     let hasher = Murmur2::default();
     let aggregated = view.aggregated();
@@ -135,14 +148,25 @@ pub(crate) fn hash_run(
 
         *epoch_rows += consumed as u64;
         stats.add_hash_rows(level, consumed as u64);
+        obs.recorder.add(obs.worker, Counter::HashRows, consumed as u64);
         row += consumed;
 
         if table_full {
+            // The reduction factor the strategy judges (§5): rows absorbed
+            // this epoch per group produced.
+            let alpha = *epoch_rows as f64 / table.len().max(1) as f64;
+            obs.recorder.record_alpha(obs.worker, alpha);
             let decision = mode.on_seal(*epoch_rows, table.len(), table.total_slots());
-            seal_into(table, sink, stats);
+            seal_into(table, sink, stats, obs);
             *epoch_rows = 0;
             if decision == SealDecision::SwitchToPartitioning {
                 stats.count_switch_to_partitioning();
+                obs.recorder.add(obs.worker, Counter::SwitchesToPartitioning, 1);
+                obs.tracer.instant(
+                    obs.worker,
+                    "switch_to_partitioning",
+                    &[("level", level as u64), ("alpha_x100", (alpha * 100.0) as u64)],
+                );
                 return HashOutcome::Switched { next_row: row };
             }
             // Retry the row that hit the full table with the fresh one.
@@ -179,9 +203,20 @@ mod tests {
         let mut mapping = Vec::new();
         let mut sink = LocalBuckets::new();
         let view = RunView::Borrowed { keys, cols: vec![vals; ops.len()], aggregated: false };
-        let out = hash_run(&view, 0, &mut t, ops, &mut mode, &mut epoch, &mut mapping, &mut sink, &stats);
+        let out = hash_run(
+            &view,
+            0,
+            &mut t,
+            ops,
+            &mut mode,
+            &mut epoch,
+            &mut mapping,
+            &mut sink,
+            &stats,
+            &Obs::disabled(),
+        );
         assert_eq!(out, HashOutcome::Done);
-        seal_into(&mut t, &mut sink, &stats);
+        seal_into(&mut t, &mut sink, &stats, &Obs::disabled());
 
         // Merge all emitted runs with the super-aggregate.
         let mut merged: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
@@ -192,9 +227,9 @@ mod tests {
                 run.check_consistent().unwrap();
                 let ks = run.keys.to_vec();
                 for (j, k) in ks.iter().enumerate() {
-                    let e = merged
-                        .entry(*k)
-                        .or_insert_with(|| ops.iter().map(|&o| hsa_hashtbl::identity_of(o)).collect());
+                    let e = merged.entry(*k).or_insert_with(|| {
+                        ops.iter().map(|&o| hsa_hashtbl::identity_of(o)).collect()
+                    });
                     for (i, &op) in ops.iter().enumerate() {
                         e[i] = op.merge(e[i], run.cols[i].get(j).unwrap());
                     }
@@ -211,9 +246,8 @@ mod tests {
         let ops = [StateOp::Sum];
         let (merged, seals) = drive(&keys, &vals, &ops, 1 << 12);
         assert_eq!(seals, 1, "only the final explicit seal");
-        let expect: BTreeMap<u64, Vec<u64>> = (0..10)
-            .map(|k| (k, vec![(0..100).filter(|i| i % 10 == k).sum::<u64>()]))
-            .collect();
+        let expect: BTreeMap<u64, Vec<u64>> =
+            (0..10).map(|k| (k, vec![(0..100).filter(|i| i % 10 == k).sum::<u64>()])).collect();
         assert_eq!(merged, expect);
     }
 
@@ -248,13 +282,30 @@ mod tests {
             keys.push(42u64);
             let mut c = ChunkedVec::new();
             c.push(count);
-            RunView::Owned(Run { keys, cols: vec![c], aggregated: true, source_rows: count, level: 0 })
+            RunView::Owned(Run {
+                keys,
+                cols: vec![c],
+                aggregated: true,
+                source_rows: count,
+                level: 0,
+            })
         };
         for v in [mk(3), mk(4)] {
-            let out = hash_run(&v, 0, &mut t, &ops, &mut mode, &mut epoch, &mut mapping, &mut sink, &stats);
+            let out = hash_run(
+                &v,
+                0,
+                &mut t,
+                &ops,
+                &mut mode,
+                &mut epoch,
+                &mut mapping,
+                &mut sink,
+                &stats,
+                &Obs::disabled(),
+            );
             assert_eq!(out, HashOutcome::Done);
         }
-        seal_into(&mut t, &mut sink, &stats);
+        seal_into(&mut t, &mut sink, &stats, &Obs::disabled());
         let mut total = None;
         for (_, bucket) in sink.into_nonempty() {
             for run in bucket {
@@ -280,7 +331,18 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let keys: Vec<u64> = (0..10_000).collect();
         let view = RunView::Borrowed { keys: &keys, cols: vec![], aggregated: false };
-        match hash_run(&view, 0, &mut t, &ops, &mut mode, &mut epoch, &mut mapping, &mut sink, &stats) {
+        match hash_run(
+            &view,
+            0,
+            &mut t,
+            &ops,
+            &mut mode,
+            &mut epoch,
+            &mut mapping,
+            &mut sink,
+            &stats,
+            &Obs::disabled(),
+        ) {
             HashOutcome::Switched { next_row } => {
                 // Exactly the table capacity was absorbed before the seal.
                 assert_eq!(next_row, 1024);

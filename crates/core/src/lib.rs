@@ -47,15 +47,18 @@
 mod adaptive;
 mod driver;
 mod hashing;
+mod obs;
 mod output;
 mod partitioning;
+mod report;
 mod sink;
 mod stats;
 mod view;
 
 pub use adaptive::{AdaptiveParams, Strategy};
-pub use driver::{aggregate, distinct, merge_partials};
+pub use driver::{aggregate, aggregate_observed, distinct, distinct_observed, merge_partials};
 pub use output::GroupByOutput;
+pub use report::{ObsConfig, RunReport};
 pub use stats::OpStats;
 
 use hsa_hashtbl::TableConfig;

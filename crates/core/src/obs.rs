@@ -1,0 +1,40 @@
+//! The per-task observability handle.
+//!
+//! [`Obs`] bundles the handles to the (possibly disabled) metrics
+//! [`Recorder`] and timeline [`Tracer`] with the worker index of the task
+//! currently running. Both handles are a single `Option<Arc>` — cloning
+//! one per task is two refcount bumps — and every recording call on a
+//! disabled handle is one null check, so the routines are instrumented
+//! unconditionally.
+
+use hsa_hashtbl::AggTable;
+use hsa_obs::{Counter, Hist, Recorder, Tracer};
+
+/// Observability context of one task: where to record, and as whom.
+#[derive(Clone)]
+pub(crate) struct Obs {
+    pub(crate) recorder: Recorder,
+    pub(crate) tracer: Tracer,
+    pub(crate) worker: usize,
+}
+
+impl Obs {
+    /// A handle that records nothing (unit tests drive the routines
+    /// without a driver context).
+    #[cfg(test)]
+    pub(crate) fn disabled() -> Self {
+        Self { recorder: Recorder::disabled(), tracer: Tracer::disabled(), worker: 0 }
+    }
+}
+
+/// Flush a table's locally collected probe metrics into the recorder
+/// (worker-sharded, so this is plain adds). Called at seal time; a table
+/// without metrics enabled contributes nothing.
+pub(crate) fn flush_table_metrics(obs: &Obs, table: &mut AggTable) {
+    if let Some(m) = table.take_metrics() {
+        obs.recorder.add(obs.worker, Counter::TableInserts, m.inserts);
+        obs.recorder.add(obs.worker, Counter::ProbeSteps, m.probe_steps);
+        obs.recorder.merge_hist(obs.worker, Hist::ProbeLen, &m.probe_len);
+        obs.recorder.merge_hist(obs.worker, Hist::BlockDisplacement, &m.displacement);
+    }
+}

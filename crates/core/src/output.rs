@@ -1,7 +1,7 @@
 //! The operator's result and the shared collector it is assembled in.
 
 use hsa_agg::{Finalizer, Plan};
-use parking_lot::Mutex;
+use hsa_tasks::sync::Mutex;
 
 /// Shared sink for final groups. Leaf tasks append whole blocks under one
 /// short lock — coarse enough to be negligible (§3.2).

@@ -6,14 +6,20 @@
 //! runs of the next level, preserving the `aggregated` flag of the source
 //! (partitioning never aggregates — that is exactly its trade-off).
 
+use crate::obs::Obs;
 use crate::sink::RunSink;
 use crate::stats::AtomicStats;
 use crate::view::RunView;
 use hsa_columnar::Run;
 use hsa_hash::Murmur2;
-use hsa_partition::{partition_keys, partition_keys_mapped, scatter_by_digits};
+use hsa_obs::{Counter, Hist};
+use hsa_partition::{
+    partition_keys_mapped_observed, partition_keys_observed, scatter_by_digits_observed,
+    PartitionMetrics,
+};
 
 /// Partition rows `[from_row..]` of `view` into next-level runs.
+#[allow(clippy::too_many_arguments)] // the driver's task context, passed flat
 pub(crate) fn partition_run(
     view: &RunView<'_>,
     from_row: usize,
@@ -22,28 +28,49 @@ pub(crate) fn partition_run(
     mapping: &mut Vec<u8>,
     sink: &mut impl RunSink,
     stats: &AtomicStats,
+    obs: &Obs,
 ) {
     let rows = view.len() - from_row;
     if rows == 0 {
         return;
     }
     let hasher = Murmur2::default();
+    let t0 = obs.tracer.now();
+    let mut pm = PartitionMetrics::default();
 
     // Key pass. Skip the mapping entirely for DISTINCT-style queries.
     let mut key_parts = if n_cols == 0 {
-        partition_keys(view.key_slices(from_row), hasher, level)
+        partition_keys_observed(view.key_slices(from_row), hasher, level, &mut pm)
     } else {
         mapping.clear();
         mapping.reserve(rows);
-        partition_keys_mapped(view.key_slices(from_row), hasher, level, mapping)
+        partition_keys_mapped_observed(view.key_slices(from_row), hasher, level, mapping, &mut pm)
     };
 
     // Value passes: scatter every state column by the recorded digits.
     let mut col_parts: Vec<_> = (0..n_cols)
-        .map(|i| scatter_by_digits(mapping, view.col_slices(i, from_row)))
+        .map(|i| scatter_by_digits_observed(mapping, view.col_slices(i, from_row), &mut pm))
         .collect();
 
     stats.add_part_rows(level, rows as u64);
+    obs.recorder.add(obs.worker, Counter::PartRows, rows as u64);
+    obs.recorder.add(obs.worker, Counter::SwcFlushes, pm.swc_flushes);
+    obs.recorder.add(obs.worker, Counter::SwcFlushBytes, pm.swc_flush_bytes);
+    if obs.recorder.is_enabled() {
+        // Per-digit skew: largest partition as % of the mean (100 = even).
+        let max_len = key_parts.iter().map(|p| p.len()).max().unwrap_or(0) as u64;
+        obs.recorder.observe(
+            obs.worker,
+            Hist::PartitionSkewPct,
+            max_len * key_parts.len() as u64 * 100 / rows as u64,
+        );
+    }
+    obs.tracer.span_args(
+        obs.worker,
+        "partition_run",
+        t0,
+        &[("rows", rows as u64), ("level", level as u64)],
+    );
 
     let aggregated = view.aggregated();
     for digit in 0..key_parts.len() {
@@ -74,7 +101,7 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let stats = AtomicStats::default();
         let mut mapping = Vec::new();
-        partition_run(&view, 0, 0, 1, &mut mapping, &mut sink, &stats);
+        partition_run(&view, 0, 0, 1, &mut mapping, &mut sink, &stats, &Obs::disabled());
 
         let h = Murmur2::default();
         let mut total = 0usize;
@@ -105,7 +132,7 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let stats = AtomicStats::default();
         let mut mapping = Vec::new();
-        partition_run(&view, 900, 0, 0, &mut mapping, &mut sink, &stats);
+        partition_run(&view, 900, 0, 0, &mut mapping, &mut sink, &stats, &Obs::disabled());
         let total: usize =
             sink.into_nonempty().map(|(_, b)| b.iter().map(Run::len).sum::<usize>()).sum();
         assert_eq!(total, 100);
@@ -118,7 +145,7 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let stats = AtomicStats::default();
         let mut mapping = Vec::new();
-        partition_run(&view, 10, 0, 0, &mut mapping, &mut sink, &stats);
+        partition_run(&view, 10, 0, 0, &mut mapping, &mut sink, &stats, &Obs::disabled());
         assert!(sink.is_empty());
     }
 
@@ -136,7 +163,7 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let stats = AtomicStats::default();
         let mut mapping = Vec::new();
-        partition_run(&view, 0, 1, 1, &mut mapping, &mut sink, &stats);
+        partition_run(&view, 0, 1, 1, &mut mapping, &mut sink, &stats, &Obs::disabled());
         for (_, bucket) in sink.into_nonempty() {
             for r in bucket {
                 assert!(r.aggregated, "partitioning must not clear the flag");

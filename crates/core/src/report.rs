@@ -1,0 +1,301 @@
+//! Structured run reports: everything one operator invocation can tell
+//! about itself, in one machine-readable value.
+//!
+//! [`RunReport`] combines the always-on [`OpStats`] with the opt-in deep
+//! metrics ([`hsa_obs::MetricsSnapshot`]), the scheduler counters
+//! ([`hsa_tasks::PoolMetrics`]) and the rendered Chrome trace. It
+//! serializes to JSON with the dependency-free writer in `hsa_obs::json`
+//! and pretty-prints for the CLI's `--stats`.
+
+use crate::stats::OpStats;
+use hsa_obs::json::JsonValue;
+use hsa_obs::{Counter, Hist, MetricsSnapshot, WorkerSnapshot, DEFAULT_TRACE_CAPACITY};
+use hsa_tasks::{PoolMetrics, WorkerPoolMetrics};
+
+/// What the observed operator entry points should collect.
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Collect the deep per-worker metrics (probe lengths, SWC flushes,
+    /// per-switch α, ...).
+    pub metrics: bool,
+    /// Record the task timeline (Chrome trace events).
+    pub trace: bool,
+    /// Per-worker trace buffer capacity, in events; once full, further
+    /// events are counted as dropped.
+    pub trace_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Collect nothing beyond the always-on [`OpStats`].
+    pub fn disabled() -> Self {
+        Self { metrics: false, trace: false, trace_capacity: DEFAULT_TRACE_CAPACITY }
+    }
+
+    /// Collect everything.
+    pub fn full() -> Self {
+        Self { metrics: true, trace: true, trace_capacity: DEFAULT_TRACE_CAPACITY }
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The full observability record of one operator invocation.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Input rows.
+    pub rows_in: u64,
+    /// Output groups.
+    pub groups_out: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock duration of the whole invocation.
+    pub wall_nanos: u64,
+    /// The always-on per-level statistics.
+    pub stats: OpStats,
+    /// Scheduler counters (None when deep metrics were off).
+    pub pool: Option<PoolMetrics>,
+    /// Deep per-worker metrics (None when off).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Rendered Chrome trace JSON (None when tracing was off).
+    pub trace_json: Option<String>,
+}
+
+impl RunReport {
+    /// Rows per second over the wall clock.
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.rows_in as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// JSON form of the report (the trace is excluded — it is a separate
+    /// artifact with its own format).
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("rows_in".to_string(), JsonValue::U64(self.rows_in)),
+            ("groups_out".to_string(), JsonValue::U64(self.groups_out)),
+            ("threads".to_string(), JsonValue::U64(self.threads as u64)),
+            ("wall_nanos".to_string(), JsonValue::U64(self.wall_nanos)),
+            ("rows_per_sec".to_string(), JsonValue::F64(self.rows_per_sec())),
+            ("stats".to_string(), stats_json(&self.stats)),
+        ];
+        if let Some(pool) = &self.pool {
+            pairs.push(("pool".to_string(), pool_json(pool)));
+        }
+        if let Some(metrics) = &self.metrics {
+            pairs.push(("metrics".to_string(), metrics.to_json()));
+        }
+        JsonValue::Object(pairs)
+    }
+
+    /// Multi-line human-readable rendering (the CLI's `--stats`).
+    pub fn pretty(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let ms = self.wall_nanos as f64 / 1e6;
+        let _ = writeln!(s, "rows in            {}", self.rows_in);
+        let _ = writeln!(s, "groups out         {}", self.groups_out);
+        let _ = writeln!(s, "threads            {}", self.threads);
+        let _ = writeln!(
+            s,
+            "wall time          {ms:.2} ms  ({:.1} M rows/s)",
+            self.rows_per_sec() / 1e6
+        );
+        let st = &self.stats;
+        let _ = writeln!(s, "passes used        {}", st.passes_used());
+        let _ = writeln!(s, "  level   hash_rows   part_rows   task_ms");
+        for lvl in 0..st.passes_used().max(1) {
+            let _ = writeln!(
+                s,
+                "  {lvl:<5} {:>11} {:>11} {:>9.2}",
+                st.hash_rows_per_level.get(lvl).copied().unwrap_or(0),
+                st.part_rows_per_level.get(lvl).copied().unwrap_or(0),
+                st.task_nanos_per_level.get(lvl).copied().unwrap_or(0) as f64 / 1e6,
+            );
+        }
+        let _ = writeln!(
+            s,
+            "seals {}   switches to partitioning {}   to hashing {}   fallback merges {}",
+            st.seals, st.switches_to_partitioning, st.switches_to_hashing, st.fallback_merges
+        );
+        if let Some(pool) = &self.pool {
+            let t = pool.totals();
+            let _ = writeln!(
+                s,
+                "pool               tasks {}   steals {}   failed scans {}   idle {:.2} ms",
+                t.tasks_executed,
+                t.steals,
+                t.failed_steal_scans,
+                t.idle_nanos as f64 / 1e6
+            );
+        }
+        if let Some(metrics) = &self.metrics {
+            let m = metrics.merged();
+            let _ = writeln!(
+                s,
+                "tables             inserts {}   probe steps {}   sealed {}",
+                m.counter(Counter::TableInserts),
+                m.counter(Counter::ProbeSteps),
+                m.counter(Counter::TablesSealed),
+            );
+            let _ = writeln!(s, "  probe len        {}", hist_line(&m, Hist::ProbeLen));
+            let _ = writeln!(s, "  seal fill %      {}", hist_line(&m, Hist::SealFillPct));
+            let _ = writeln!(
+                s,
+                "partitioning       swc flushes {}   flushed {} B",
+                m.counter(Counter::SwcFlushes),
+                m.counter(Counter::SwcFlushBytes),
+            );
+            let _ = writeln!(s, "  digit skew %     {}", hist_line(&m, Hist::PartitionSkewPct));
+            let _ = writeln!(s, "  morsel rows      {}", hist_line(&m, Hist::MorselRows));
+            if m.alpha_count() > 0 {
+                let _ = writeln!(
+                    s,
+                    "alpha at switches  count {}   mean {:.2}",
+                    m.alpha_count(),
+                    m.alpha_sum() / m.alpha_count() as f64
+                );
+            }
+        }
+        s
+    }
+}
+
+fn hist_line(w: &WorkerSnapshot, h: Hist) -> String {
+    let hist = w.hist(h);
+    if hist.is_empty() {
+        return "-".to_string();
+    }
+    format!(
+        "n {}   mean {:.2}   p99 ≤ {}   max {}",
+        hist.count(),
+        hist.mean(),
+        hist.quantile_bound(0.99),
+        hist.max()
+    )
+}
+
+/// JSON form of [`OpStats`].
+pub fn stats_json(stats: &OpStats) -> JsonValue {
+    JsonValue::obj([
+        ("hash_rows_per_level", JsonValue::u64_array(stats.hash_rows_per_level.iter().copied())),
+        ("part_rows_per_level", JsonValue::u64_array(stats.part_rows_per_level.iter().copied())),
+        ("task_nanos_per_level", JsonValue::u64_array(stats.task_nanos_per_level.iter().copied())),
+        ("passes_used", JsonValue::U64(stats.passes_used() as u64)),
+        ("seals", JsonValue::U64(stats.seals)),
+        ("switches_to_partitioning", JsonValue::U64(stats.switches_to_partitioning)),
+        ("switches_to_hashing", JsonValue::U64(stats.switches_to_hashing)),
+        ("fallback_merges", JsonValue::U64(stats.fallback_merges)),
+    ])
+}
+
+fn worker_pool_json(w: &WorkerPoolMetrics) -> JsonValue {
+    JsonValue::obj([
+        ("tasks_executed", JsonValue::U64(w.tasks_executed)),
+        ("steals", JsonValue::U64(w.steals)),
+        ("failed_steal_scans", JsonValue::U64(w.failed_steal_scans)),
+        ("idle_nanos", JsonValue::U64(w.idle_nanos)),
+    ])
+}
+
+/// JSON form of the scheduler counters.
+pub fn pool_json(pool: &PoolMetrics) -> JsonValue {
+    JsonValue::obj([
+        ("totals", worker_pool_json(&pool.totals())),
+        ("workers", JsonValue::Array(pool.workers.iter().map(worker_pool_json).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let stats = OpStats {
+            hash_rows_per_level: vec![1000, 200],
+            part_rows_per_level: vec![500, 0],
+            task_nanos_per_level: vec![7_000_000, 1_000_000],
+            seals: 4,
+            switches_to_partitioning: 2,
+            ..OpStats::default()
+        };
+        let pool = PoolMetrics {
+            workers: vec![
+                WorkerPoolMetrics {
+                    tasks_executed: 5,
+                    steals: 1,
+                    failed_steal_scans: 2,
+                    idle_nanos: 300,
+                },
+                WorkerPoolMetrics {
+                    tasks_executed: 3,
+                    steals: 0,
+                    failed_steal_scans: 1,
+                    idle_nanos: 700,
+                },
+            ],
+        };
+        let rec = hsa_obs::Recorder::enabled(2);
+        rec.add(0, Counter::TableInserts, 1000);
+        rec.observe(0, Hist::ProbeLen, 0);
+        rec.record_alpha(1, 3.5);
+        RunReport {
+            rows_in: 1500,
+            groups_out: 40,
+            threads: 2,
+            wall_nanos: 5_000_000,
+            stats,
+            pool: Some(pool),
+            metrics: Some(rec.snapshot()),
+            trace_json: None,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = sample_report();
+        let text = report.to_json().to_string_pretty(2);
+        let parsed = hsa_obs::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("rows_in").unwrap().as_u64(), Some(1500));
+        assert_eq!(parsed.get("groups_out").unwrap().as_u64(), Some(40));
+        let stats = parsed.get("stats").unwrap();
+        assert_eq!(stats.get("seals").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            stats.get("hash_rows_per_level").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(1000)
+        );
+        let pool = parsed.get("pool").unwrap();
+        assert_eq!(pool.get("totals").unwrap().get("tasks_executed").unwrap().as_u64(), Some(8));
+        assert_eq!(pool.get("workers").unwrap().as_array().unwrap().len(), 2);
+        let merged = parsed.get("metrics").unwrap().get("merged").unwrap();
+        assert_eq!(merged.get("table_inserts").unwrap().as_u64(), Some(1000));
+        assert_eq!(merged.get("alpha_count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn pretty_mentions_the_headline_numbers() {
+        let report = sample_report();
+        let text = report.pretty();
+        assert!(text.contains("rows in            1500"));
+        assert!(text.contains("passes used        2"));
+        assert!(text.contains("steals 1"));
+        assert!(text.contains("inserts 1000"));
+        assert!(text.contains("alpha at switches  count 1   mean 3.50"));
+    }
+
+    #[test]
+    fn disabled_sections_are_omitted_from_json() {
+        let mut report = sample_report();
+        report.pool = None;
+        report.metrics = None;
+        let parsed = hsa_obs::json::parse(&report.to_json().to_string_compact()).unwrap();
+        assert!(parsed.get("pool").is_none());
+        assert!(parsed.get("metrics").is_none());
+        assert!(parsed.get("stats").is_some());
+    }
+}

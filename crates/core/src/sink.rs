@@ -8,7 +8,7 @@
 
 use hsa_columnar::Run;
 use hsa_hash::FANOUT;
-use parking_lot::Mutex;
+use hsa_tasks::sync::Mutex;
 
 /// Anything that can receive the runs of one partitioning/hashing pass.
 pub(crate) trait RunSink {
@@ -57,11 +57,7 @@ impl SharedBuckets {
 
     /// Consume into `(digit, bucket)` pairs for the non-empty buckets.
     pub(crate) fn into_nonempty(self) -> impl Iterator<Item = (usize, Vec<Run>)> {
-        self.buckets
-            .into_iter()
-            .map(Mutex::into_inner)
-            .enumerate()
-            .filter(|(_, b)| !b.is_empty())
+        self.buckets.into_iter().map(Mutex::into_inner).enumerate().filter(|(_, b)| !b.is_empty())
     }
 }
 

@@ -51,7 +51,7 @@ impl AtomicStats {
         OpStats {
             hash_rows_per_level: take(&self.hash_rows),
             part_rows_per_level: take(&self.part_rows),
-            nanos_per_level: take(&self.level_nanos),
+            task_nanos_per_level: take(&self.level_nanos),
             seals: self.seals.load(Ordering::Relaxed),
             switches_to_partitioning: self.switches_to_partitioning.load(Ordering::Relaxed),
             switches_to_hashing: self.switches_to_hashing.load(Ordering::Relaxed),
@@ -67,9 +67,12 @@ pub struct OpStats {
     pub hash_rows_per_level: Vec<u64>,
     /// Rows consumed by the `PARTITIONING` routine, per recursion level.
     pub part_rows_per_level: Vec<u64>,
-    /// Task time attributed to each level, in nanoseconds, summed over all
-    /// tasks (divide by the thread count for an approximate wall share).
-    pub nanos_per_level: Vec<u64>,
+    /// **CPU** time attributed to each level: per-task elapsed nanoseconds
+    /// summed over all tasks of that level, across all workers. Because
+    /// tasks of different levels run concurrently, these are *not* wall
+    /// times and may sum to far more than the run's wall clock — divide by
+    /// the thread count for an approximate wall share.
+    pub task_nanos_per_level: Vec<u64>,
     /// Hash tables sealed because they were full.
     pub seals: u64,
     /// Adaptive switches hashing → partitioning.
@@ -97,6 +100,26 @@ impl OpStats {
     pub fn total_part_rows(&self) -> u64 {
         self.part_rows_per_level.iter().sum()
     }
+
+    /// Fold another invocation's statistics into this one (for averaging
+    /// repeated runs or combining sharded operators).
+    pub fn merge(&mut self, other: &OpStats) {
+        fn add_levels(dst: &mut Vec<u64>, src: &[u64]) {
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        add_levels(&mut self.hash_rows_per_level, &other.hash_rows_per_level);
+        add_levels(&mut self.part_rows_per_level, &other.part_rows_per_level);
+        add_levels(&mut self.task_nanos_per_level, &other.task_nanos_per_level);
+        self.seals += other.seals;
+        self.switches_to_partitioning += other.switches_to_partitioning;
+        self.switches_to_hashing += other.switches_to_hashing;
+        self.fallback_merges += other.fallback_merges;
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +140,7 @@ mod tests {
         assert_eq!(s.hash_rows_per_level[0], 100);
         assert_eq!(s.hash_rows_per_level[1], 50);
         assert_eq!(s.part_rows_per_level[0], 30);
-        assert_eq!(s.nanos_per_level[0], 999);
+        assert_eq!(s.task_nanos_per_level[0], 999);
         assert_eq!(s.seals, 1);
         assert_eq!(s.switches_to_partitioning, 1);
         assert_eq!(s.fallback_merges, 1);
@@ -129,5 +152,26 @@ mod tests {
     #[test]
     fn passes_used_empty() {
         assert_eq!(OpStats::default().passes_used(), 0);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise_and_resizes() {
+        let a = AtomicStats::default();
+        a.add_hash_rows(0, 10);
+        a.count_seal();
+        let mut m = a.snapshot();
+        let b = AtomicStats::default();
+        b.add_hash_rows(1, 5);
+        b.add_part_rows(0, 7);
+        b.count_switch_to_partitioning();
+        m.merge(&b.snapshot());
+        assert_eq!(m.hash_rows_per_level[0], 10);
+        assert_eq!(m.hash_rows_per_level[1], 5);
+        assert_eq!(m.part_rows_per_level[0], 7);
+        assert_eq!(m.seals, 1);
+        assert_eq!(m.switches_to_partitioning, 1);
+        let mut empty = OpStats::default();
+        empty.merge(&m);
+        assert_eq!(empty, m);
     }
 }

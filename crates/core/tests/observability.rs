@@ -1,0 +1,144 @@
+//! End-to-end observability: a real adaptive run must produce non-trivial
+//! deep metrics (probe lengths, SWC flushes, scheduler counters, per-switch
+//! α) and a loadable Chrome trace, while the disabled path stays empty.
+
+use hsa_agg::AggSpec;
+use hsa_core::{
+    aggregate_observed, distinct_observed, AdaptiveParams, AggregateConfig, ObsConfig, Strategy,
+};
+use hsa_obs::{json, Counter, Hist};
+
+/// Small cache + morsels so seals, switches, and recursion all happen at
+/// test input sizes.
+fn adaptive_cfg() -> AggregateConfig {
+    AggregateConfig {
+        cache_bytes: 64 << 10,
+        threads: 2,
+        strategy: Strategy::Adaptive(AdaptiveParams::default()),
+        fill_percent: 25,
+        morsel_rows: 1 << 12,
+    }
+}
+
+fn distinct_keys(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect()
+}
+
+#[test]
+fn deep_metrics_are_nontrivial_on_an_adaptive_run() {
+    // Distinct keys, K ≫ table capacity: α = 1 at every seal, so the
+    // adaptive strategy must seal, switch, partition, and recurse.
+    let keys = distinct_keys(200_000);
+    let (out, report) = distinct_observed(&keys, &adaptive_cfg(), &ObsConfig::full());
+    assert_eq!(out.n_groups(), 200_000);
+
+    let stats = &report.stats;
+    assert!(stats.switches_to_partitioning > 0, "adaptive run must switch");
+
+    let snapshot = report.metrics.as_ref().expect("metrics requested");
+    let m = snapshot.merged();
+
+    // Hash-table probe behavior was observed.
+    assert!(m.counter(Counter::TableInserts) > 0);
+    assert!(m.hist(Hist::ProbeLen).count() > 0, "probe-length histogram");
+    assert!(m.hist(Hist::SealFillPct).count() >= stats.seals);
+
+    // Partitioning flush traffic was observed.
+    assert!(m.counter(Counter::SwcFlushes) > 0, "SWC flushes");
+    assert!(m.counter(Counter::SwcFlushBytes) >= m.counter(Counter::SwcFlushes) * 64);
+    assert!(m.hist(Hist::PartitionSkewPct).count() > 0);
+
+    // The per-switch reduction factor was sampled, and on distinct keys it
+    // must be tiny (α ≈ 1 ≪ α₀).
+    assert!(m.alpha_count() > 0, "per-switch alpha samples");
+    let mean_alpha = m.alpha_sum() / m.alpha_count() as f64;
+    assert!(mean_alpha < 4.0, "distinct keys should show alpha near 1, got {mean_alpha}");
+
+    // Rows accounting: the recorder agrees with the always-on OpStats.
+    assert_eq!(m.counter(Counter::HashRows), stats.total_hash_rows());
+    assert_eq!(m.counter(Counter::PartRows), stats.total_part_rows());
+
+    // Scheduler counters: every morsel ran somewhere, and the scope saw
+    // some scheduling activity (steals or parked time).
+    let pool = report.pool.as_ref().expect("pool metrics requested");
+    let totals = pool.totals();
+    assert!(totals.tasks_executed >= (keys.len() / (1 << 12)) as u64);
+    assert!(
+        totals.steals + totals.failed_steal_scans + totals.idle_nanos > 0,
+        "expected some work-stealing activity"
+    );
+
+    // Per-worker morsel accounting sums to the total claimed.
+    let per_worker: u64 = snapshot.workers.iter().map(|w| w.counter(Counter::MorselsClaimed)).sum();
+    assert_eq!(per_worker, m.counter(Counter::MorselsClaimed));
+}
+
+#[test]
+fn trace_is_valid_chrome_json_with_span_events() {
+    let keys = distinct_keys(100_000);
+    let (_, report) = distinct_observed(&keys, &adaptive_cfg(), &ObsConfig::full());
+    let trace = report.trace_json.expect("trace requested");
+    let parsed = json::parse(&trace).expect("trace must be valid JSON");
+    let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(!events.is_empty());
+
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(|n| n.as_str())).collect();
+    assert!(names.contains(&"morsel"), "morsel spans missing: {names:?}");
+    assert!(names.contains(&"seal"), "seal instants missing");
+    assert!(names.contains(&"bucket"), "bucket spans missing");
+    assert!(names.contains(&"switch_to_partitioning"), "switch instants missing");
+
+    // Every complete event carries microsecond timestamps and a worker tid.
+    for e in events {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        if ph == "X" {
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+            assert!(e.get("tid").unwrap().as_u64().is_some());
+        }
+    }
+}
+
+#[test]
+fn disabled_observability_adds_no_sections() {
+    let keys = distinct_keys(50_000);
+    let (_, report) = aggregate_observed(
+        &keys,
+        &[],
+        &[AggSpec::count()],
+        &adaptive_cfg(),
+        &ObsConfig::disabled(),
+    );
+    assert!(report.metrics.is_none());
+    assert!(report.pool.is_none());
+    assert!(report.trace_json.is_none());
+    // The always-on stats and headline numbers are still there.
+    assert_eq!(report.rows_in, 50_000);
+    assert!(report.stats.total_hash_rows() + report.stats.total_part_rows() >= 50_000);
+    let parsed = json::parse(&report.to_json().to_string_pretty(2)).unwrap();
+    assert!(parsed.get("metrics").is_none());
+    assert_eq!(parsed.get("rows_in").unwrap().as_u64(), Some(50_000));
+}
+
+#[test]
+fn report_json_of_a_real_run_parses_and_cross_checks() {
+    let keys = distinct_keys(80_000);
+    let vals: Vec<u64> = (0..80_000).collect();
+    let (out, report) = aggregate_observed(
+        &keys,
+        &[&vals],
+        &[AggSpec::count(), AggSpec::sum(0)],
+        &adaptive_cfg(),
+        &ObsConfig::full(),
+    );
+    let parsed = json::parse(&report.to_json().to_string_pretty(2)).unwrap();
+    assert_eq!(parsed.get("rows_in").unwrap().as_u64(), Some(80_000));
+    assert_eq!(parsed.get("groups_out").unwrap().as_u64(), Some(out.n_groups() as u64));
+    let merged = parsed.get("metrics").unwrap().get("merged").unwrap();
+    assert_eq!(merged.get("hash_rows").unwrap().as_u64(), Some(report.stats.total_hash_rows()));
+    // The pretty rendering mentions the headline numbers.
+    let pretty = report.pretty();
+    assert!(pretty.contains("rows in            80000"));
+    assert!(pretty.contains("passes used"));
+}

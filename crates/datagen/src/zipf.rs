@@ -44,8 +44,8 @@ impl Zipf {
         assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
         let h_integral_x1 = Self::h_integral(1.5, s) - 1.0;
         let h_integral_n = Self::h_integral(n as f64 + 0.5, s);
-        let threshold = 2.0
-            - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        let threshold =
+            2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
         Self { n, s, h_integral_x1, h_integral_n, threshold }
     }
 

@@ -25,6 +25,45 @@
 //! the fastest way to build a hash table is a sorting algorithm.
 
 use hsa_hash::{digit, remaining_bits, FANOUT};
+use hsa_obs::Histogram;
+
+/// Probe-behavior metrics of one [`AggTable`], collected only when enabled
+/// via [`AggTable::set_metrics_enabled`] (plain cells; the table is
+/// per-worker, so no synchronization is needed). They quantify §4.1's
+/// claim that at 25% fill collisions are "very rare or even non-existing".
+#[derive(Clone, Debug, Default)]
+pub struct TableMetrics {
+    /// Keys inserted or matched (`Insert::New` + `Insert::Hit`).
+    pub inserts: u64,
+    /// Total probe steps beyond the home slot.
+    pub probe_steps: u64,
+    /// Probe steps per insert (hits and news).
+    pub probe_len: Histogram,
+    /// Distance from the home slot at which each *new* key landed — the
+    /// block displacement that bounds how far the sealed table's runs
+    /// deviate from hash order.
+    pub displacement: Histogram,
+}
+
+impl TableMetrics {
+    #[inline]
+    fn record(&mut self, steps: u64, is_new: bool) {
+        self.inserts += 1;
+        self.probe_steps += steps;
+        self.probe_len.record(steps);
+        if is_new {
+            self.displacement.record(steps);
+        }
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &TableMetrics) {
+        self.inserts += other.inserts;
+        self.probe_steps += other.probe_steps;
+        self.probe_len.merge(&other.probe_len);
+        self.displacement.merge(&other.displacement);
+    }
+}
 
 /// Geometry of an [`AggTable`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -85,6 +124,7 @@ pub struct AggTable {
     identities: Vec<u64>,
     len: usize,
     capacity: usize,
+    metrics: Option<Box<TableMetrics>>,
 }
 
 impl AggTable {
@@ -93,10 +133,7 @@ impl AggTable {
     pub fn new(config: TableConfig, level: u32, identities: &[u64]) -> Self {
         assert!(config.total_slots.is_power_of_two(), "slot count must be a power of two");
         assert!(config.total_slots >= FANOUT, "need at least one slot per block");
-        assert!(
-            (1..=100).contains(&config.fill_percent),
-            "fill percent out of range"
-        );
+        assert!((1..=100).contains(&config.fill_percent), "fill percent out of range");
         assert!(level < hsa_hash::MAX_LEVEL, "hash digits exhausted");
         let block_slots = config.total_slots / FANOUT;
         // In-block home slot = top `log2(block_slots)` bits of the hash
@@ -116,7 +153,33 @@ impl AggTable {
             identities: identities.to_vec(),
             len: 0,
             capacity: config.capacity(),
+            metrics: None,
         }
+    }
+
+    /// Turn probe metrics collection on or off. Off (the default) keeps
+    /// the insert hot path free of histogram work; disabling discards any
+    /// collected metrics.
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.metrics.is_none() {
+                self.metrics = Some(Box::default());
+            }
+        } else {
+            self.metrics = None;
+        }
+    }
+
+    /// Collected probe metrics (None unless enabled).
+    pub fn metrics(&self) -> Option<&TableMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Take the collected metrics, leaving fresh (zeroed) collection in
+    /// place if metrics are enabled. Callers flush this into their own
+    /// aggregation at seal time.
+    pub fn take_metrics(&mut self) -> Option<TableMetrics> {
+        self.metrics.as_mut().map(|m| std::mem::take(&mut **m))
     }
 
     /// Occupied group count.
@@ -189,14 +252,20 @@ impl AggTable {
         let block_base = home & !(self.block_slots - 1);
         let mut slot = home;
         // Probe linearly, wrapping within the block.
-        for _ in 0..self.block_slots {
+        for step in 0..self.block_slots {
             if !self.is_occupied(slot) {
                 self.keys[slot] = key;
                 self.set_occupied(slot);
                 self.len += 1;
+                if let Some(m) = &mut self.metrics {
+                    m.record(step as u64, true);
+                }
                 return Insert::New(slot as u32);
             }
             if self.keys[slot] == key {
+                if let Some(m) = &mut self.metrics {
+                    m.record(step as u64, false);
+                }
                 return Insert::Hit(slot as u32);
             }
             slot = block_base | ((slot + 1) & (self.block_slots - 1));
@@ -256,8 +325,7 @@ impl AggTable {
                     cur_block = block;
                 }
                 keys_buf.push(self.keys[slot]);
-                for ((c, col), &id) in
-                    cols_buf.iter_mut().zip(&mut self.cols).zip(&self.identities)
+                for ((c, col), &id) in cols_buf.iter_mut().zip(&mut self.cols).zip(&self.identities)
                 {
                     c.push(col[slot]);
                     col[slot] = id;
@@ -272,9 +340,7 @@ impl AggTable {
 
     /// Iterate over occupied `(slot, key)` pairs in slot order.
     pub fn iter_keys(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
-        (0..self.total_slots())
-            .filter(|&s| self.is_occupied(s))
-            .map(|s| (s as u32, self.keys[s]))
+        (0..self.total_slots()).filter(|&s| self.is_occupied(s)).map(|s| (s as u32, self.keys[s]))
     }
 }
 
@@ -508,5 +574,32 @@ mod tests {
             }
         });
         assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn metrics_account_for_every_insert() {
+        let mut t = AggTable::new(small(), 0, &[]);
+        assert!(t.metrics().is_none(), "metrics are off by default");
+        t.set_metrics_enabled(true);
+        let h = Murmur2::default();
+        let keys: Vec<u64> = (0..500u64).map(|i| i % 83).collect();
+        let mut news = 0u64;
+        for &k in &keys {
+            match t.insert_key(k, h.hash_u64(k)) {
+                Insert::New(_) => news += 1,
+                Insert::Hit(_) => {}
+                Insert::Full => panic!("unexpected full"),
+            }
+        }
+        let m = t.take_metrics().expect("enabled");
+        assert_eq!(m.inserts, keys.len() as u64);
+        assert_eq!(m.probe_len.count(), keys.len() as u64);
+        assert_eq!(m.displacement.count(), news);
+        assert_eq!(m.probe_steps, m.probe_len.sum());
+        // take_metrics leaves a fresh collector in place while enabled.
+        let fresh = t.metrics().expect("still enabled");
+        assert_eq!(fresh.inserts, 0);
+        t.set_metrics_enabled(false);
+        assert!(t.metrics().is_none());
     }
 }

@@ -82,11 +82,8 @@ impl GrowTable {
         let new_slots = self.keys.len() * 2;
         let mut new_keys = vec![0u64; new_slots];
         let mut new_occ = vec![0u64; new_slots / 64 + 1];
-        let mut new_cols: Vec<Vec<u64>> = self
-            .ops
-            .iter()
-            .map(|&op| vec![crate::identity_of(op); new_slots])
-            .collect();
+        let mut new_cols: Vec<Vec<u64>> =
+            self.ops.iter().map(|&op| vec![crate::identity_of(op); new_slots]).collect();
         let mask = new_slots - 1;
         for slot in 0..self.keys.len() {
             if !Self::is_occupied(&self.occ, slot) {
@@ -152,8 +149,10 @@ mod tests {
 
     #[test]
     fn aggregates_match_reference() {
-        let mut t =
-            GrowTable::with_capacity(16, &[StateOp::Sum, StateOp::Min, StateOp::Max, StateOp::Count]);
+        let mut t = GrowTable::with_capacity(
+            16,
+            &[StateOp::Sum, StateOp::Min, StateOp::Max, StateOp::Count],
+        );
         let mut reference: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
         let mut state = 12345u64;
         for _ in 0..50_000 {

@@ -1,7 +1,7 @@
 //! The partitioning kernel variants of the Figure 3 ablation.
 
 use crate::swc::SwcBuffers;
-use crate::{empty_parts, Parts};
+use crate::{empty_parts, PartitionMetrics, Parts};
 use hsa_columnar::ChunkedVec;
 use hsa_hash::{digit, Hasher64, FANOUT};
 
@@ -28,11 +28,7 @@ pub fn partition_naive<H: Hasher64>(
 }
 
 /// Software write-combining, element-at-a-time hashing (Figure 3 `swc`).
-pub fn partition_swc<H: Hasher64>(
-    keys: impl Iterator<Item = u64>,
-    hasher: H,
-    level: u32,
-) -> Parts {
+pub fn partition_swc<H: Hasher64>(keys: impl Iterator<Item = u64>, hasher: H, level: u32) -> Parts {
     partition_swc_with_mode(keys, hasher, level, crate::FlushMode::auto())
 }
 
@@ -116,12 +112,24 @@ pub fn partition_keys<'a, H: Hasher64>(
     hasher: H,
     level: u32,
 ) -> Parts {
+    partition_keys_observed(key_chunks, hasher, level, &mut PartitionMetrics::default())
+}
+
+/// [`partition_keys`] that also accumulates the pass's write-combining
+/// flush traffic into `metrics`.
+pub fn partition_keys_observed<'a, H: Hasher64>(
+    key_chunks: impl Iterator<Item = &'a [u64]>,
+    hasher: H,
+    level: u32,
+    metrics: &mut PartitionMetrics,
+) -> Parts {
     let mut parts = empty_parts();
     let mut bufs = SwcBuffers::new();
     for chunk in key_chunks {
         partition_unrolled_into(chunk, hasher, level, &mut bufs, &mut parts, |_| {});
     }
     bufs.drain(&mut parts);
+    bufs.add_metrics_to(metrics);
     parts
 }
 
@@ -133,6 +141,24 @@ pub fn partition_keys_mapped<'a, H: Hasher64>(
     level: u32,
     mapping_out: &mut Vec<u8>,
 ) -> Parts {
+    partition_keys_mapped_observed(
+        key_chunks,
+        hasher,
+        level,
+        mapping_out,
+        &mut PartitionMetrics::default(),
+    )
+}
+
+/// [`partition_keys_mapped`] that also accumulates the pass's
+/// write-combining flush traffic into `metrics`.
+pub fn partition_keys_mapped_observed<'a, H: Hasher64>(
+    key_chunks: impl Iterator<Item = &'a [u64]>,
+    hasher: H,
+    level: u32,
+    mapping_out: &mut Vec<u8>,
+    metrics: &mut PartitionMetrics,
+) -> Parts {
     let mut parts = empty_parts();
     let mut bufs = SwcBuffers::new();
     for chunk in key_chunks {
@@ -141,6 +167,7 @@ pub fn partition_keys_mapped<'a, H: Hasher64>(
         });
     }
     bufs.drain(&mut parts);
+    bufs.add_metrics_to(metrics);
     parts
 }
 

@@ -30,11 +30,12 @@ mod scatter;
 mod swc;
 
 pub use kernels::{
-    partition_keys, partition_keys_mapped, partition_naive, partition_overalloc,
-    partition_swc, partition_swc_with_mode, partition_unrolled, partition_unrolled_with_mode,
+    partition_keys, partition_keys_mapped, partition_keys_mapped_observed, partition_keys_observed,
+    partition_naive, partition_overalloc, partition_swc, partition_swc_with_mode,
+    partition_unrolled, partition_unrolled_with_mode,
 };
-pub use scatter::scatter_by_digits;
-pub use swc::{memcpy_nt, FlushMode, LINE_U64S};
+pub use scatter::{scatter_by_digits, scatter_by_digits_observed};
+pub use swc::{memcpy_nt, FlushMode, PartitionMetrics, LINE_U64S};
 
 use hsa_columnar::ChunkedVec;
 use hsa_hash::FANOUT;
@@ -52,11 +53,7 @@ pub(crate) mod testutil {
     use hsa_hash::{digit, Hasher64};
 
     /// Reference partitioning: stable, obvious, slow.
-    pub fn reference_parts<H: Hasher64>(
-        keys: &[u64],
-        hasher: H,
-        level: u32,
-    ) -> Vec<Vec<u64>> {
+    pub fn reference_parts<H: Hasher64>(keys: &[u64], hasher: H, level: u32) -> Vec<Vec<u64>> {
         let mut parts = vec![Vec::new(); hsa_hash::FANOUT];
         for &k in keys {
             parts[digit(hasher.hash_u64(k), level)].push(k);

@@ -8,7 +8,7 @@
 //! row ("their memory access pattern is equivalent", §4.2).
 
 use crate::swc::SwcBuffers;
-use crate::{empty_parts, Parts};
+use crate::{empty_parts, PartitionMetrics, Parts};
 
 /// Scatter one value column into 256 partitions according to the digit
 /// mapping produced by
@@ -18,6 +18,16 @@ use crate::{empty_parts, Parts};
 pub fn scatter_by_digits<'a>(
     digits: &[u8],
     value_chunks: impl Iterator<Item = &'a [u64]>,
+) -> Parts {
+    scatter_by_digits_observed(digits, value_chunks, &mut PartitionMetrics::default())
+}
+
+/// [`scatter_by_digits`] that also accumulates the pass's write-combining
+/// flush traffic into `metrics`.
+pub fn scatter_by_digits_observed<'a>(
+    digits: &[u8],
+    value_chunks: impl Iterator<Item = &'a [u64]>,
+    metrics: &mut PartitionMetrics,
 ) -> Parts {
     let mut parts = empty_parts();
     let mut bufs = SwcBuffers::new();
@@ -31,6 +41,7 @@ pub fn scatter_by_digits<'a>(
     }
     assert_eq!(offset, digits.len(), "value column shorter than mapping");
     bufs.drain(&mut parts);
+    bufs.add_metrics_to(metrics);
     parts
 }
 

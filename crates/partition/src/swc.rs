@@ -43,6 +43,32 @@ impl FlushMode {
     }
 }
 
+/// Flush-traffic metrics of one partitioning or scatter pass, accumulated
+/// from the [`SwcBuffers`] it used. The counters live in the buffer struct
+/// itself and cost one add per *flushed line* (every 8 pushes), so they are
+/// always on; observed kernel variants surface them to callers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionMetrics {
+    /// Full 64-byte lines flushed out of the write-combining buffers.
+    pub swc_flushes: u64,
+    /// Bytes moved through the flush path: 64 per full line plus the
+    /// residual values drained at end of input.
+    pub swc_flush_bytes: u64,
+    /// Whether the flushes used non-temporal (`movnti`) stores; when true,
+    /// `swc_flushes * 64` of `swc_flush_bytes` bypassed the cache.
+    pub streaming: bool,
+}
+
+impl PartitionMetrics {
+    /// Fold `other` into `self` (`streaming` is OR-ed: any streaming pass
+    /// marks the total as containing non-temporal traffic).
+    pub fn merge(&mut self, other: &PartitionMetrics) {
+        self.swc_flushes += other.swc_flushes;
+        self.swc_flush_bytes += other.swc_flush_bytes;
+        self.streaming |= other.streaming;
+    }
+}
+
 /// One cache-line-aligned buffer line.
 #[repr(align(64))]
 #[derive(Copy, Clone)]
@@ -54,6 +80,8 @@ pub(crate) struct SwcBuffers {
     lines: Box<[Line; FANOUT]>,
     fill: [u8; FANOUT],
     streaming: bool,
+    flushes: u64,
+    drained_values: u64,
 }
 
 impl SwcBuffers {
@@ -66,7 +94,17 @@ impl SwcBuffers {
             lines: Box::new([Line([0; LINE_U64S]); FANOUT]),
             fill: [0; FANOUT],
             streaming: mode == FlushMode::Streaming,
+            flushes: 0,
+            drained_values: 0,
         }
+    }
+
+    /// Accumulate this buffer's flush traffic into `m`. Call after
+    /// draining; counters keep accumulating if the buffer is reused.
+    pub(crate) fn add_metrics_to(&self, m: &mut PartitionMetrics) {
+        m.swc_flushes += self.flushes;
+        m.swc_flush_bytes += self.flushes * (LINE_U64S as u64 * 8) + self.drained_values * 8;
+        m.streaming |= self.streaming;
     }
 
     /// Append `value` to partition `d`, flushing the line into `dst` when
@@ -85,6 +123,7 @@ impl SwcBuffers {
                     std::ptr::copy_nonoverlapping(src, spare, LINE_U64S)
                 });
             }
+            self.flushes += 1;
             self.fill[d] = 0;
         } else {
             self.fill[d] = fill as u8 + 1;
@@ -108,6 +147,7 @@ impl SwcBuffers {
                 }
                 dst.set_len(len + LINE_U64S);
             }
+            self.flushes += 1;
             self.fill[d] = 0;
         } else {
             self.fill[d] = fill as u8 + 1;
@@ -120,6 +160,7 @@ impl SwcBuffers {
         for ((dst, line), fill) in dsts.iter_mut().zip(self.lines.iter()).zip(&mut self.fill) {
             if *fill > 0 {
                 dst.extend_from_slice(&line.0[..*fill as usize]);
+                self.drained_values += *fill as u64;
                 *fill = 0;
             }
         }
@@ -131,6 +172,7 @@ impl SwcBuffers {
         for ((dst, line), fill) in dsts.iter_mut().zip(self.lines.iter()).zip(&mut self.fill) {
             if *fill > 0 {
                 dst.extend_from_slice(&line.0[..*fill as usize]);
+                self.drained_values += *fill as u64;
                 *fill = 0;
             }
         }
@@ -237,6 +279,21 @@ mod tests {
             bufs.drain_flat(&mut dst);
             assert_eq!(dst[7], (0..9).collect::<Vec<u64>>(), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn flush_metrics_account_for_every_value() {
+        let mut bufs = SwcBuffers::with_mode(FlushMode::Cached);
+        let mut dst = vec![ChunkedVec::new(); FANOUT];
+        for i in 0..20u64 {
+            bufs.push(3, i, &mut dst[3]);
+        }
+        bufs.drain(&mut dst);
+        let mut m = PartitionMetrics::default();
+        bufs.add_metrics_to(&mut m);
+        assert_eq!(m.swc_flushes, 2); // 16 of 20 values left in full lines
+        assert_eq!(m.swc_flush_bytes, 20 * 8); // ... but every byte is counted
+        assert!(!m.streaming);
     }
 
     #[test]

@@ -30,9 +30,10 @@
 //! ```
 
 mod pool;
+pub mod sync;
 mod util;
 
-pub use pool::{scope, Scope};
+pub use pool::{scope, scope_observed, PoolMetrics, Scope, WorkerPoolMetrics};
 pub use util::{chunk_ranges, scoped_map};
 
 #[cfg(test)]

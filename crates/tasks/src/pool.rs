@@ -1,12 +1,66 @@
 //! The work-stealing scope implementation.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// A unit of work. Tasks receive the [`Scope`] so they can spawn subtasks
 /// (the recursive bucket calls of Algorithm 2).
 type Task<'env> = Box<dyn FnOnce(&Scope<'_, 'env>) + Send + 'env>;
+
+/// Scheduling counters of one worker of a scope, collected without any
+/// hot-path synchronization: each worker accumulates plain `u64`s locally
+/// and publishes them once, when the scope winds down.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerPoolMetrics {
+    /// Tasks this worker ran to completion (own or stolen).
+    pub tasks_executed: u64,
+    /// Tasks obtained from another worker's deque.
+    pub steals: u64,
+    /// Full scans over all victim deques that found nothing to steal.
+    pub failed_steal_scans: u64,
+    /// Nanoseconds spent parked waiting for work or quiescence.
+    pub idle_nanos: u64,
+}
+
+impl WorkerPoolMetrics {
+    fn add(&mut self, other: &WorkerPoolMetrics) {
+        self.tasks_executed += other.tasks_executed;
+        self.steals += other.steals;
+        self.failed_steal_scans += other.failed_steal_scans;
+        self.idle_nanos += other.idle_nanos;
+    }
+}
+
+/// Per-worker scheduling metrics of one completed scope.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolMetrics {
+    /// One entry per worker, index = worker index.
+    pub workers: Vec<WorkerPoolMetrics>,
+}
+
+impl PoolMetrics {
+    /// Sum over all workers.
+    pub fn totals(&self) -> WorkerPoolMetrics {
+        let mut t = WorkerPoolMetrics::default();
+        for w in &self.workers {
+            t.add(w);
+        }
+        t
+    }
+
+    /// Fold another scope's metrics into this one (same worker count, or
+    /// either side empty).
+    pub fn merge(&mut self, other: &PoolMetrics) {
+        if self.workers.len() < other.workers.len() {
+            self.workers.resize(other.workers.len(), WorkerPoolMetrics::default());
+        }
+        for (dst, src) in self.workers.iter_mut().zip(&other.workers) {
+            dst.add(src);
+        }
+    }
+}
 
 struct Shared<'env> {
     /// One deque per worker. Owner pushes/pops at the back (LIFO), thieves
@@ -23,6 +77,8 @@ struct Shared<'env> {
     /// Sleeping-worker wakeup.
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
+    /// Final per-worker metrics, published once per worker at scope end.
+    metrics: Mutex<Vec<WorkerPoolMetrics>>,
 }
 
 impl<'env> Shared<'env> {
@@ -34,6 +90,7 @@ impl<'env> Shared<'env> {
             poisoned: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
+            metrics: Mutex::new(vec![WorkerPoolMetrics::default(); threads]),
         }
     }
 
@@ -41,33 +98,41 @@ impl<'env> Shared<'env> {
         self.queues[worker].lock().pop_back()
     }
 
-    fn steal(&self, worker: usize) -> Option<Task<'env>> {
+    fn steal(&self, worker: usize, counters: &mut WorkerPoolMetrics) -> Option<Task<'env>> {
         let n = self.queues.len();
         for i in 1..n {
             let victim = (worker + i) % n;
             if let Some(task) = self.queues[victim].lock().pop_front() {
+                counters.steals += 1;
                 return Some(task);
             }
         }
+        counters.failed_steal_scans += 1;
         None
     }
 
     /// Run one task if any is available. Returns whether work was done.
-    fn run_one(&self, scope: &Scope<'_, 'env>) -> bool {
-        let Some(task) = self.pop_own(scope.worker).or_else(|| self.steal(scope.worker)) else {
+    fn run_one(&self, scope: &Scope<'_, 'env>, counters: &mut WorkerPoolMetrics) -> bool {
+        let Some(task) = self.pop_own(scope.worker).or_else(|| self.steal(scope.worker, counters))
+        else {
             return false;
         };
         // Contain panics so that (a) worker threads stay alive, (b) pending
         // still reaches zero, and (c) the scope can re-panic with a single
         // consistent message once everything has quiesced.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(scope)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(scope)));
         if outcome.is_err() {
             self.poisoned.store(true, Ordering::Release);
         }
+        counters.tasks_executed += 1;
         self.pending.fetch_sub(1, Ordering::AcqRel);
         self.idle_cv.notify_all();
         true
+    }
+
+    /// Publish a worker's final counters.
+    fn publish(&self, worker: usize, counters: WorkerPoolMetrics) {
+        self.metrics.lock()[worker] = counters;
     }
 }
 
@@ -102,23 +167,26 @@ impl<'pool, 'env> Scope<'pool, 'env> {
 
 fn worker_loop<'env>(shared: &Shared<'env>, worker: usize) {
     let scope = Scope { shared, worker };
+    let mut counters = WorkerPoolMetrics::default();
     loop {
-        if shared.run_one(&scope) {
+        if shared.run_one(&scope, &mut counters) {
             continue;
         }
         if shared.done.load(Ordering::Acquire) {
-            return;
+            break;
         }
         // Nothing to do: park until a spawn or completion wakes us. The
         // timeout is a safety net against lost wakeups, not a spin.
         let mut guard = shared.idle_lock.lock();
         if shared.pending.load(Ordering::Acquire) == 0 && shared.done.load(Ordering::Acquire) {
-            return;
+            break;
         }
-        shared
-            .idle_cv
-            .wait_for(&mut guard, std::time::Duration::from_millis(1));
+        let parked = Instant::now();
+        shared.idle_cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
+        drop(guard);
+        counters.idle_nanos += parked.elapsed().as_nanos() as u64;
     }
+    shared.publish(worker, counters);
 }
 
 /// Run `root` with a work-stealing scope of `threads` threads (including
@@ -131,49 +199,56 @@ where
     F: FnOnce(&Scope<'_, 'env>) -> R,
     R: Send,
 {
+    scope_observed(threads, root).0
+}
+
+/// [`scope`], additionally returning the per-worker scheduling metrics of
+/// the completed scope (steals, failed steal scans, idle time, task
+/// counts). Collection is free on the hot path: plain worker-local `u64`s,
+/// published once at scope teardown.
+pub fn scope_observed<'env, R, F>(threads: usize, root: F) -> (R, PoolMetrics)
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+    R: Send,
+{
     let threads = threads.max(1);
     let shared = Shared::new(threads);
 
-    std::thread::scope(|ts| {
+    let result = std::thread::scope(|ts| {
         for w in 1..threads {
             let shared = &shared;
             ts.spawn(move || worker_loop(shared, w));
         }
 
         let root_scope = Scope { shared: &shared, worker: 0 };
+        let mut counters = WorkerPoolMetrics::default();
         let result = root(&root_scope);
 
         // The caller thread helps until quiescence.
         while shared.pending.load(Ordering::Acquire) > 0 {
-            if !shared.run_one(&root_scope) {
+            if !shared.run_one(&root_scope, &mut counters) {
                 // All remaining tasks are running on other workers; wait
                 // for them to finish or to spawn more work we can steal.
                 let mut guard = shared.idle_lock.lock();
                 if shared.pending.load(Ordering::Acquire) == 0 {
                     break;
                 }
-                shared
-                    .idle_cv
-                    .wait_for(&mut guard, std::time::Duration::from_millis(1));
+                let parked = Instant::now();
+                shared.idle_cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
+                drop(guard);
+                counters.idle_nanos += parked.elapsed().as_nanos() as u64;
             }
         }
 
         shared.done.store(true, Ordering::Release);
         shared.idle_cv.notify_all();
+        shared.publish(0, counters);
         result
-    })
-    .pipe(|result| {
-        if shared.poisoned.load(Ordering::Acquire) {
-            panic!("task panicked inside hsa_tasks::scope");
-        }
-        result
-    })
-}
+    });
 
-/// Tiny `tap`-style helper so the panic check reads linearly.
-trait Pipe: Sized {
-    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
-        f(self)
+    if shared.poisoned.load(Ordering::Acquire) {
+        panic!("task panicked inside hsa_tasks::scope");
     }
+    let metrics = PoolMetrics { workers: shared.metrics.into_inner() };
+    (result, metrics)
 }
-impl<T> Pipe for T {}

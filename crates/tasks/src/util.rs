@@ -42,10 +42,7 @@ where
                 s.spawn(move || f(t))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scoped_map worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("scoped_map worker panicked")).collect()
     })
 }
 

@@ -120,16 +120,7 @@ pub fn traced_sort_aggregation(
     let input_base = space.alloc(keys.len() as u64 * KEY_BYTES);
     let mut groups = HashMap::new();
 
-    recurse(
-        &mut sim,
-        &mut space,
-        keys,
-        input_base,
-        0,
-        fanout,
-        cache_rows,
-        &mut groups,
-    );
+    recurse(&mut sim, &mut space, keys, input_base, 0, fanout, cache_rows, &mut groups);
 
     sim.flush();
     return TracedResult { groups, stats: sim.stats() };
@@ -152,10 +143,7 @@ pub fn traced_sort_aggregation(
         // hash prefix) — "the recursion actually stops earlier than for the
         // case where K = N".
         let first_key = keys.first().copied();
-        if keys.len() <= cache_rows
-            || shift >= 56
-            || keys.iter().all(|&k| Some(k) == first_key)
-        {
+        if keys.len() <= cache_rows || shift >= 56 || keys.iter().all(|&k| Some(k) == first_key) {
             // Leaf: read the bucket once; aggregation state fits in cache
             // alongside it, output writes are fresh lines.
             let mut local: HashMap<u64, u64> = HashMap::new();
@@ -187,16 +175,7 @@ pub fn traced_sort_aggregation(
         }
         for (d, part) in parts.into_iter().enumerate() {
             if !part.is_empty() {
-                recurse(
-                    sim,
-                    space,
-                    &part,
-                    part_bases[d],
-                    shift + bits,
-                    fanout,
-                    cache_rows,
-                    groups,
-                );
+                recurse(sim, space, &part, part_bases[d], shift + bits, fanout, cache_rows, groups);
             }
         }
     }

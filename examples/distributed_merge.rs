@@ -54,10 +54,8 @@ fn main() {
     );
 
     // Verify against a single-pass aggregation over all the data.
-    let all_keys: Vec<u64> =
-        shard_data.iter().flat_map(|(k, _)| k.iter().copied()).collect();
-    let all_vals: Vec<u64> =
-        shard_data.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+    let all_keys: Vec<u64> = shard_data.iter().flat_map(|(k, _)| k.iter().copied()).collect();
+    let all_vals: Vec<u64> = shard_data.iter().flat_map(|(_, v)| v.iter().copied()).collect();
     let (whole, _) = aggregate(&all_keys, &[&all_vals], &specs, &cfg);
     assert_eq!(whole.sorted_rows(), merged.sorted_rows());
     println!("single-pass aggregation over all {} rows agrees ✓", all_keys.len());

@@ -14,13 +14,8 @@ fn main() {
     let customers: Vec<u64> = (0..1000u64).map(|i| (i * i + i / 3) % 7).collect();
     let amounts: Vec<u64> = (0..1000u64).map(|i| 10 + i % 90).collect();
 
-    let specs = [
-        AggSpec::count(),
-        AggSpec::sum(0),
-        AggSpec::min(0),
-        AggSpec::max(0),
-        AggSpec::avg(0),
-    ];
+    let specs =
+        [AggSpec::count(), AggSpec::sum(0), AggSpec::min(0), AggSpec::max(0), AggSpec::avg(0)];
     let (out, stats) = aggregate(&customers, &[&amounts], &specs, &AggregateConfig::default());
 
     println!("customer  count     sum  min  max     avg");

@@ -57,12 +57,8 @@ fn main() {
     );
 
     // Query 2: per-product revenue (huge K).
-    let (by_product, s2) = aggregate(
-        sales.col("product"),
-        &[sales.col("revenue")],
-        &[AggSpec::sum(0)],
-        &cfg,
-    );
+    let (by_product, s2) =
+        aggregate(sales.col("product"), &[sales.col("revenue")], &[AggSpec::sum(0)], &cfg);
     println!(
         "{} distinct products; total revenue {}",
         by_product.n_groups(),
@@ -76,8 +72,5 @@ fn main() {
     );
 
     // Cross-check the revenue total against the raw column.
-    assert_eq!(
-        by_product.states[0].iter().sum::<u64>(),
-        sales.col("revenue").iter().sum::<u64>()
-    );
+    assert_eq!(by_product.states[0].iter().sum::<u64>(), sales.col("revenue").iter().sum::<u64>());
 }

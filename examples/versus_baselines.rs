@@ -27,7 +27,12 @@ fn main() {
         let t0 = Instant::now();
         let (out, _) = distinct(&keys, &cfg);
         let adaptive_ns = t0.elapsed().as_secs_f64() * 1e9 * threads as f64 / n as f64;
-        println!("  {:<24} {:>8.1} ns/element  ({} groups)", "ADAPTIVE (this paper)", adaptive_ns, out.n_groups());
+        println!(
+            "  {:<24} {:>8.1} ns/element  ({} groups)",
+            "ADAPTIVE (this paper)",
+            adaptive_ns,
+            out.n_groups()
+        );
 
         let bcfg = BaselineConfig {
             threads,

@@ -41,12 +41,19 @@
 mod query;
 
 pub use hsa_agg::{AggFn, AggSpec};
-pub use query::{AggValues, Query, QueryResult};
 pub use hsa_columnar::{encode_composite, Column, Dictionary, Table};
 pub use hsa_core::{
-    aggregate, distinct, merge_partials, AdaptiveParams, AggregateConfig, GroupByOutput,
-    OpStats, Strategy,
+    aggregate, aggregate_observed, distinct, distinct_observed, merge_partials, AdaptiveParams,
+    AggregateConfig, GroupByOutput, ObsConfig, OpStats, RunReport, Strategy,
 };
+pub use query::{AggValues, Query, QueryResult};
+
+/// Observability building blocks: per-worker metrics, histograms, the
+/// task-timeline tracer, and the dependency-free JSON value they serialize
+/// through.
+pub mod obs {
+    pub use hsa_obs::*;
+}
 
 /// Synthetic data distributions (§6.5).
 pub mod datagen {
@@ -71,7 +78,7 @@ pub mod kernels {
     pub use hsa_hashtbl::{identity_of, AggTable, GrowTable, Insert, TableConfig};
     pub use hsa_partition::{
         memcpy_nt, partition_keys, partition_keys_mapped, partition_naive, partition_overalloc,
-        partition_swc, partition_swc_with_mode, partition_unrolled,
-        partition_unrolled_with_mode, scatter_by_digits, FlushMode,
+        partition_swc, partition_swc_with_mode, partition_unrolled, partition_unrolled_with_mode,
+        scatter_by_digits, FlushMode,
     };
 }

@@ -24,7 +24,7 @@
 //! assert_eq!(rows[0], (vec![1, 7], vec![2.0, 60.0])); // store 1, item 7
 //! ```
 
-use crate::{aggregate, AggFn, AggSpec, AggregateConfig, OpStats, Table};
+use crate::{aggregate_observed, AggFn, AggSpec, AggregateConfig, ObsConfig, RunReport, Table};
 use hsa_columnar::encode_composite;
 
 /// A `GROUP BY` query under construction.
@@ -33,12 +33,19 @@ pub struct Query<'t> {
     group_by: Vec<String>,
     aggs: Vec<(String, AggFn, Option<String>)>,
     cfg: AggregateConfig,
+    obs: ObsConfig,
 }
 
 impl<'t> Query<'t> {
     /// Start a query over `table`.
     pub fn over(table: &'t Table) -> Self {
-        Self { table, group_by: Vec::new(), aggs: Vec::new(), cfg: AggregateConfig::default() }
+        Self {
+            table,
+            group_by: Vec::new(),
+            aggs: Vec::new(),
+            cfg: AggregateConfig::default(),
+            obs: ObsConfig::disabled(),
+        }
     }
 
     /// Add a grouping column (call repeatedly for composite keys).
@@ -83,14 +90,20 @@ impl<'t> Query<'t> {
         self
     }
 
+    /// Collect deep observability (per-worker metrics and/or the task
+    /// timeline) during `run`; see [`RunReport`].
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Execute.
     ///
     /// Panics on unknown column names (mirroring [`Table::col`]); at least
     /// one grouping column is required.
     pub fn run(self) -> QueryResult {
         assert!(!self.group_by.is_empty(), "query needs at least one GROUP BY column");
-        let key_cols: Vec<&[u64]> =
-            self.group_by.iter().map(|name| self.table.col(name)).collect();
+        let key_cols: Vec<&[u64]> = self.group_by.iter().map(|name| self.table.col(name)).collect();
 
         // Collect the distinct aggregate input columns.
         let mut input_names: Vec<&str> = Vec::new();
@@ -112,22 +125,20 @@ impl<'t> Query<'t> {
         let inputs: Vec<&[u64]> = input_names.iter().map(|n| self.table.col(n)).collect();
 
         // Fuse composite keys; single-column keys pass through untouched.
-        let (out, stats, tuples) = if key_cols.len() == 1 {
-            let (out, stats) = aggregate(key_cols[0], &inputs, &specs, &self.cfg);
-            (out, stats, None)
+        let (out, report, tuples) = if key_cols.len() == 1 {
+            let (out, report) =
+                aggregate_observed(key_cols[0], &inputs, &specs, &self.cfg, &self.obs);
+            (out, report, None)
         } else {
             let (codes, tuples) = encode_composite(&key_cols);
-            let (out, stats) = aggregate(&codes, &inputs, &specs, &self.cfg);
-            (out, stats, Some(tuples))
+            let (out, report) = aggregate_observed(&codes, &inputs, &specs, &self.cfg, &self.obs);
+            (out, report, Some(tuples))
         };
 
         // Decode group keys back into per-column vectors.
         let n = out.n_groups();
-        let mut group_cols: Vec<(String, Vec<u64>)> = self
-            .group_by
-            .iter()
-            .map(|name| (name.clone(), Vec::with_capacity(n)))
-            .collect();
+        let mut group_cols: Vec<(String, Vec<u64>)> =
+            self.group_by.iter().map(|name| (name.clone(), Vec::with_capacity(n))).collect();
         for &code in &out.keys {
             match &tuples {
                 None => group_cols[0].1.push(code),
@@ -152,7 +163,7 @@ impl<'t> Query<'t> {
             })
             .collect();
 
-        QueryResult { group_cols, agg_cols, stats }
+        QueryResult { group_cols, agg_cols, report }
     }
 }
 
@@ -195,8 +206,9 @@ pub struct QueryResult {
     pub group_cols: Vec<(String, Vec<u64>)>,
     /// Aggregate columns, `(name, values)`, aligned with `group_cols`.
     pub agg_cols: Vec<(String, AggValues)>,
-    /// Operator statistics.
-    pub stats: OpStats,
+    /// Full run report: always-on statistics (`report.stats`) plus any
+    /// deep metrics/trace requested via [`Query::with_obs`].
+    pub report: RunReport,
 }
 
 impl QueryResult {
@@ -297,11 +309,7 @@ mod tests {
     #[test]
     fn composite_key() {
         let t = table();
-        let r = Query::over(&t)
-            .group_by("store")
-            .group_by("item")
-            .count("n")
-            .run();
+        let r = Query::over(&t).group_by("store").group_by("item").count("n").run();
         let rows = r.sorted_rows();
         assert_eq!(
             rows,
@@ -338,11 +346,7 @@ mod tests {
     fn shared_input_column_reused() {
         // sum and avg over the same column share the Sum physical state.
         let t = table();
-        let r = Query::over(&t)
-            .group_by("store")
-            .sum("amount", "s")
-            .avg("amount", "a")
-            .run();
+        let r = Query::over(&t).group_by("store").sum("amount", "s").avg("amount", "a").run();
         let rows = r.sorted_rows();
         assert_eq!(rows[0].1, vec![90.0, 30.0]);
     }

@@ -77,10 +77,8 @@ fn thread_counts_agree() {
     let vals: Vec<u64> = (0..keys.len() as u64).collect();
     let mut baseline = None;
     for threads in [1usize, 2, 3, 4, 8] {
-        let cfg = AggregateConfig {
-            threads,
-            ..test_cfg(Strategy::Adaptive(AdaptiveParams::default()))
-        };
+        let cfg =
+            AggregateConfig { threads, ..test_cfg(Strategy::Adaptive(AdaptiveParams::default())) };
         let (out, _) = aggregate(&keys, &[&vals], &[AggSpec::sum(0)], &cfg);
         let rows = out.sorted_rows();
         match &baseline {
@@ -154,9 +152,9 @@ fn stats_account_for_all_rows() {
 fn adaptive_alpha_extremes_stay_correct() {
     let keys = generate(Distribution::MovingCluster, 50_000, 20_000, 8);
     for params in [
-        AdaptiveParams { alpha0: 0.0, c: 10.0 },            // never switch
-        AdaptiveParams { alpha0: f64::INFINITY, c: 0.5 },   // always switch, tiny budget
-        AdaptiveParams { alpha0: f64::INFINITY, c: 1e9 },   // switch once, never back
+        AdaptiveParams { alpha0: 0.0, c: 10.0 }, // never switch
+        AdaptiveParams { alpha0: f64::INFINITY, c: 0.5 }, // always switch, tiny budget
+        AdaptiveParams { alpha0: f64::INFINITY, c: 1e9 }, // switch once, never back
     ] {
         let (out, _) = distinct(&keys, &test_cfg(Strategy::Adaptive(params)));
         assert_eq!(out.n_groups(), count_distinct(&keys), "{params:?}");

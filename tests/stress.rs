@@ -3,9 +3,7 @@
 
 use hashing_is_sorting::datagen::{generate, Distribution, SplitMix64};
 use hashing_is_sorting::kernels::{digit, Hasher64, Murmur2};
-use hashing_is_sorting::{
-    aggregate, distinct, AdaptiveParams, AggSpec, AggregateConfig, Strategy,
-};
+use hashing_is_sorting::{aggregate, distinct, AdaptiveParams, AggSpec, AggregateConfig, Strategy};
 
 fn cfg(cache_bytes: usize, threads: usize, morsel_rows: usize) -> AggregateConfig {
     AggregateConfig {
@@ -32,12 +30,7 @@ fn adversarial_shared_first_digit() {
     }
     // Duplicate each key so aggregation has something to merge.
     let doubled: Vec<u64> = keys.iter().chain(keys.iter()).copied().collect();
-    let (out, stats) = aggregate(
-        &doubled,
-        &[],
-        &[AggSpec::count()],
-        &cfg(64 << 10, 2, 1 << 12),
-    );
+    let (out, stats) = aggregate(&doubled, &[], &[AggSpec::count()], &cfg(64 << 10, 2, 1 << 12));
     assert_eq!(out.n_groups(), keys.len());
     assert!(out.states[0].iter().all(|&c| c == 2));
     assert!(stats.passes_used() >= 2, "must recurse past the shared digit");
