@@ -34,6 +34,11 @@ pub struct CliArgs {
     /// Write a Chrome trace (load in Perfetto / `chrome://tracing`) to
     /// this path.
     pub trace: Option<String>,
+    /// Cap on operator working memory in bytes (`--mem-budget`).
+    pub mem_budget: Option<u64>,
+    /// Wall-clock deadline for the aggregation in milliseconds
+    /// (`--timeout-ms`).
+    pub timeout_ms: Option<u64>,
 }
 
 impl CliArgs {
@@ -71,6 +76,9 @@ aggregates (repeatable):
 options:
   --threads <n>           worker threads (default: all cores)
   --strategy <s>          adaptive | hashing | partition:<passes>
+  --mem-budget <size>     cap operator working memory (bytes; K/M/G
+                          suffixes accepted, e.g. 512M)
+  --timeout-ms <n>        abort the aggregation after <n> milliseconds
   --stats                 print the full run report (per-level passes,
                           probe lengths, SWC flushes, switch alphas, ...)
   --stats-json <path>     write the run report as JSON to <path>
@@ -116,6 +124,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
     let mut show_stats = false;
     let mut stats_json = None;
     let mut trace = None;
+    let mut mem_budget = None;
+    let mut timeout_ms = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -146,6 +156,14 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
             "--stats" => show_stats = true,
             "--stats-json" => stats_json = Some(take_value(&mut args, "--stats-json")?),
             "--trace" => trace = Some(take_value(&mut args, "--trace")?),
+            "--mem-budget" => {
+                let v = take_value(&mut args, "--mem-budget")?;
+                mem_budget = Some(parse_size(&v)?);
+            }
+            "--timeout-ms" => {
+                let v = take_value(&mut args, "--timeout-ms")?;
+                timeout_ms = Some(v.parse().map_err(|_| UsageError(format!("bad timeout {v:?}")))?);
+            }
             other if is_flag(other) => {
                 return Err(UsageError(format!("unknown option {other:?}")));
             }
@@ -161,7 +179,31 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
     if group_by.is_empty() {
         return Err(UsageError("missing --group-by".into()));
     }
-    Ok(CliArgs { file, group_by, aggs, config, show_stats, stats_json, trace })
+    Ok(CliArgs {
+        file,
+        group_by,
+        aggs,
+        config,
+        show_stats,
+        stats_json,
+        trace,
+        mem_budget,
+        timeout_ms,
+    })
+}
+
+/// Parse a byte size with an optional `K`/`M`/`G` suffix (powers of 1024).
+fn parse_size(s: &str) -> Result<u64, UsageError> {
+    let bad = || UsageError(format!("bad size {s:?} (expected bytes with optional K/M/G suffix)"));
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 30),
+        Some(_) => (s, 0),
+        None => return Err(bad()),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    n.checked_shl(shift).filter(|v| v >> shift == n).ok_or_else(bad)
 }
 
 fn parse_strategy(s: &str) -> Result<Strategy, UsageError> {
@@ -282,6 +324,39 @@ mod tests {
 
         assert!(parse(&["f.csv", "--group-by", "k", "--stats-json"]).is_err());
         assert!(parse(&["f.csv", "--group-by", "k", "--trace", "--stats"]).is_err());
+    }
+
+    #[test]
+    fn robustness_flags() {
+        let a =
+            parse(&["f.csv", "--group-by", "k", "--mem-budget", "512M", "--timeout-ms", "2500"])
+                .unwrap();
+        assert_eq!(a.mem_budget, Some(512 << 20));
+        assert_eq!(a.timeout_ms, Some(2500));
+
+        let b = parse(&["f.csv", "--group-by", "k"]).unwrap();
+        assert_eq!(b.mem_budget, None);
+        assert_eq!(b.timeout_ms, None);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("1024").unwrap(), 1024);
+        assert_eq!(parse_size("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_size("2K").unwrap(), 2 << 10);
+        assert_eq!(parse_size("3m").unwrap(), 3 << 20);
+        assert_eq!(parse_size("1G").unwrap(), 1 << 30);
+        assert!(parse_size("").is_err());
+        assert!(parse_size("12q").is_err());
+        assert!(parse_size("-5").is_err());
+        assert!(parse_size("99999999999G").is_err()); // overflow
+    }
+
+    #[test]
+    fn bad_robustness_values() {
+        assert!(parse(&["f.csv", "--group-by", "k", "--mem-budget", "lots"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--mem-budget"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--timeout-ms", "soon"]).is_err());
     }
 
     #[test]

@@ -19,7 +19,8 @@ pub use args::{parse_args, CliArgs, UsageError};
 pub use csv::{parse_csv, CsvError};
 pub use load::{load_table, LoadedTable};
 
-use hashing_is_sorting::{ObsConfig, Query, RunReport};
+use hashing_is_sorting::{CancelToken, ExecEnv, MemoryBudget, ObsConfig, Query, RunReport};
+use std::time::Duration;
 
 /// Everything one CLI invocation produced: the rendered result table plus
 /// the run report behind `--stats` / `--stats-json` / `--trace`.
@@ -56,7 +57,15 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
         trace: args.trace.is_some(),
         ..ObsConfig::disabled()
     };
-    let mut q = Query::over(&loaded.table).with_config(args.config.clone()).with_obs(obs);
+    let mut env = ExecEnv::unrestricted();
+    if let Some(bytes) = args.mem_budget {
+        env = env.with_budget(MemoryBudget::limited(bytes));
+    }
+    if let Some(ms) = args.timeout_ms {
+        env = env.with_cancel(CancelToken::with_timeout(Duration::from_millis(ms)));
+    }
+    let mut q =
+        Query::over(&loaded.table).with_config(args.config.clone()).with_obs(obs).with_env(env);
     for g in &args.group_by {
         q = q.group_by(g);
     }
@@ -70,7 +79,7 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
             other => return Err(format!("unknown aggregate {other:?}")),
         };
     }
-    let result = q.run();
+    let result = q.try_run().map_err(|e| e.to_string())?;
 
     let group_names = args.group_by.clone();
     let mut out =
@@ -148,6 +157,48 @@ mod tests {
         // --stats implies deep metrics; tracing stays off.
         assert!(run.report.metrics.is_some());
         assert!(run.report.trace_json.is_none());
+    }
+
+    #[test]
+    fn mem_budget_failure_is_one_line() {
+        let a = args(&["x.csv", "--group-by", "country", "--mem-budget", "1k"]);
+        let err = run_on_csv_text(CSV, &a).unwrap_err();
+        assert!(err.contains("memory budget exceeded"), "{err}");
+        assert_eq!(err.lines().count(), 1, "{err}");
+    }
+
+    #[test]
+    fn zero_timeout_cancels() {
+        let a = args(&["x.csv", "--group-by", "country", "--timeout-ms", "0"]);
+        let err = run_on_csv_text(CSV, &a).unwrap_err();
+        assert!(err.contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn generous_budget_and_timeout_run_normally() {
+        let a = args(&[
+            "x.csv",
+            "--group-by",
+            "country",
+            "--sum",
+            "amount",
+            "--mem-budget",
+            "1G",
+            "--timeout-ms",
+            "60000",
+        ]);
+        let out = run_on_csv_text(CSV, &a).unwrap().rendered;
+        assert!(out.contains("70"), "{out}");
+    }
+
+    #[test]
+    fn malformed_csv_is_one_line_error() {
+        let a = args(&["x.csv", "--group-by", "k"]);
+        let err = run_on_csv_text("a,b\n1\n", &a).unwrap_err();
+        assert!(err.contains("fields"), "{err}");
+        assert_eq!(err.lines().count(), 1, "{err}");
+        let err = run_on_csv_text("", &a).unwrap_err();
+        assert!(err.contains("empty input"), "{err}");
     }
 
     #[test]

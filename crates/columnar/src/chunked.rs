@@ -90,14 +90,27 @@ impl<T: Copy> ChunkedVec<T> {
         self.chunks.push(Vec::with_capacity(target));
     }
 
-    /// Append one element.
+    /// The tail chunk, guaranteed to have room for at least one element
+    /// (grows first when full). Panic-free: `grow` always pushes a chunk.
     #[inline]
-    pub fn push(&mut self, value: T) {
+    fn tail_with_room(&mut self) -> &mut Vec<T> {
         if self.tail_room() == 0 {
             self.grow();
         }
-        // `grow` guarantees a tail chunk with room.
-        self.chunks.last_mut().expect("tail chunk").push(value);
+        let last = self.chunks.len() - 1;
+        &mut self.chunks[last]
+    }
+
+    /// Heap bytes held by the chunks (capacity, not length): the quantity
+    /// the operator's memory budget accounts a materialized column at.
+    pub fn mem_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| (c.capacity() * std::mem::size_of::<T>()) as u64).sum()
+    }
+
+    /// Append one element.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        self.tail_with_room().push(value);
         self.len += 1;
     }
 
@@ -110,14 +123,10 @@ impl<T: Copy> ChunkedVec<T> {
     pub fn extend_from_slice(&mut self, mut values: &[T]) {
         self.len += values.len();
         while !values.is_empty() {
-            let room = self.tail_room();
-            if room == 0 {
-                self.grow();
-                continue;
-            }
-            let take = room.min(values.len());
+            let chunk = self.tail_with_room();
+            let take = (chunk.capacity() - chunk.len()).min(values.len());
             let (head, rest) = values.split_at(take);
-            self.chunks.last_mut().expect("tail chunk").extend_from_slice(head);
+            chunk.extend_from_slice(head);
             values = rest;
         }
     }
@@ -151,7 +160,8 @@ impl<T: Copy> ChunkedVec<T> {
             }
         }
         debug_assert!(room >= N);
-        let chunk = self.chunks.last_mut().expect("tail chunk");
+        // room ≥ N > 0 implies a tail chunk exists; the helper won't grow.
+        let chunk = self.tail_with_room();
         let len = chunk.len();
         chunk.reserve(N);
         // SAFETY: `reserve` guarantees capacity for N more elements; `copy`

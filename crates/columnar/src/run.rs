@@ -75,6 +75,12 @@ impl Run {
         self.cols.len()
     }
 
+    /// Heap bytes this run holds across its key and state columns
+    /// (chunk capacities — what the operator's memory budget accounts).
+    pub fn mem_bytes(&self) -> u64 {
+        self.keys.mem_bytes() + self.cols.iter().map(ChunkedVec::mem_bytes).sum::<u64>()
+    }
+
     /// Internal consistency: every column as long as the key column.
     pub fn check_consistent(&self) -> Result<(), String> {
         for (i, c) in self.cols.iter().enumerate() {

@@ -18,6 +18,7 @@
 //! actual key values.
 
 use crate::adaptive::{ModeState, Strategy};
+use crate::exec::{is_degradable, ExecEnv, Gate};
 use crate::hashing::{hash_run, seal_into, HashOutcome};
 use crate::obs::{flush_table_metrics, Obs};
 use crate::output::{Collector, GroupByOutput};
@@ -27,8 +28,9 @@ use crate::sink::{LocalBuckets, RunSink, SharedBuckets};
 use crate::stats::{AtomicStats, OpStats};
 use crate::view::RunView;
 use crate::AggregateConfig;
-use hsa_agg::{plan, AggSpec, StateOp};
+use hsa_agg::{plan, AggFn, AggSpec, StateOp};
 use hsa_columnar::Run;
+use hsa_fault::{AggError, CancelToken, Reservation};
 use hsa_hash::MAX_LEVEL;
 use hsa_hashtbl::{identity_of, AggTable, GrowTable, TableConfig};
 use hsa_obs::{Counter, Hist, Recorder, Tracer};
@@ -38,23 +40,55 @@ use std::time::Instant;
 
 /// Reuse pool for the cache-sized tables: "one or very few hash tables per
 /// thread" (§4.1) instead of an allocation + identity-fill per bucket.
+///
+/// The pool owns the budget reservations of every table it has created;
+/// they are released when the pool drops at the end of the invocation.
 struct TablePool {
     cfg: TableConfig,
     identities: Vec<u64>,
     free: Mutex<Vec<AggTable>>,
+    held: Mutex<Reservation>,
     /// Enable probe metrics on handed-out tables (deep metrics on).
     metrics: bool,
 }
 
 impl TablePool {
-    fn get(&self, level: u32) -> AggTable {
+    /// Hand out a table, reserving its memory from the budget on a miss.
+    ///
+    /// Degradation ladder: when the configured size is denied by a real
+    /// budget limit, retry with half the slots, down to
+    /// [`TableConfig::MIN_TOTAL_SLOTS`]. A shrunken table counts as one
+    /// budget downgrade. Injected failures (`limit: 0`) never degrade.
+    fn get(&self, level: u32, gate: Gate<'_>, obs: &Obs) -> Result<AggTable, AggError> {
         if let Some(mut t) = self.free.lock().pop() {
             t.set_level(level);
-            t
-        } else {
-            let mut t = AggTable::new(self.cfg, level, &self.identities);
-            t.set_metrics_enabled(self.metrics);
-            t
+            return Ok(t);
+        }
+        let mut cfg = self.cfg;
+        loop {
+            match gate.reserve(cfg.mem_bytes(self.identities.len()), obs) {
+                Ok(res) => {
+                    self.held.lock().merge(res);
+                    let mut t = AggTable::new(cfg, level, &self.identities);
+                    t.set_metrics_enabled(self.metrics);
+                    if cfg.total_slots < self.cfg.total_slots {
+                        gate.stats.count_budget_downgrade();
+                        obs.recorder.add(obs.worker, Counter::BudgetDowngrades, 1);
+                        obs.tracer.instant(
+                            obs.worker,
+                            "table_downgrade",
+                            &[("slots", cfg.total_slots as u64)],
+                        );
+                    }
+                    return Ok(t);
+                }
+                Err(e)
+                    if is_degradable(&e) && cfg.total_slots / 2 >= TableConfig::MIN_TOTAL_SLOTS =>
+                {
+                    cfg.total_slots /= 2;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -67,18 +101,54 @@ impl TablePool {
 /// Everything shared across the tasks of one operator invocation.
 struct Ctx<'a> {
     cfg: &'a AggregateConfig,
+    env: &'a ExecEnv,
+    /// The effective cancel token: `env.cancel`, or an internal token the
+    /// driver substitutes when the fault plan wants to cancel mid-run.
+    cancel: CancelToken,
     ops: Vec<StateOp>,
     pool: TablePool,
     collector: Collector,
     stats: AtomicStats,
     recorder: Recorder,
     tracer: Tracer,
+    /// First error any task hit; later tasks bail out early once set.
+    failed: Mutex<Option<AggError>>,
 }
 
 impl Ctx<'_> {
     /// The observability handle for a task running as `worker`.
     fn obs(&self, worker: usize) -> Obs {
         Obs { recorder: self.recorder.clone(), tracer: self.tracer.clone(), worker }
+    }
+
+    /// The allocation gate tasks reserve memory through.
+    fn gate(&self) -> Gate<'_> {
+        Gate { budget: &self.env.budget, faults: &self.env.faults, stats: &self.stats }
+    }
+
+    /// Record the first error; subsequent errors are dropped.
+    fn fail(&self, e: AggError) {
+        self.failed.lock().get_or_insert(e);
+    }
+
+    /// True once any task has failed — remaining tasks skip their work.
+    fn bailed(&self) -> bool {
+        self.failed.lock().is_some()
+    }
+
+    /// Take the recorded error, if any.
+    fn take_failure(&self) -> Option<AggError> {
+        self.failed.lock().take()
+    }
+
+    /// Poll the cancel token; counts the observation when it has tripped.
+    fn check_cancel(&self, obs: &Obs) -> Result<(), AggError> {
+        if let Some(reason) = self.cancel.cancelled() {
+            self.stats.count_cancellation();
+            obs.recorder.add(obs.worker, Counter::Cancellations, 1);
+            return Err(AggError::Cancelled(reason));
+        }
+        Ok(())
     }
 }
 
@@ -116,39 +186,83 @@ fn process_view(
     map8: &mut Vec<u8>,
     sink: &mut impl RunSink,
     obs: &Obs,
-) {
+) -> Result<(), AggError> {
     let mut row = 0;
     while row < view.len() {
         if mode.use_hashing(level) {
-            let table = table_slot.get_or_insert_with(|| ctx.pool.get(level));
+            let table = match table_slot {
+                Some(t) => t,
+                None => match ctx.pool.get(level, ctx.gate(), obs) {
+                    Ok(t) => table_slot.insert(t),
+                    Err(e) if is_degradable(&e) => {
+                        // Even the smallest table was denied: degrade to
+                        // partitioning, which needs only the fixed SWC
+                        // buffers plus the output it would produce anyway.
+                        ctx.stats.count_budget_downgrade();
+                        obs.recorder.add(obs.worker, Counter::BudgetDowngrades, 1);
+                        obs.tracer.instant(
+                            obs.worker,
+                            "forced_partitioning",
+                            &[("level", level as u64)],
+                        );
+                        return partition_run(
+                            view,
+                            row,
+                            level,
+                            ctx.ops.len(),
+                            map8,
+                            sink,
+                            ctx.gate(),
+                            obs,
+                        );
+                    }
+                    Err(e) => return Err(e),
+                },
+            };
             match hash_run(
-                view, row, table, &ctx.ops, mode, epoch_rows, map32, sink, &ctx.stats, obs,
-            ) {
-                HashOutcome::Done => return,
+                view,
+                row,
+                table,
+                &ctx.ops,
+                mode,
+                epoch_rows,
+                map32,
+                sink,
+                ctx.gate(),
+                obs,
+            )? {
+                HashOutcome::Done => return Ok(()),
                 HashOutcome::Switched { next_row } => row = next_row,
             }
         } else {
             let rows = (view.len() - row) as u64;
-            partition_run(view, row, level, ctx.ops.len(), map8, sink, &ctx.stats, obs);
+            partition_run(view, row, level, ctx.ops.len(), map8, sink, ctx.gate(), obs)?;
             if mode.on_partitioned(rows) {
                 ctx.stats.count_switch_to_hashing();
                 obs.recorder.add(obs.worker, Counter::SwitchesToHashing, 1);
                 obs.tracer.instant(obs.worker, "switch_to_hashing", &[("level", level as u64)]);
             }
-            return;
+            return Ok(());
         }
     }
+    Ok(())
 }
 
 /// Emit a completed bucket's table as final groups.
-fn emit_final_from_table(ctx: &Ctx<'_>, table: &mut AggTable, obs: &Obs) {
-    table.seal(|_digit, keys, cols| ctx.collector.push_block(keys, cols));
+fn emit_final_from_table(ctx: &Ctx<'_>, table: &mut AggTable, obs: &Obs) -> Result<(), AggError> {
+    let out_bytes = (table.len() * 8 * (1 + table.n_cols())) as u64;
+    let mut res = ctx.gate().reserve(out_bytes, obs)?;
+    table.seal(|_digit, keys, cols| {
+        let block_res = res.take((keys.len() * 8 * (1 + cols.len())) as u64);
+        ctx.collector.push_block(keys, cols, block_res);
+    });
     flush_table_metrics(obs, table);
+    Ok(())
 }
 
 /// Merge a bucket with the growable key-addressed table (recursion floor
 /// and the final pass of `PartitionAlways`).
-fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>, obs: &Obs) {
+fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>, obs: &Obs) -> Result<(), AggError> {
     ctx.stats.count_fallback_merge();
     obs.recorder.add(obs.worker, Counter::FallbackMerges, 1);
     obs.tracer.instant(
@@ -157,7 +271,10 @@ fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>, obs: &Obs) {
         &[("rows", bucket.iter().map(Run::len).sum::<usize>() as u64)],
     );
     let rows: usize = bucket.iter().map(Run::len).sum();
-    let mut table = GrowTable::with_capacity(rows.clamp(16, 1 << 20), &ctx.ops);
+    let capacity = rows.clamp(16, 1 << 20);
+    let mut res =
+        ctx.gate().reserve(GrowTable::mem_bytes_upper(capacity, rows, ctx.ops.len()), obs)?;
+    let mut table = GrowTable::with_capacity(capacity, &ctx.ops);
     let n_cols = ctx.ops.len();
     let mut vals = vec![0u64; n_cols];
     for run in bucket {
@@ -186,18 +303,36 @@ fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>, obs: &Obs) {
             c.push(s);
         }
     }
-    ctx.collector.push_block(&keys, &cols);
+    let out_res = res.take((keys.len() * 8 * (1 + cols.len())) as u64);
+    ctx.collector.push_block(&keys, &cols, out_res);
+    Ok(())
 }
 
 /// Recursive bucket task (Algorithm 2, line 8).
+///
+/// `bucket_res` is the budget reservation backing the bucket's runs; it is
+/// dropped (released) when the task finishes consuming them — on success
+/// and on every early-out alike.
 fn process_bucket<'env>(
     ctx: &'env Ctx<'env>,
     scope: &Scope<'_, 'env>,
     bucket: Vec<Run>,
+    bucket_res: Reservation,
     level: u32,
 ) {
+    let _bucket_res = bucket_res;
+    if ctx.bailed() {
+        return;
+    }
     let t0 = Instant::now();
     let obs = ctx.obs(scope.worker_index());
+    if ctx.env.faults.should_panic_in_task() {
+        panic!("injected fault: task panic");
+    }
+    if let Err(e) = ctx.check_cancel(&obs) {
+        ctx.fail(e);
+        return;
+    }
     let trace_t0 = obs.tracer.now();
     let bucket_rows: u64 = bucket.iter().map(|r| r.len() as u64).sum();
     let end_span = |obs: &Obs| {
@@ -213,7 +348,10 @@ fn process_bucket<'env>(
         Strategy::PartitionAlways { passes } if level >= passes
     );
     if level >= MAX_LEVEL || final_hash_pass {
-        grow_merge(ctx, bucket, &obs);
+        if let Err(e) = grow_merge(ctx, bucket, &obs) {
+            ctx.fail(e);
+            return;
+        }
         ctx.stats.add_level_nanos(level.min(MAX_LEVEL), t0.elapsed().as_nanos() as u64);
         end_span(&obs);
         return;
@@ -228,8 +366,12 @@ fn process_bucket<'env>(
 
     for run in bucket {
         debug_assert_eq!(run.level, level, "run level out of sync with recursion");
+        #[cfg(debug_assertions)]
+        if let Err(msg) = run.check_consistent() {
+            panic!("inconsistent run entering level {level}: {msg}");
+        }
         let view = RunView::Owned(run);
-        process_view(
+        if let Err(e) = process_view(
             ctx,
             &view,
             level,
@@ -240,14 +382,22 @@ fn process_bucket<'env>(
             &mut map8,
             &mut local,
             &obs,
-        );
+        ) {
+            // A non-empty table is dropped rather than pooled; its memory
+            // stays reserved by the pool until the operator unwinds.
+            ctx.fail(e);
+            return;
+        }
     }
 
     if local.is_empty() {
         // The entire bucket was absorbed by one table: its groups are
         // final — "the recursion stops automatically" (§5).
         if let Some(mut table) = table_slot {
-            emit_final_from_table(ctx, &mut table, &obs);
+            if let Err(e) = emit_final_from_table(ctx, &mut table, &obs) {
+                ctx.fail(e);
+                return;
+            }
             ctx.pool.put(table);
         }
         ctx.stats.add_level_nanos(level, t0.elapsed().as_nanos() as u64);
@@ -258,14 +408,17 @@ fn process_bucket<'env>(
     // Something spilled: the leftover table content is one more run set.
     if let Some(mut table) = table_slot {
         if !table.is_empty() {
-            seal_into(&mut table, &mut local, &ctx.stats, &obs);
+            if let Err(e) = seal_into(&mut table, &mut local, ctx.gate(), &obs) {
+                ctx.fail(e);
+                return;
+            }
         }
         ctx.pool.put(table);
     }
     ctx.stats.add_level_nanos(level, t0.elapsed().as_nanos() as u64);
     end_span(&obs);
-    for (_digit, sub) in local.into_nonempty() {
-        scope.spawn(move |s| process_bucket(ctx, s, sub, level + 1));
+    for (_digit, sub, sub_res) in local.into_nonempty() {
+        scope.spawn(move |s| process_bucket(ctx, s, sub, sub_res, level + 1));
     }
 }
 
@@ -278,6 +431,9 @@ fn process_bucket<'env>(
 ///
 /// Returns the grouped result plus the execution statistics the paper's
 /// pass-breakdown plots are built from.
+///
+/// Panics on invalid input. For a non-panicking variant with memory
+/// budgets and cancellation, see [`try_aggregate`].
 pub fn aggregate(
     keys: &[u64],
     inputs: &[&[u64]],
@@ -286,6 +442,20 @@ pub fn aggregate(
 ) -> (GroupByOutput, OpStats) {
     let (out, report) = aggregate_observed(keys, inputs, specs, cfg, &ObsConfig::disabled());
     (out, report.stats)
+}
+
+/// Fallible [`aggregate`]: validates the input instead of panicking and
+/// runs under `env`'s memory budget, cancellation token, and fault plan.
+pub fn try_aggregate(
+    keys: &[u64],
+    inputs: &[&[u64]],
+    specs: &[AggSpec],
+    cfg: &AggregateConfig,
+    env: &ExecEnv,
+) -> Result<(GroupByOutput, OpStats), AggError> {
+    let (out, report) =
+        try_aggregate_observed(keys, inputs, specs, cfg, env, &ObsConfig::disabled())?;
+    Ok((out, report.stats))
 }
 
 /// [`aggregate`] with the full observability layer: returns a
@@ -300,24 +470,55 @@ pub fn aggregate_observed(
     cfg: &AggregateConfig,
     obs_cfg: &ObsConfig,
 ) -> (GroupByOutput, RunReport) {
-    for (i, col) in inputs.iter().enumerate() {
-        assert_eq!(col.len(), keys.len(), "aggregate input column {i} row count mismatch");
+    try_aggregate_observed(keys, inputs, specs, cfg, &ExecEnv::unrestricted(), obs_cfg)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`aggregate_observed`]: typed errors instead of panics, plus
+/// the robustness controls of `env`.
+/// Reject specs that `plan` cannot lower: everything but COUNT needs an
+/// input column. The `AggSpec` constructors always set one, but the
+/// fields are public.
+fn validate_specs(specs: &[AggSpec]) -> Result<(), AggError> {
+    for (i, s) in specs.iter().enumerate() {
+        if s.input.is_none() && !matches!(s.func, AggFn::Count) {
+            return Err(AggError::SpecNeedsInput { spec: i });
+        }
     }
+    Ok(())
+}
+
+pub fn try_aggregate_observed(
+    keys: &[u64],
+    inputs: &[&[u64]],
+    specs: &[AggSpec],
+    cfg: &AggregateConfig,
+    env: &ExecEnv,
+    obs_cfg: &ObsConfig,
+) -> Result<(GroupByOutput, RunReport), AggError> {
+    for (i, col) in inputs.iter().enumerate() {
+        if col.len() != keys.len() {
+            return Err(AggError::RowCountMismatch {
+                column: i,
+                got: col.len(),
+                expected: keys.len(),
+            });
+        }
+    }
+    validate_specs(specs)?;
     let lowered = plan(specs);
     // Physical column i reads from this slice; COUNT columns alias the key
     // column (their value is ignored by the state op).
-    let raw_cols: Vec<&[u64]> = lowered
-        .cols
-        .iter()
-        .map(|c| match c.input {
-            Some(j) => {
-                assert!(j < inputs.len(), "aggregate references missing input column {j}");
-                inputs[j]
-            }
+    let mut raw_cols = Vec::with_capacity(lowered.cols.len());
+    for c in &lowered.cols {
+        raw_cols.push(match c.input {
+            Some(j) => *inputs
+                .get(j)
+                .ok_or(AggError::MissingInputColumn { referenced: j, available: inputs.len() })?,
             None => keys,
-        })
-        .collect();
-    run_operator(keys, &raw_cols, false, lowered, cfg, obs_cfg)
+        });
+    }
+    run_operator(keys, &raw_cols, false, lowered, cfg, env, obs_cfg)
 }
 
 /// Merge pre-aggregated partial results — the distributed-aggregation
@@ -325,16 +526,32 @@ pub fn aggregate_observed(
 /// earlier [`aggregate`] calls (possibly on other machines), combining
 /// states with the **super-aggregate** functions (§3.1: COUNT merges by
 /// SUM). All partials must come from the same aggregate `specs`.
+///
+/// Panics on mismatched specs; see [`try_merge_partials`].
 pub fn merge_partials(
     partials: &[&GroupByOutput],
     specs: &[AggSpec],
     cfg: &AggregateConfig,
 ) -> (GroupByOutput, OpStats) {
+    try_merge_partials(partials, specs, cfg, &ExecEnv::unrestricted())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`merge_partials`].
+pub fn try_merge_partials(
+    partials: &[&GroupByOutput],
+    specs: &[AggSpec],
+    cfg: &AggregateConfig,
+    env: &ExecEnv,
+) -> Result<(GroupByOutput, OpStats), AggError> {
+    validate_specs(specs)?;
     let lowered = plan(specs);
     let mut keys = Vec::new();
     let mut states: Vec<Vec<u64>> = (0..lowered.cols.len()).map(|_| Vec::new()).collect();
     for p in partials {
-        assert_eq!(p.plan(), &lowered, "partials were produced with different aggregate specs");
+        if p.plan() != &lowered {
+            return Err(AggError::MismatchedSpecs);
+        }
         keys.extend_from_slice(&p.keys);
         for (dst, src) in states.iter_mut().zip(&p.states) {
             dst.extend_from_slice(src);
@@ -342,33 +559,45 @@ pub fn merge_partials(
     }
     let state_slices: Vec<&[u64]> = states.iter().map(Vec::as_slice).collect();
     let (out, report) =
-        run_operator(&keys, &state_slices, true, lowered, cfg, &ObsConfig::disabled());
-    (out, report.stats)
+        run_operator(&keys, &state_slices, true, lowered, cfg, env, &ObsConfig::disabled())?;
+    Ok((out, report.stats))
 }
 
 /// Shared driver body: `raw_cols[i]` feeds physical state column `i`;
 /// `input_aggregated` selects apply vs merge semantics for the input rows.
+#[allow(clippy::too_many_arguments)]
 fn run_operator(
     keys: &[u64],
     raw_cols: &[&[u64]],
     input_aggregated: bool,
     lowered: hsa_agg::Plan,
     cfg: &AggregateConfig,
+    env: &ExecEnv,
     obs_cfg: &ObsConfig,
-) -> (GroupByOutput, RunReport) {
+) -> Result<(GroupByOutput, RunReport), AggError> {
     let wall0 = Instant::now();
     let ops: Vec<StateOp> = lowered.cols.iter().map(|c| c.op).collect();
     let identities: Vec<u64> = ops.iter().map(|&o| identity_of(o)).collect();
     let threads = cfg.threads.max(1);
     let table_cfg = cfg.table_config(ops.len());
     let observed = obs_cfg.metrics;
+    // A fault plan that cancels after K rows needs a live token to trip,
+    // even when the caller did not pass one.
+    let cancel = if env.faults.plans_cancellation() && !env.cancel.is_enabled() {
+        CancelToken::new()
+    } else {
+        env.cancel.clone()
+    };
     let ctx = Ctx {
         cfg,
+        env,
+        cancel,
         ops,
         pool: TablePool {
             cfg: table_cfg,
             identities: identities.clone(),
             free: Mutex::new(Vec::new()),
+            held: Mutex::new(Reservation::empty()),
             metrics: observed,
         },
         collector: Collector::new(lowered.cols.len()),
@@ -379,6 +608,7 @@ fn run_operator(
         } else {
             Tracer::disabled()
         },
+        failed: Mutex::new(None),
     };
 
     // Phase 1: the work-stealing main loop over the input morsels.
@@ -386,12 +616,19 @@ fn run_operator(
     let workers: Vec<Mutex<WorkerState>> =
         (0..threads).map(|_| Mutex::new(WorkerState::new(cfg.strategy))).collect();
     let n_morsels = keys.len().div_ceil(cfg.morsel_rows.max(1)).max(1);
-    let ((), pm1) = hsa_tasks::scope_observed(threads, |s| {
+    let (scope1, pm1) = hsa_tasks::try_scope_observed(threads, |s| {
         for range in chunk_ranges(keys.len(), n_morsels) {
             let (ctx, shared, workers, raw_cols) = (&ctx, &shared, &workers, &raw_cols);
             s.spawn(move |s2| {
+                if ctx.bailed() {
+                    return;
+                }
                 let t0 = Instant::now();
                 let obs = ctx.obs(s2.worker_index());
+                if let Err(e) = ctx.check_cancel(&obs) {
+                    ctx.fail(e);
+                    return;
+                }
                 let trace_t0 = obs.tracer.now();
                 let rows = range.len() as u64;
                 obs.recorder.add(obs.worker, Counter::MorselsClaimed, 1);
@@ -404,7 +641,7 @@ fn run_operator(
                     aggregated: input_aggregated,
                 };
                 let mut sink = shared;
-                process_view(
+                if let Err(e) = process_view(
                     ctx,
                     &view,
                     0,
@@ -415,12 +652,26 @@ fn run_operator(
                     &mut ws.map8,
                     &mut sink,
                     &obs,
-                );
+                ) {
+                    ctx.fail(e);
+                    return;
+                }
+                if ctx.env.faults.should_cancel_after(rows) {
+                    ctx.cancel.cancel();
+                }
                 ctx.stats.add_level_nanos(0, t0.elapsed().as_nanos() as u64);
                 obs.tracer.span_args(obs.worker, "morsel", trace_t0, &[("rows", rows)]);
             });
         }
     });
+    let pm1 = contain_panics(&ctx, scope1, pm1)?;
+
+    // The morsel loop is done: surface any task error or a cancellation
+    // that tripped after the last poll.
+    if let Some(e) = ctx.take_failure() {
+        return Err(e);
+    }
+    ctx.check_cancel(&ctx.obs(0))?;
 
     // Seal every worker's leftover table into the level-1 buckets. The
     // scope has quiesced, so recording into each worker's shard from here
@@ -428,19 +679,25 @@ fn run_operator(
     for (w_idx, w) in workers.into_iter().enumerate() {
         if let Some(mut table) = w.into_inner().table {
             if !table.is_empty() {
-                seal_into(&mut table, &mut &shared, &ctx.stats, &ctx.obs(w_idx));
+                seal_into(&mut table, &mut &shared, ctx.gate(), &ctx.obs(w_idx))?;
             }
             ctx.pool.put(table);
         }
     }
 
     // Phase 2: recurse into the buckets, one task each.
-    let ((), pm2) = hsa_tasks::scope_observed(threads, |s| {
-        for (_digit, bucket) in shared.into_nonempty() {
+    let (scope2, pm2) = hsa_tasks::try_scope_observed(threads, |s| {
+        for (_digit, bucket, res) in shared.into_nonempty() {
             let ctx = &ctx;
-            s.spawn(move |s2| process_bucket(ctx, s2, bucket, 1));
+            s.spawn(move |s2| process_bucket(ctx, s2, bucket, res, 1));
         }
     });
+    let pm2 = contain_panics(&ctx, scope2, pm2)?;
+    if let Some(e) = ctx.take_failure() {
+        return Err(e);
+    }
+    ctx.check_cancel(&ctx.obs(0))?;
+
     let pool_metrics: Option<PoolMetrics> = observed.then(|| {
         let mut p = pm1;
         p.merge(&pm2);
@@ -459,13 +716,39 @@ fn run_operator(
         metrics: observed.then(|| recorder.snapshot()),
         trace_json: tracer.is_enabled().then(|| tracer.to_chrome_json()),
     };
-    (output, report)
+    Ok((output, report))
+}
+
+/// Convert a contained task panic into `AggError::WorkerPanic`, counting
+/// it. Runs post-quiescence, so recording into shard 0 is race-free.
+fn contain_panics(
+    ctx: &Ctx<'_>,
+    result: Result<(), hsa_tasks::TaskPanic>,
+    pm: PoolMetrics,
+) -> Result<PoolMetrics, AggError> {
+    match result {
+        Ok(()) => Ok(pm),
+        Err(p) => {
+            ctx.stats.count_contained_panic();
+            ctx.recorder.add(0, Counter::ContainedPanics, 1);
+            Err(AggError::WorkerPanic { message: p.message })
+        }
+    }
 }
 
 /// `SELECT DISTINCT key` — the C = 1, no-aggregates query the paper uses
 /// for its architecture-neutral comparison with prior work (§6.4).
 pub fn distinct(keys: &[u64], cfg: &AggregateConfig) -> (GroupByOutput, OpStats) {
     aggregate(keys, &[], &[], cfg)
+}
+
+/// Fallible [`distinct`] running under `env`'s robustness controls.
+pub fn try_distinct(
+    keys: &[u64],
+    cfg: &AggregateConfig,
+    env: &ExecEnv,
+) -> Result<(GroupByOutput, OpStats), AggError> {
+    try_aggregate(keys, &[], &[], cfg, env)
 }
 
 /// [`distinct`] with the full observability layer (see
@@ -476,6 +759,16 @@ pub fn distinct_observed(
     obs_cfg: &ObsConfig,
 ) -> (GroupByOutput, RunReport) {
     aggregate_observed(keys, &[], &[], cfg, obs_cfg)
+}
+
+/// Fallible [`distinct_observed`].
+pub fn try_distinct_observed(
+    keys: &[u64],
+    cfg: &AggregateConfig,
+    env: &ExecEnv,
+    obs_cfg: &ObsConfig,
+) -> Result<(GroupByOutput, RunReport), AggError> {
+    try_aggregate_observed(keys, &[], &[], cfg, env, obs_cfg)
 }
 
 #[cfg(test)]

@@ -1,0 +1,122 @@
+//! Execution environment: budget, cancellation, and fault injection.
+
+use crate::obs::Obs;
+use crate::stats::AtomicStats;
+use hsa_fault::{AggError, CancelToken, FaultInjector, MemoryBudget, Reservation};
+use hsa_obs::Counter;
+
+/// The robustness controls of one operator invocation: a shared memory
+/// budget, a cooperative cancellation token, and (for tests) a fault
+/// injector. The default is fully unrestricted and adds one null check per
+/// control point to the fast path.
+#[derive(Clone, Debug, Default)]
+pub struct ExecEnv {
+    /// Memory budget all growth sites reserve against.
+    pub budget: MemoryBudget,
+    /// Cancellation token polled at morsel and bucket-task boundaries.
+    pub cancel: CancelToken,
+    /// Deterministic fault injection (see `hsa_fault::FaultPlan`).
+    pub faults: FaultInjector,
+}
+
+impl ExecEnv {
+    /// No budget, no cancellation, no injection.
+    pub fn unrestricted() -> Self {
+        Self::default()
+    }
+
+    /// Replace the memory budget.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replace the cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Replace the fault injector.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// The allocation gate the routines reserve memory through: budget +
+/// injector + the stats the denials are counted in. Borrowed from the
+/// driver context and passed to every pass that materializes runs.
+#[derive(Clone, Copy)]
+pub(crate) struct Gate<'a> {
+    pub(crate) budget: &'a MemoryBudget,
+    pub(crate) faults: &'a FaultInjector,
+    pub(crate) stats: &'a AtomicStats,
+}
+
+impl Gate<'_> {
+    /// Reserve `bytes`, applying fault injection first. Injected denials
+    /// report `limit: 0` — the marker the degradation paths use to tell
+    /// "must surface" from "may degrade" (a real limit is never 0: a
+    /// zero-byte budget denies everything, so degradation is moot there
+    /// too).
+    pub(crate) fn reserve(&self, bytes: u64, obs: &Obs) -> Result<Reservation, AggError> {
+        if self.faults.should_fail_alloc() {
+            self.count_denial(obs);
+            return Err(AggError::BudgetExceeded { requested: bytes, limit: 0, reserved: 0 });
+        }
+        self.budget.try_reserve(bytes).inspect_err(|_| self.count_denial(obs))
+    }
+
+    fn count_denial(&self, obs: &Obs) {
+        self.stats.count_budget_denial();
+        obs.recorder.add(obs.worker, Counter::BudgetDenials, 1);
+    }
+}
+
+/// Whether a reservation failure may be degraded around (shrink the
+/// table, fall back to partitioning) rather than surfaced immediately.
+pub(crate) fn is_degradable(e: &AggError) -> bool {
+    matches!(e, AggError::BudgetExceeded { limit, .. } if *limit > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_fault::FaultPlan;
+
+    #[test]
+    fn env_builders_compose() {
+        let env = ExecEnv::unrestricted()
+            .with_budget(MemoryBudget::limited(1024))
+            .with_cancel(CancelToken::new())
+            .with_faults(FaultInjector::new(FaultPlan {
+                fail_alloc: Some(1),
+                ..FaultPlan::none()
+            }));
+        assert_eq!(env.budget.limit(), Some(1024));
+        assert!(env.cancel.check().is_ok());
+        assert!(env.faults.should_fail_alloc());
+    }
+
+    #[test]
+    fn gate_counts_denials_and_marks_injected() {
+        let stats = AtomicStats::default();
+        let budget = MemoryBudget::limited(100);
+        let faults = FaultInjector::new(FaultPlan { fail_alloc: Some(1), ..FaultPlan::none() });
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats };
+        let obs = Obs::disabled();
+
+        let injected = gate.reserve(10, &obs).unwrap_err();
+        assert!(!is_degradable(&injected), "injected failures must surface");
+
+        let ok = gate.reserve(60, &obs).unwrap();
+        assert_eq!(budget.outstanding(), 60);
+        let real = gate.reserve(60, &obs).unwrap_err();
+        assert!(is_degradable(&real), "real denials may degrade");
+        drop(ok);
+
+        assert_eq!(stats.snapshot().budget_denials, 2);
+        assert_eq!(budget.outstanding(), 0);
+    }
+}

@@ -12,12 +12,13 @@
 //! now-empty table or to hand the rest of the run to `PARTITIONING`.
 
 use crate::adaptive::{ModeState, SealDecision};
+use crate::exec::Gate;
 use crate::obs::{flush_table_metrics, Obs};
 use crate::sink::RunSink;
-use crate::stats::AtomicStats;
 use crate::view::RunView;
 use hsa_agg::StateOp;
 use hsa_columnar::{ChunkedVec, Run};
+use hsa_fault::AggError;
 use hsa_hash::{Hasher64, Murmur2};
 use hsa_hashtbl::{AggTable, Insert};
 use hsa_obs::{Counter, Hist};
@@ -35,18 +36,28 @@ pub(crate) enum HashOutcome {
     },
 }
 
+/// Upper estimate of the bytes `seal_into` materializes: the emitted runs'
+/// key + state chunks plus per-digit chunk slack (each non-empty digit gets
+/// its own `ChunkedVec`s whose capacities may exceed their lengths).
+fn seal_bytes_upper(groups: u64, n_cols: usize) -> u64 {
+    let per_value = 8 * (1 + n_cols as u64);
+    let digits = groups.min(256);
+    digits * 64 * per_value + 2 * groups * per_value
+}
+
 /// Seal `table` into `sink` as early-aggregated runs at `table.level() + 1`.
 ///
-/// `source_rows_hint` spreads the rows absorbed since the last seal over
-/// the emitted runs (diagnostic only; exact per-digit lineage would require
-/// per-slot counters the paper does not keep either).
+/// Reserves an upper estimate of the emitted runs' memory from the budget
+/// first; each run carries an exact-sized slice of that reservation into
+/// the sink and the transient remainder is released on return.
 pub(crate) fn seal_into(
     table: &mut AggTable,
     sink: &mut impl RunSink,
-    stats: &AtomicStats,
+    gate: Gate<'_>,
     obs: &Obs,
-) {
+) -> Result<(), AggError> {
     let groups = table.len() as u64;
+    let mut res = gate.reserve(seal_bytes_upper(groups, table.n_cols()), obs)?;
     obs.recorder.observe(
         obs.worker,
         Hist::SealFillPct,
@@ -61,12 +72,14 @@ pub(crate) fn seal_into(
             source_rows: keys.len() as u64,
             level: next_level,
         };
-        sink.push_run(digit, run);
+        let run_res = res.take(run.mem_bytes());
+        sink.push_run(digit, run, run_res);
     });
-    stats.count_seal();
+    gate.stats.count_seal();
     obs.recorder.add(obs.worker, Counter::TablesSealed, 1);
     flush_table_metrics(obs, table);
     obs.tracer.instant(obs.worker, "seal", &[("level", next_level as u64 - 1), ("groups", groups)]);
+    Ok(())
 }
 
 /// Hash rows `[from_row..]` of `view` into `table`.
@@ -85,9 +98,9 @@ pub(crate) fn hash_run(
     epoch_rows: &mut u64,
     mapping: &mut Vec<u32>,
     sink: &mut impl RunSink,
-    stats: &AtomicStats,
+    gate: Gate<'_>,
     obs: &Obs,
-) -> HashOutcome {
+) -> Result<HashOutcome, AggError> {
     let hasher = Murmur2::default();
     let aggregated = view.aggregated();
     let n = view.len();
@@ -147,7 +160,7 @@ pub(crate) fn hash_run(
         }
 
         *epoch_rows += consumed as u64;
-        stats.add_hash_rows(level, consumed as u64);
+        gate.stats.add_hash_rows(level, consumed as u64);
         obs.recorder.add(obs.worker, Counter::HashRows, consumed as u64);
         row += consumed;
 
@@ -157,22 +170,22 @@ pub(crate) fn hash_run(
             let alpha = *epoch_rows as f64 / table.len().max(1) as f64;
             obs.recorder.record_alpha(obs.worker, alpha);
             let decision = mode.on_seal(*epoch_rows, table.len(), table.total_slots());
-            seal_into(table, sink, stats, obs);
+            seal_into(table, sink, gate, obs)?;
             *epoch_rows = 0;
             if decision == SealDecision::SwitchToPartitioning {
-                stats.count_switch_to_partitioning();
+                gate.stats.count_switch_to_partitioning();
                 obs.recorder.add(obs.worker, Counter::SwitchesToPartitioning, 1);
                 obs.tracer.instant(
                     obs.worker,
                     "switch_to_partitioning",
                     &[("level", level as u64), ("alpha_x100", (alpha * 100.0) as u64)],
                 );
-                return HashOutcome::Switched { next_row: row };
+                return Ok(HashOutcome::Switched { next_row: row });
             }
             // Retry the row that hit the full table with the fresh one.
         }
     }
-    HashOutcome::Done
+    Ok(HashOutcome::Done)
 }
 
 #[cfg(test)]
@@ -180,8 +193,21 @@ mod tests {
     use super::*;
     use crate::adaptive::Strategy;
     use crate::sink::LocalBuckets;
+    use crate::stats::AtomicStats;
+    use hsa_fault::{FaultInjector, MemoryBudget};
     use hsa_hashtbl::TableConfig;
     use std::collections::BTreeMap;
+
+    /// An unrestricted gate for driving the routine directly.
+    macro_rules! open_gate {
+        ($stats:expr) => {
+            Gate {
+                budget: &MemoryBudget::unlimited(),
+                faults: &FaultInjector::none(),
+                stats: $stats,
+            }
+        };
+    }
 
     fn table(slots: usize, ops: &[StateOp]) -> AggTable {
         let ids: Vec<u64> = ops.iter().map(|&o| hsa_hashtbl::identity_of(o)).collect();
@@ -212,15 +238,16 @@ mod tests {
             &mut epoch,
             &mut mapping,
             &mut sink,
-            &stats,
+            open_gate!(&stats),
             &Obs::disabled(),
-        );
+        )
+        .unwrap();
         assert_eq!(out, HashOutcome::Done);
-        seal_into(&mut t, &mut sink, &stats, &Obs::disabled());
+        seal_into(&mut t, &mut sink, open_gate!(&stats), &Obs::disabled()).unwrap();
 
         // Merge all emitted runs with the super-aggregate.
         let mut merged: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-        for (_, bucket) in sink.into_nonempty() {
+        for (_, bucket, _res) in sink.into_nonempty() {
             for run in bucket {
                 assert!(run.aggregated);
                 assert_eq!(run.level, 1);
@@ -300,14 +327,15 @@ mod tests {
                 &mut epoch,
                 &mut mapping,
                 &mut sink,
-                &stats,
+                open_gate!(&stats),
                 &Obs::disabled(),
-            );
+            )
+            .unwrap();
             assert_eq!(out, HashOutcome::Done);
         }
-        seal_into(&mut t, &mut sink, &stats, &Obs::disabled());
+        seal_into(&mut t, &mut sink, open_gate!(&stats), &Obs::disabled()).unwrap();
         let mut total = None;
-        for (_, bucket) in sink.into_nonempty() {
+        for (_, bucket, _res) in sink.into_nonempty() {
             for run in bucket {
                 assert_eq!(run.keys.to_vec(), vec![42]);
                 total = Some(run.cols[0].get(0).unwrap());
@@ -340,9 +368,11 @@ mod tests {
             &mut epoch,
             &mut mapping,
             &mut sink,
-            &stats,
+            open_gate!(&stats),
             &Obs::disabled(),
-        ) {
+        )
+        .unwrap()
+        {
             HashOutcome::Switched { next_row } => {
                 // Exactly the table capacity was absorbed before the seal.
                 assert_eq!(next_row, 1024);
@@ -350,5 +380,22 @@ mod tests {
             HashOutcome::Done => panic!("expected a switch"),
         }
         assert!(!mode.use_hashing(0));
+    }
+
+    #[test]
+    fn seal_fails_cleanly_on_denied_budget() {
+        let stats = AtomicStats::default();
+        let ops = [StateOp::Sum];
+        let mut t = table(1 << 10, &ops);
+        t.insert_key(7, Murmur2::default().hash_u64(7));
+        let budget = MemoryBudget::limited(1);
+        let faults = FaultInjector::none();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats };
+        let mut sink = LocalBuckets::new();
+        let err = seal_into(&mut t, &mut sink, gate, &Obs::disabled()).unwrap_err();
+        assert!(matches!(err, AggError::BudgetExceeded { limit: 1, .. }));
+        assert!(sink.is_empty(), "no run may be emitted on a denied seal");
+        assert_eq!(budget.outstanding(), 0);
+        assert_eq!(stats.snapshot().budget_denials, 1);
     }
 }

@@ -46,6 +46,7 @@
 
 mod adaptive;
 mod driver;
+mod exec;
 mod hashing;
 mod obs;
 mod output;
@@ -56,7 +57,14 @@ mod stats;
 mod view;
 
 pub use adaptive::{AdaptiveParams, Strategy};
-pub use driver::{aggregate, aggregate_observed, distinct, distinct_observed, merge_partials};
+pub use driver::{
+    aggregate, aggregate_observed, distinct, distinct_observed, merge_partials, try_aggregate,
+    try_aggregate_observed, try_distinct, try_distinct_observed, try_merge_partials,
+};
+pub use exec::ExecEnv;
+pub use hsa_fault::{
+    AggError, CancelReason, CancelToken, FaultInjector, FaultPlan, MemoryBudget, Reservation,
+};
 pub use output::GroupByOutput;
 pub use report::{ObsConfig, RunReport};
 pub use stats::OpStats;

@@ -1,10 +1,14 @@
 //! The operator's result and the shared collector it is assembled in.
 
 use hsa_agg::{Finalizer, Plan};
+use hsa_fault::Reservation;
 use hsa_tasks::sync::Mutex;
 
 /// Shared sink for final groups. Leaf tasks append whole blocks under one
 /// short lock — coarse enough to be negligible (§3.2).
+///
+/// The collector holds the budget reservations backing its growing output
+/// vectors until the output is handed to the caller.
 pub(crate) struct Collector {
     inner: Mutex<RawOut>,
 }
@@ -12,6 +16,7 @@ pub(crate) struct Collector {
 struct RawOut {
     keys: Vec<u64>,
     states: Vec<Vec<u64>>,
+    res: Reservation,
 }
 
 impl Collector {
@@ -20,22 +25,28 @@ impl Collector {
             inner: Mutex::new(RawOut {
                 keys: Vec::new(),
                 states: (0..n_cols).map(|_| Vec::new()).collect(),
+                res: Reservation::empty(),
             }),
         }
     }
 
-    /// Append one block of final groups.
-    pub(crate) fn push_block(&self, keys: &[u64], cols: &[Vec<u64>]) {
+    /// Append one block of final groups, folding in the reservation that
+    /// paid for the block's memory.
+    pub(crate) fn push_block(&self, keys: &[u64], cols: &[Vec<u64>], res: Reservation) {
         let mut g = self.inner.lock();
         g.keys.extend_from_slice(keys);
         debug_assert_eq!(cols.len(), g.states.len());
         for (dst, src) in g.states.iter_mut().zip(cols) {
             dst.extend_from_slice(src);
         }
+        g.res.merge(res);
     }
 
     pub(crate) fn into_output(self, plan: Plan) -> GroupByOutput {
         let raw = self.inner.into_inner();
+        // The reservations covering the output rows are released here: the
+        // result now belongs to the caller, outside the operator's budget.
+        drop(raw.res);
         GroupByOutput { keys: raw.keys, states: raw.states, plan }
     }
 }
@@ -105,8 +116,8 @@ mod tests {
     #[test]
     fn collector_appends_blocks() {
         let c = Collector::new(2);
-        c.push_block(&[1, 2], &[vec![10, 20], vec![1, 1]]);
-        c.push_block(&[3], &[vec![30], vec![1]]);
+        c.push_block(&[1, 2], &[vec![10, 20], vec![1, 1]], Reservation::empty());
+        c.push_block(&[3], &[vec![30], vec![1]], Reservation::empty());
         let out = c.into_output(plan(&[AggSpec::sum(0), AggSpec::count()]));
         assert_eq!(out.n_groups(), 3);
         assert_eq!(out.sorted_rows()[2], (3, vec![30, 1]));
@@ -116,7 +127,7 @@ mod tests {
     fn finalization_helpers() {
         let c = Collector::new(2);
         // states: sum, count → specs: avg(0), count()
-        c.push_block(&[7], &[vec![10], vec![4]]);
+        c.push_block(&[7], &[vec![10], vec![4]], Reservation::empty());
         let out = c.into_output(plan(&[AggSpec::avg(0), AggSpec::count()]));
         assert_eq!(out.value(0, 0), 2.5);
         assert_eq!(out.column_u64(0), None);

@@ -6,19 +6,32 @@
 //! runs of the next level, preserving the `aggregated` flag of the source
 //! (partitioning never aggregates — that is exactly its trade-off).
 
+use crate::exec::Gate;
 use crate::obs::Obs;
 use crate::sink::RunSink;
-use crate::stats::AtomicStats;
 use crate::view::RunView;
 use hsa_columnar::Run;
-use hsa_hash::Murmur2;
+use hsa_fault::AggError;
+use hsa_hash::{Murmur2, FANOUT};
 use hsa_obs::{Counter, Hist};
 use hsa_partition::{
     partition_keys_mapped_observed, partition_keys_observed, scatter_by_digits_observed,
-    PartitionMetrics,
+    swc_pass_bytes, PartitionMetrics,
 };
 
+/// Upper estimate of the bytes one partitioning pass materializes: the SWC
+/// buffer lines, the output chunks for keys and each state column (chunk
+/// slack doubles the payload bound), and per-digit chunk headers.
+fn partition_bytes_upper(rows: usize, n_cols: usize) -> u64 {
+    let per_value = 8 * (1 + n_cols as u64);
+    swc_pass_bytes(n_cols) + 2 * rows as u64 * per_value + FANOUT as u64 * 64 * per_value
+}
+
 /// Partition rows `[from_row..]` of `view` into next-level runs.
+///
+/// Reserves an upper estimate of the pass's memory first; each emitted run
+/// carries an exact-sized slice of the reservation and the remainder is
+/// released on return.
 #[allow(clippy::too_many_arguments)] // the driver's task context, passed flat
 pub(crate) fn partition_run(
     view: &RunView<'_>,
@@ -27,13 +40,14 @@ pub(crate) fn partition_run(
     n_cols: usize,
     mapping: &mut Vec<u8>,
     sink: &mut impl RunSink,
-    stats: &AtomicStats,
+    gate: Gate<'_>,
     obs: &Obs,
-) {
+) -> Result<(), AggError> {
     let rows = view.len() - from_row;
     if rows == 0 {
-        return;
+        return Ok(());
     }
+    let mut res = gate.reserve(partition_bytes_upper(rows, n_cols), obs)?;
     let hasher = Murmur2::default();
     let t0 = obs.tracer.now();
     let mut pm = PartitionMetrics::default();
@@ -52,7 +66,7 @@ pub(crate) fn partition_run(
         .map(|i| scatter_by_digits_observed(mapping, view.col_slices(i, from_row), &mut pm))
         .collect();
 
-    stats.add_part_rows(level, rows as u64);
+    gate.stats.add_part_rows(level, rows as u64);
     obs.recorder.add(obs.worker, Counter::PartRows, rows as u64);
     obs.recorder.add(obs.worker, Counter::SwcFlushes, pm.swc_flushes);
     obs.recorder.add(obs.worker, Counter::SwcFlushBytes, pm.swc_flush_bytes);
@@ -80,18 +94,30 @@ pub(crate) fn partition_run(
         let keys = std::mem::take(&mut key_parts[digit]);
         let n = keys.len();
         let cols = col_parts.iter_mut().map(|cp| std::mem::take(&mut cp[digit])).collect();
-        sink.push_run(
-            digit,
-            Run { keys, cols, aggregated, source_rows: n as u64, level: level + 1 },
-        );
+        let run = Run { keys, cols, aggregated, source_rows: n as u64, level: level + 1 };
+        let run_res = res.take(run.mem_bytes());
+        sink.push_run(digit, run, run_res);
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sink::LocalBuckets;
+    use crate::stats::AtomicStats;
+    use hsa_fault::{FaultInjector, MemoryBudget};
     use hsa_hash::{digit, Hasher64};
+
+    macro_rules! open_gate {
+        ($stats:expr) => {
+            Gate {
+                budget: &MemoryBudget::unlimited(),
+                faults: &FaultInjector::none(),
+                stats: $stats,
+            }
+        };
+    }
 
     #[test]
     fn partitions_raw_input_with_columns() {
@@ -101,11 +127,21 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let stats = AtomicStats::default();
         let mut mapping = Vec::new();
-        partition_run(&view, 0, 0, 1, &mut mapping, &mut sink, &stats, &Obs::disabled());
+        partition_run(
+            &view,
+            0,
+            0,
+            1,
+            &mut mapping,
+            &mut sink,
+            open_gate!(&stats),
+            &Obs::disabled(),
+        )
+        .unwrap();
 
         let h = Murmur2::default();
         let mut total = 0usize;
-        for (d, bucket) in sink.into_nonempty() {
+        for (d, bucket, _res) in sink.into_nonempty() {
             for run in bucket {
                 assert!(!run.aggregated);
                 assert_eq!(run.level, 1);
@@ -132,9 +168,19 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let stats = AtomicStats::default();
         let mut mapping = Vec::new();
-        partition_run(&view, 900, 0, 0, &mut mapping, &mut sink, &stats, &Obs::disabled());
+        partition_run(
+            &view,
+            900,
+            0,
+            0,
+            &mut mapping,
+            &mut sink,
+            open_gate!(&stats),
+            &Obs::disabled(),
+        )
+        .unwrap();
         let total: usize =
-            sink.into_nonempty().map(|(_, b)| b.iter().map(Run::len).sum::<usize>()).sum();
+            sink.into_nonempty().map(|(_, b, _)| b.iter().map(Run::len).sum::<usize>()).sum();
         assert_eq!(total, 100);
     }
 
@@ -145,7 +191,17 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let stats = AtomicStats::default();
         let mut mapping = Vec::new();
-        partition_run(&view, 10, 0, 0, &mut mapping, &mut sink, &stats, &Obs::disabled());
+        partition_run(
+            &view,
+            10,
+            0,
+            0,
+            &mut mapping,
+            &mut sink,
+            open_gate!(&stats),
+            &Obs::disabled(),
+        )
+        .unwrap();
         assert!(sink.is_empty());
     }
 
@@ -163,12 +219,39 @@ mod tests {
         let mut sink = LocalBuckets::new();
         let stats = AtomicStats::default();
         let mut mapping = Vec::new();
-        partition_run(&view, 0, 1, 1, &mut mapping, &mut sink, &stats, &Obs::disabled());
-        for (_, bucket) in sink.into_nonempty() {
+        partition_run(
+            &view,
+            0,
+            1,
+            1,
+            &mut mapping,
+            &mut sink,
+            open_gate!(&stats),
+            &Obs::disabled(),
+        )
+        .unwrap();
+        for (_, bucket, _res) in sink.into_nonempty() {
             for r in bucket {
                 assert!(r.aggregated, "partitioning must not clear the flag");
                 assert_eq!(r.level, 2);
             }
         }
+    }
+
+    #[test]
+    fn denied_budget_aborts_the_pass() {
+        let keys: Vec<u64> = (0..1000).collect();
+        let view = RunView::Borrowed { keys: &keys, cols: vec![], aggregated: false };
+        let mut sink = LocalBuckets::new();
+        let stats = AtomicStats::default();
+        let mut mapping = Vec::new();
+        let budget = MemoryBudget::limited(100);
+        let faults = FaultInjector::none();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats };
+        let err = partition_run(&view, 0, 0, 0, &mut mapping, &mut sink, gate, &Obs::disabled())
+            .unwrap_err();
+        assert!(matches!(err, AggError::BudgetExceeded { limit: 100, .. }));
+        assert!(sink.is_empty());
+        assert_eq!(budget.outstanding(), 0);
     }
 }

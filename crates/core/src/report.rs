@@ -123,6 +123,13 @@ impl RunReport {
             "seals {}   switches to partitioning {}   to hashing {}   fallback merges {}",
             st.seals, st.switches_to_partitioning, st.switches_to_hashing, st.fallback_merges
         );
+        if st.budget_denials + st.budget_downgrades + st.cancellations + st.contained_panics > 0 {
+            let _ = writeln!(
+                s,
+                "robustness         budget denials {}   downgrades {}   cancellations {}   contained panics {}",
+                st.budget_denials, st.budget_downgrades, st.cancellations, st.contained_panics
+            );
+        }
         if let Some(pool) = &self.pool {
             let t = pool.totals();
             let _ = writeln!(
@@ -191,6 +198,10 @@ pub fn stats_json(stats: &OpStats) -> JsonValue {
         ("switches_to_partitioning", JsonValue::U64(stats.switches_to_partitioning)),
         ("switches_to_hashing", JsonValue::U64(stats.switches_to_hashing)),
         ("fallback_merges", JsonValue::U64(stats.fallback_merges)),
+        ("budget_denials", JsonValue::U64(stats.budget_denials)),
+        ("budget_downgrades", JsonValue::U64(stats.budget_downgrades)),
+        ("cancellations", JsonValue::U64(stats.cancellations)),
+        ("contained_panics", JsonValue::U64(stats.contained_panics)),
     ])
 }
 

@@ -15,6 +15,10 @@ pub(crate) struct AtomicStats {
     switches_to_partitioning: AtomicU64,
     switches_to_hashing: AtomicU64,
     fallback_merges: AtomicU64,
+    budget_denials: AtomicU64,
+    budget_downgrades: AtomicU64,
+    cancellations: AtomicU64,
+    contained_panics: AtomicU64,
 }
 
 impl AtomicStats {
@@ -46,6 +50,22 @@ impl AtomicStats {
         self.fallback_merges.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_budget_denial(&self) {
+        self.budget_denials.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_budget_downgrade(&self) {
+        self.budget_downgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_cancellation(&self) {
+        self.cancellations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_contained_panic(&self) {
+        self.contained_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> OpStats {
         let take = |a: &[AtomicU64]| a.iter().map(|x| x.load(Ordering::Relaxed)).collect();
         OpStats {
@@ -56,6 +76,10 @@ impl AtomicStats {
             switches_to_partitioning: self.switches_to_partitioning.load(Ordering::Relaxed),
             switches_to_hashing: self.switches_to_hashing.load(Ordering::Relaxed),
             fallback_merges: self.fallback_merges.load(Ordering::Relaxed),
+            budget_denials: self.budget_denials.load(Ordering::Relaxed),
+            budget_downgrades: self.budget_downgrades.load(Ordering::Relaxed),
+            cancellations: self.cancellations.load(Ordering::Relaxed),
+            contained_panics: self.contained_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,6 +106,16 @@ pub struct OpStats {
     /// Buckets merged by the growable fallback table (hash digits
     /// exhausted, or the final pass of `PartitionAlways`).
     pub fallback_merges: u64,
+    /// Memory reservations denied by the budget (or fault injection).
+    pub budget_denials: u64,
+    /// Degradations taken in response to denials: hash tables shrunk
+    /// below the configured size or morsels forced to partitioning.
+    pub budget_downgrades: u64,
+    /// Tasks that observed a cancellation request and stopped early.
+    pub cancellations: u64,
+    /// Worker panics contained by the task scope (the operator returned
+    /// `AggError::WorkerPanic` instead of unwinding the caller).
+    pub contained_panics: u64,
 }
 
 impl OpStats {
@@ -119,6 +153,10 @@ impl OpStats {
         self.switches_to_partitioning += other.switches_to_partitioning;
         self.switches_to_hashing += other.switches_to_hashing;
         self.fallback_merges += other.fallback_merges;
+        self.budget_denials += other.budget_denials;
+        self.budget_downgrades += other.budget_downgrades;
+        self.cancellations += other.cancellations;
+        self.contained_panics += other.contained_panics;
     }
 }
 
@@ -136,6 +174,10 @@ mod tests {
         a.count_seal();
         a.count_switch_to_partitioning();
         a.count_fallback_merge();
+        a.count_budget_denial();
+        a.count_budget_downgrade();
+        a.count_cancellation();
+        a.count_contained_panic();
         let s = a.snapshot();
         assert_eq!(s.hash_rows_per_level[0], 100);
         assert_eq!(s.hash_rows_per_level[1], 50);
@@ -144,6 +186,10 @@ mod tests {
         assert_eq!(s.seals, 1);
         assert_eq!(s.switches_to_partitioning, 1);
         assert_eq!(s.fallback_merges, 1);
+        assert_eq!(s.budget_denials, 1);
+        assert_eq!(s.budget_downgrades, 1);
+        assert_eq!(s.cancellations, 1);
+        assert_eq!(s.contained_panics, 1);
         assert_eq!(s.passes_used(), 2);
         assert_eq!(s.total_hash_rows(), 150);
         assert_eq!(s.total_part_rows(), 30);

@@ -1,0 +1,276 @@
+//! Deterministic fault-injection sweep (the robustness acceptance suite).
+//!
+//! A [`FaultPlan`] names an injection point by ordinal — fail the Nth
+//! memory reservation, panic in the Nth operator task, cancel after K
+//! input rows. Sweeping N over a fixed workload visits every reservation
+//! and every task of the run. For each injection this suite asserts
+//!
+//! 1. the operator returns the matching [`AggError`] variant (no panic
+//!    escapes, no wrong-variant mapping),
+//! 2. the shared [`MemoryBudget`] reports zero outstanding bytes after
+//!    the failure (every reservation was released on the error path), and
+//! 3. an immediately following un-injected run against the *same* budget
+//!    succeeds and matches a `BTreeMap` reference — the failure leaked
+//!    nothing that poisons later runs.
+
+use hsa_agg::AggSpec;
+use hsa_core::{
+    try_aggregate, AggError, AggregateConfig, CancelReason, CancelToken, ExecEnv, FaultInjector,
+    FaultPlan, GroupByOutput, MemoryBudget, Strategy,
+};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const ROWS: usize = 20_000;
+const GROUPS: u64 = 501;
+
+fn workload() -> (Vec<u64>, Vec<u64>) {
+    let keys: Vec<u64> = (0..ROWS as u64).map(|i| (i.wrapping_mul(2654435761)) % GROUPS).collect();
+    let vals: Vec<u64> = (0..ROWS as u64).collect();
+    (keys, vals)
+}
+
+/// COUNT(*), SUM(v) per key via a reference map.
+fn reference(keys: &[u64], vals: &[u64]) -> BTreeMap<u64, (u64, u64)> {
+    let mut m = BTreeMap::new();
+    for (&k, &v) in keys.iter().zip(vals) {
+        let e = m.entry(k).or_insert((0u64, 0u64));
+        e.0 += 1;
+        e.1 += v;
+    }
+    m
+}
+
+fn assert_matches_reference(out: &GroupByOutput, keys: &[u64], vals: &[u64]) {
+    let expect = reference(keys, vals);
+    let rows = out.sorted_rows();
+    assert_eq!(rows.len(), expect.len(), "group count");
+    for ((key, cols), (ek, (count, sum))) in rows.iter().zip(&expect) {
+        assert_eq!(key, ek);
+        assert_eq!(cols.as_slice(), &[*count, *sum], "key {key}");
+    }
+}
+
+/// Small tables + small morsels: many reservations, many tasks, real
+/// recursion — the densest set of injection points we can get cheaply.
+fn config() -> AggregateConfig {
+    AggregateConfig {
+        cache_bytes: 64 << 10,
+        threads: 2,
+        morsel_rows: 4096,
+        ..AggregateConfig::default()
+    }
+}
+
+fn specs() -> Vec<AggSpec> {
+    vec![AggSpec::count(), AggSpec::sum(0)]
+}
+
+/// Run once under `env`, asserting the budget drains to zero afterwards.
+fn run_under(
+    env: &ExecEnv,
+    budget: &MemoryBudget,
+    keys: &[u64],
+    vals: &[u64],
+) -> Result<GroupByOutput, AggError> {
+    let r = try_aggregate(keys, &[vals], &specs(), &config(), env);
+    assert_eq!(budget.outstanding(), 0, "reservations leaked across the call");
+    r.map(|(out, _)| out)
+}
+
+/// After any failure, the same budget must still support a clean run.
+fn assert_recovers(budget: &MemoryBudget, keys: &[u64], vals: &[u64]) {
+    let env = ExecEnv::unrestricted().with_budget(budget.clone());
+    let out = run_under(&env, budget, keys, vals).expect("un-injected run after a failure");
+    assert_matches_reference(&out, keys, vals);
+}
+
+#[test]
+fn sweep_failing_every_allocation() {
+    let (keys, vals) = workload();
+    let budget = MemoryBudget::limited(1 << 30);
+    let mut failures = 0u64;
+    for n in 1..10_000 {
+        let plan = FaultPlan { fail_alloc: Some(n), ..FaultPlan::none() };
+        let env = ExecEnv::unrestricted()
+            .with_budget(budget.clone())
+            .with_faults(FaultInjector::new(plan));
+        match run_under(&env, &budget, &keys, &vals) {
+            Ok(out) => {
+                // The plan's ordinal is past the last reservation of the
+                // run: nothing fired, the result must be correct.
+                assert_matches_reference(&out, &keys, &vals);
+                assert!(failures > 0, "sweep never hit a reservation");
+                assert!(n > failures, "sweep: {failures} failures before first pass at n={n}");
+                return;
+            }
+            Err(AggError::BudgetExceeded { limit: 0, .. }) => {
+                failures += 1;
+                assert_recovers(&budget, &keys, &vals);
+            }
+            Err(other) => panic!("injected allocation failure surfaced as {other:?}"),
+        }
+    }
+    panic!("allocation sweep did not terminate");
+}
+
+#[test]
+fn sweep_panicking_in_every_task() {
+    // Injected panics are expected: keep them off the test's stderr, but
+    // let anything else through untouched.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str));
+        let injected = msg.is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let (keys, vals) = workload();
+    let budget = MemoryBudget::limited(1 << 30);
+    let mut panics = 0u64;
+    for n in 1..10_000 {
+        let plan = FaultPlan { panic_in_task: Some(n), ..FaultPlan::none() };
+        let env = ExecEnv::unrestricted()
+            .with_budget(budget.clone())
+            .with_faults(FaultInjector::new(plan));
+        match run_under(&env, &budget, &keys, &vals) {
+            Ok(out) => {
+                assert_matches_reference(&out, &keys, &vals);
+                assert!(panics > 0, "sweep never hit a task");
+                let _ = std::panic::take_hook();
+                return;
+            }
+            Err(AggError::WorkerPanic { message }) => {
+                assert!(message.contains("injected fault"), "unexpected panic text {message:?}");
+                panics += 1;
+                assert_recovers(&budget, &keys, &vals);
+            }
+            Err(other) => panic!("injected task panic surfaced as {other:?}"),
+        }
+    }
+    panic!("task-panic sweep did not terminate");
+}
+
+#[test]
+fn cancel_after_row_thresholds() {
+    let (keys, vals) = workload();
+    let budget = MemoryBudget::limited(1 << 30);
+    for threshold in [1, ROWS as u64 / 2, ROWS as u64] {
+        let plan = FaultPlan { cancel_after_rows: Some(threshold), ..FaultPlan::none() };
+        let env = ExecEnv::unrestricted()
+            .with_budget(budget.clone())
+            .with_faults(FaultInjector::new(plan));
+        match run_under(&env, &budget, &keys, &vals) {
+            Err(AggError::Cancelled(CancelReason::Requested)) => {}
+            other => panic!("cancel after {threshold} rows: got {other:?}"),
+        }
+        assert_recovers(&budget, &keys, &vals);
+    }
+}
+
+#[test]
+fn expired_deadline_cancels() {
+    let (keys, vals) = workload();
+    let budget = MemoryBudget::limited(1 << 30);
+    let env = ExecEnv::unrestricted()
+        .with_budget(budget.clone())
+        .with_cancel(CancelToken::with_timeout(Duration::ZERO));
+    match run_under(&env, &budget, &keys, &vals) {
+        Err(AggError::Cancelled(CancelReason::DeadlineExceeded)) => {}
+        other => panic!("expired deadline: got {other:?}"),
+    }
+    assert_recovers(&budget, &keys, &vals);
+}
+
+#[test]
+fn pre_cancelled_token_stops_immediately() {
+    let (keys, vals) = workload();
+    let budget = MemoryBudget::limited(1 << 30);
+    let token = CancelToken::new();
+    token.cancel();
+    let env = ExecEnv::unrestricted().with_budget(budget.clone()).with_cancel(token);
+    match run_under(&env, &budget, &keys, &vals) {
+        Err(AggError::Cancelled(CancelReason::Requested)) => {}
+        other => panic!("pre-cancelled token: got {other:?}"),
+    }
+    assert_recovers(&budget, &keys, &vals);
+}
+
+#[test]
+fn modest_budget_degrades_but_stays_correct() {
+    let (keys, vals) = workload();
+    // Tables want 8 MiB each; the budget only allows much smaller ones.
+    // The operator must shrink (or fall back to partitioning), record the
+    // downgrades, and still produce the right answer.
+    let cfg = AggregateConfig {
+        cache_bytes: 8 << 20,
+        threads: 1,
+        morsel_rows: 4096,
+        ..AggregateConfig::default()
+    };
+    let budget = MemoryBudget::limited(6 << 20);
+    let env = ExecEnv::unrestricted().with_budget(budget.clone());
+    let (out, stats) =
+        try_aggregate(&keys, &[&vals], &specs(), &cfg, &env).expect("degraded run succeeds");
+    assert_eq!(budget.outstanding(), 0);
+    assert!(stats.budget_downgrades > 0, "expected at least one recorded downgrade");
+    assert!(budget.denials() > 0, "expected the full-size reservation to be denied");
+    assert_matches_reference(&out, &keys, &vals);
+}
+
+#[test]
+fn hard_exhaustion_fails_cleanly() {
+    let (keys, vals) = workload();
+    let budget = MemoryBudget::limited(1 << 10);
+    let env = ExecEnv::unrestricted().with_budget(budget.clone());
+    match run_under(&env, &budget, &keys, &vals) {
+        Err(AggError::BudgetExceeded { limit, .. }) => assert_eq!(limit, 1 << 10),
+        other => panic!("1 KiB budget: got {other:?}"),
+    }
+    assert!(budget.denials() > 0);
+}
+
+#[test]
+fn hand_built_spec_without_input_is_rejected() {
+    let spec = hsa_agg::AggSpec { func: hsa_agg::AggFn::Sum, input: None };
+    let r = try_aggregate(&[1, 2], &[], &[spec], &config(), &ExecEnv::unrestricted());
+    assert!(matches!(r, Err(AggError::SpecNeedsInput { spec: 0 })), "{r:?}");
+}
+
+#[test]
+fn unlimited_env_is_the_default_path() {
+    let (keys, vals) = workload();
+    let env = ExecEnv::unrestricted();
+    let (out, _) = try_aggregate(&keys, &[&vals], &specs(), &config(), &env).unwrap();
+    assert_matches_reference(&out, &keys, &vals);
+}
+
+#[test]
+fn every_strategy_respects_the_environment() {
+    let (keys, vals) = workload();
+    for strategy in [Strategy::HashingOnly, Strategy::PartitionAlways { passes: 1 }] {
+        let mut cfg = config();
+        cfg.strategy = strategy;
+        let budget = MemoryBudget::limited(1 << 30);
+        let env = ExecEnv::unrestricted().with_budget(budget.clone());
+        let (out, _) = try_aggregate(&keys, &[&vals], &specs(), &cfg, &env)
+            .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+        assert_eq!(budget.outstanding(), 0, "{strategy:?} leaked reservations");
+        assert_matches_reference(&out, &keys, &vals);
+
+        let tiny = MemoryBudget::limited(1 << 10);
+        let env = ExecEnv::unrestricted().with_budget(tiny.clone());
+        let r = try_aggregate(&keys, &[&vals], &specs(), &cfg, &env);
+        assert!(
+            matches!(r, Err(AggError::BudgetExceeded { .. })),
+            "{strategy:?} under 1 KiB: {r:?}"
+        );
+        assert_eq!(tiny.outstanding(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Cooperative cancellation with an optional deadline.
+
+use crate::error::AggError;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why an operator invocation was cancelled.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Requested,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Requested => write!(f, "cancellation requested"),
+            CancelReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cooperative cancellation token, checked by the driver at morsel and
+/// bucket-task boundaries (the row-level loops never poll it).
+///
+/// Cloning shares the flag. The default token ([`CancelToken::none`])
+/// never cancels and costs one null check per poll.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelInner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels.
+    pub fn none() -> Self {
+        Self { inner: None }
+    }
+
+    /// A cancellable token with no deadline.
+    pub fn new() -> Self {
+        Self { inner: Some(Arc::new(CancelInner { flag: AtomicBool::new(false), deadline: None })) }
+    }
+
+    /// A cancellable token that also trips once `timeout` has elapsed
+    /// (measured from now).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self {
+            inner: Some(Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+            })),
+        }
+    }
+
+    /// True if this token can ever cancel (i.e. is not
+    /// [`CancelToken::none`]).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Request cancellation. Idempotent; a no-op on [`CancelToken::none`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Why this token is cancelled, if it is.
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        let inner = self.inner.as_ref()?;
+        if inner.flag.load(Ordering::Acquire) {
+            return Some(CancelReason::Requested);
+        }
+        match inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// `Err(AggError::Cancelled)` once the token has tripped.
+    pub fn check(&self) -> Result<(), AggError> {
+        match self.cancelled() {
+            Some(reason) => Err(AggError::Cancelled(reason)),
+            None => Ok(()),
+        }
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "CancelToken::none"),
+            Some(_) => write!(f, "CancelToken {{ cancelled: {:?} }}", self.cancelled()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_cancels() {
+        let t = CancelToken::none();
+        t.cancel();
+        assert_eq!(t.cancelled(), None);
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_trips_all_clones() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(t2.check().is_ok());
+        t.cancel();
+        assert_eq!(t2.cancelled(), Some(CancelReason::Requested));
+        assert_eq!(t2.check(), Err(AggError::Cancelled(CancelReason::Requested)));
+    }
+
+    #[test]
+    fn deadline_trips_after_timeout() {
+        let t = CancelToken::with_timeout(Duration::from_millis(0));
+        assert_eq!(t.cancelled(), Some(CancelReason::DeadlineExceeded));
+        let far = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert_eq!(far.cancelled(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline() {
+        let t = CancelToken::with_timeout(Duration::from_millis(0));
+        t.cancel();
+        assert_eq!(t.cancelled(), Some(CancelReason::Requested));
+    }
+}

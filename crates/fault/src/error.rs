@@ -1,0 +1,131 @@
+//! The error taxonomy of the fallible operator API.
+
+use crate::cancel::CancelReason;
+use std::fmt;
+
+/// Everything that can go wrong in one operator invocation.
+///
+/// The `Display` messages of the input-validation variants deliberately
+/// contain the exact phrases the historical panicking API used
+/// ("row count mismatch", "missing input column", "different aggregate
+/// specs"), so the infallible wrappers can panic with `{err}` and stay
+/// drop-in compatible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AggError {
+    /// An aggregate input column has a different row count than the keys.
+    RowCountMismatch {
+        /// Index of the offending input column.
+        column: usize,
+        /// Rows in that column.
+        got: usize,
+        /// Rows in the key column.
+        expected: usize,
+    },
+    /// An aggregate spec references an input column that was not supplied.
+    MissingInputColumn {
+        /// The referenced column index.
+        referenced: usize,
+        /// How many input columns were supplied.
+        available: usize,
+    },
+    /// An aggregate other than COUNT was built without an input column
+    /// (possible through the pub fields of `AggSpec`, not its
+    /// constructors).
+    SpecNeedsInput {
+        /// Index of the offending spec.
+        spec: usize,
+    },
+    /// `merge_partials` received partials produced by different specs.
+    MismatchedSpecs,
+    /// A query referenced a column the table does not have.
+    UnknownColumn(String),
+    /// A query had no grouping column.
+    EmptyGroupBy,
+    /// A memory reservation was denied (after all degradation options
+    /// were exhausted).
+    BudgetExceeded {
+        /// Bytes the denied reservation asked for.
+        requested: u64,
+        /// The budget's limit in bytes.
+        limit: u64,
+        /// Bytes already reserved when the request was denied.
+        reserved: u64,
+    },
+    /// The operator was cancelled cooperatively.
+    Cancelled(CancelReason),
+    /// A worker task panicked; the scope was drained and the payload
+    /// message captured instead of re-raising.
+    WorkerPanic {
+        /// The panic payload, if it was a string (the common case).
+        message: String,
+    },
+}
+
+impl fmt::Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::RowCountMismatch { column, got, expected } => write!(
+                f,
+                "aggregate input column {column} row count mismatch: {got} rows, keys have {expected}"
+            ),
+            AggError::MissingInputColumn { referenced, available } => write!(
+                f,
+                "aggregate references missing input column {referenced} ({available} supplied)"
+            ),
+            AggError::SpecNeedsInput { spec } => {
+                write!(f, "aggregate spec {spec} needs an input column")
+            }
+            AggError::MismatchedSpecs => {
+                write!(f, "partials were produced with different aggregate specs")
+            }
+            AggError::UnknownColumn(name) => write!(f, "no column named {name:?}"),
+            AggError::EmptyGroupBy => write!(f, "query needs at least one GROUP BY column"),
+            AggError::BudgetExceeded { requested, limit, reserved } => write!(
+                f,
+                "memory budget exceeded: requested {requested} B with {reserved} of {limit} B reserved"
+            ),
+            AggError::Cancelled(reason) => write!(f, "operator cancelled: {reason}"),
+            AggError::WorkerPanic { message } => write!(f, "worker task panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_panic_phrases() {
+        let e = AggError::RowCountMismatch { column: 2, got: 5, expected: 7 };
+        assert!(e.to_string().contains("aggregate input column 2 row count mismatch"));
+        let e = AggError::MissingInputColumn { referenced: 3, available: 1 };
+        assert!(e.to_string().contains("missing input column 3"));
+        assert!(AggError::MismatchedSpecs.to_string().contains("different aggregate specs"));
+    }
+
+    #[test]
+    fn display_covers_runtime_variants() {
+        let e = AggError::BudgetExceeded { requested: 64, limit: 128, reserved: 100 };
+        assert!(e.to_string().contains("memory budget exceeded"));
+        assert!(AggError::Cancelled(CancelReason::Requested).to_string().contains("cancelled"));
+        assert!(AggError::Cancelled(CancelReason::DeadlineExceeded)
+            .to_string()
+            .contains("deadline"));
+        let e = AggError::WorkerPanic { message: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+        assert!(AggError::UnknownColumn("x".into()).to_string().contains("no column named \"x\""));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_send() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<AggError>();
+        assert_eq!(AggError::MismatchedSpecs, AggError::MismatchedSpecs);
+        assert_ne!(
+            AggError::Cancelled(CancelReason::Requested),
+            AggError::Cancelled(CancelReason::DeadlineExceeded)
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Deterministic fault injection.
+//!
+//! Error paths are exactly the code that never runs in a healthy system,
+//! so they rot unless something exercises them on purpose. A [`FaultPlan`]
+//! names an injection point by ordinal — fail the Nth memory reservation,
+//! panic in the Nth task, cancel after K input rows — and the driver
+//! consults the shared [`FaultInjector`] counters at those points. Sweeping
+//! N over a fixed workload visits every reservation and task of the run,
+//! which is how `crates/core/tests/faults.rs` proves that each failure site
+//! surfaces a clean `Err` and leaks nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What to inject, by ordinal. All counters are 1-based; `None` disables
+/// that injection point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the Nth memory reservation of the run with a budget error.
+    pub fail_alloc: Option<u64>,
+    /// Panic at the start of the Nth operator task (morsel or bucket).
+    pub panic_in_task: Option<u64>,
+    /// Trip the cancellation token once K input rows have been processed.
+    pub cancel_after_rows: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+struct InjectState {
+    plan: FaultPlan,
+    allocs: AtomicU64,
+    tasks: AtomicU64,
+    rows: AtomicU64,
+}
+
+/// Shared counters applying a [`FaultPlan`]. Cloning shares the counters,
+/// so the ordinals are global across all workers of a run. The disabled
+/// injector is a `None`: every probe is a single null check.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<InjectState>>,
+}
+
+impl FaultInjector {
+    /// No injection.
+    pub fn none() -> Self {
+        Self { inner: None }
+    }
+
+    /// Inject according to `plan` (a plan with no points set behaves like
+    /// [`FaultInjector::none`]).
+    pub fn new(plan: FaultPlan) -> Self {
+        if plan == FaultPlan::none() {
+            return Self::none();
+        }
+        Self {
+            inner: Some(Arc::new(InjectState {
+                plan,
+                allocs: AtomicU64::new(0),
+                tasks: AtomicU64::new(0),
+                rows: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Count one memory reservation; `true` means this is the one the plan
+    /// says must fail.
+    pub fn should_fail_alloc(&self) -> bool {
+        let Some(s) = &self.inner else { return false };
+        let Some(n) = s.plan.fail_alloc else { return false };
+        s.allocs.fetch_add(1, Ordering::Relaxed) + 1 == n
+    }
+
+    /// Count one task start; `true` means this task must panic.
+    pub fn should_panic_in_task(&self) -> bool {
+        let Some(s) = &self.inner else { return false };
+        let Some(n) = s.plan.panic_in_task else { return false };
+        s.tasks.fetch_add(1, Ordering::Relaxed) + 1 == n
+    }
+
+    /// Count `rows` processed rows; `true` exactly once, when the total
+    /// first reaches the plan's threshold.
+    pub fn should_cancel_after(&self, rows: u64) -> bool {
+        let Some(s) = &self.inner else { return false };
+        let Some(k) = s.plan.cancel_after_rows else { return false };
+        let before = s.rows.fetch_add(rows, Ordering::Relaxed);
+        before < k && before + rows >= k
+    }
+
+    /// Whether the plan wants to cancel at some point (the driver then
+    /// makes sure a cancellable token exists).
+    pub fn plans_cancellation(&self) -> bool {
+        self.inner.as_ref().is_some_and(|s| s.plan.cancel_after_rows.is_some())
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "FaultInjector::none"),
+            Some(s) => f.debug_struct("FaultInjector").field("plan", &s.plan).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let f = FaultInjector::none();
+        assert!(!f.should_fail_alloc());
+        assert!(!f.should_panic_in_task());
+        assert!(!f.should_cancel_after(1 << 40));
+        assert!(!f.plans_cancellation());
+        let noop = FaultInjector::new(FaultPlan::none());
+        assert!(!noop.should_fail_alloc());
+    }
+
+    #[test]
+    fn nth_alloc_fails_exactly_once() {
+        let f = FaultInjector::new(FaultPlan { fail_alloc: Some(3), ..FaultPlan::none() });
+        let fired: Vec<bool> = (0..5).map(|_| f.should_fail_alloc()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn nth_task_panics_exactly_once() {
+        let f = FaultInjector::new(FaultPlan { panic_in_task: Some(1), ..FaultPlan::none() });
+        assert!(f.should_panic_in_task());
+        assert!(!f.should_panic_in_task());
+    }
+
+    #[test]
+    fn row_threshold_fires_once_on_crossing() {
+        let f = FaultInjector::new(FaultPlan { cancel_after_rows: Some(100), ..FaultPlan::none() });
+        assert!(f.plans_cancellation());
+        assert!(!f.should_cancel_after(60));
+        assert!(f.should_cancel_after(60));
+        assert!(!f.should_cancel_after(60));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let f = FaultInjector::new(FaultPlan { fail_alloc: Some(2), ..FaultPlan::none() });
+        let g = f.clone();
+        assert!(!f.should_fail_alloc());
+        assert!(g.should_fail_alloc());
+    }
+}

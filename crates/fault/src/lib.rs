@@ -1,0 +1,31 @@
+//! Robustness primitives for the aggregation operator.
+//!
+//! The operator is cache-*bounded* by design (§4.1: "one or very few hash
+//! tables per thread"), but a production `GROUP BY` also has to bound the
+//! rest of the pipeline and fail cleanly when it cannot. This crate holds
+//! the building blocks, deliberately free of any operator knowledge so
+//! every layer of the workspace can use them:
+//!
+//! * [`AggError`] — the typed error taxonomy of the fallible operator API.
+//! * [`MemoryBudget`] / [`Reservation`] — shared atomic reserve/release
+//!   accounting with RAII release, so reservations cannot leak across
+//!   early returns, cancelled tasks, or contained panics.
+//! * [`CancelToken`] — cooperative cancellation with an optional deadline,
+//!   checked at morsel and bucket-task granularity.
+//! * [`FaultPlan`] / [`FaultInjector`] — a deterministic fault-injection
+//!   harness (fail the Nth allocation, panic in the Nth task, cancel after
+//!   K rows) for exercising every error path without mocking allocators.
+//!
+//! Everything here is dependency-free and costs a single null check when
+//! disabled: the unlimited budget, the never-cancelled token, and the
+//! empty fault plan are all a `None` behind an `Option<Arc<_>>`.
+
+mod budget;
+mod cancel;
+mod error;
+mod inject;
+
+pub use budget::{MemoryBudget, Reservation};
+pub use cancel::{CancelReason, CancelToken};
+pub use error::AggError;
+pub use inject::{FaultInjector, FaultPlan};

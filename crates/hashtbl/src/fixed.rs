@@ -79,6 +79,11 @@ impl TableConfig {
     /// The paper's fill rate.
     pub const PAPER_FILL_PERCENT: usize = 25;
 
+    /// Smallest legal slot count (the floor [`TableConfig::for_cache_bytes`]
+    /// enforces). The driver's degradation policy halves table sizes under
+    /// memory pressure down to exactly this.
+    pub const MIN_TOTAL_SLOTS: usize = 2 * FANOUT;
+
     /// Size a table for a cache budget of `cache_bytes`, given the number
     /// of aggregate state columns it must carry. Slot cost = key + states
     /// (the occupancy bitmap is 1/64th and ignored).
@@ -93,6 +98,13 @@ impl TableConfig {
     /// Occupancy limit implied by the fill rate (at least 1).
     pub fn capacity(&self) -> usize {
         (self.total_slots * self.fill_percent / 100).max(1)
+    }
+
+    /// Heap bytes a table of this geometry costs, given its state column
+    /// count: key + state arrays (8 B each per slot) plus the 1/64
+    /// occupancy bitmap. This is what the memory budget charges per table.
+    pub fn mem_bytes(&self, n_state_cols: usize) -> u64 {
+        (self.total_slots * 8 * (1 + n_state_cols) + self.total_slots / 8) as u64
     }
 }
 

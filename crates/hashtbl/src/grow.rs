@@ -41,6 +41,18 @@ impl GrowTable {
         }
     }
 
+    /// Upper bound on the heap bytes a table created with `capacity` will
+    /// hold while absorbing up to `rows` distinct keys, including the
+    /// transient old-plus-new footprint of the final doubling (old table =
+    /// half the new one, hence the 3/2). The operator's memory budget
+    /// charges this before building a fallback-merge table.
+    pub fn mem_bytes_upper(capacity: usize, rows: usize, n_state_cols: usize) -> u64 {
+        let initial = (capacity.max(8) * 2).next_power_of_two();
+        let needed = (rows.saturating_add(1).saturating_mul(2)).next_power_of_two();
+        let slots = initial.max(needed) as u64;
+        (slots * 3 / 2) * (8 * (1 + n_state_cols as u64) + 1)
+    }
+
     /// Number of groups.
     pub fn len(&self) -> usize {
         self.len

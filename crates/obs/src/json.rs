@@ -409,7 +409,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError { at: start, msg: "bad number".to_string() })?;
         if !float {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(JsonValue::U64(v));

@@ -71,6 +71,17 @@ metric_enum! {
         /// Bytes moved through the SWC flush path (non-temporal when
         /// streaming stores are enabled).
         SwcFlushBytes => "swc_flush_bytes",
+        /// Memory reservations denied by the budget (including denials
+        /// absorbed by degradation).
+        BudgetDenials => "budget_denials",
+        /// Degradations taken under memory pressure: tables allocated
+        /// smaller than configured, or hashing replaced by partitioning.
+        BudgetDowngrades => "budget_downgrades",
+        /// Tasks that observed cancellation (or a prior failure) and bailed
+        /// out without processing their work.
+        Cancellations => "cancellations",
+        /// Worker panics contained by the scope and surfaced as errors.
+        ContainedPanics => "contained_panics",
     }
 }
 

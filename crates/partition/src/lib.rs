@@ -48,6 +48,14 @@ pub fn empty_parts() -> Parts {
     (0..FANOUT).map(|_| ChunkedVec::new()).collect()
 }
 
+/// Fixed buffer bytes one partitioning pass holds in software-write-
+/// combining state: one 64-byte line per partition for the key pass plus
+/// one per partition for each scattered state column. The operator's
+/// memory budget charges this up front per pass.
+pub fn swc_pass_bytes(n_state_cols: usize) -> u64 {
+    ((1 + n_state_cols) * FANOUT * LINE_U64S * 8) as u64
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use hsa_hash::{digit, Hasher64};

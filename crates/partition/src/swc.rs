@@ -187,14 +187,16 @@ impl SwcBuffers {
 /// `dst` must be valid for writing 8 u64s; `src` for reading 8.
 #[inline(always)]
 pub(crate) unsafe fn stream_line(dst: *mut u64, src: *const u64) {
-    #[cfg(target_arch = "x86_64")]
+    // Miri has no model for non-temporal stores; use the plain copy there
+    // so the unsafe scatter/SWC paths stay checkable.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         use std::arch::x86_64::_mm_stream_si64;
         for i in 0..LINE_U64S {
             _mm_stream_si64(dst.add(i) as *mut i64, *src.add(i) as i64);
         }
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     {
         std::ptr::copy_nonoverlapping(src, dst, LINE_U64S);
     }
@@ -203,7 +205,7 @@ pub(crate) unsafe fn stream_line(dst: *mut u64, src: *const u64) {
 /// Order streaming stores before subsequent loads (no-op off x86_64).
 #[inline]
 pub(crate) fn sfence() {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     unsafe {
         std::arch::x86_64::_mm_sfence();
     }

@@ -33,7 +33,9 @@ mod pool;
 pub mod sync;
 mod util;
 
-pub use pool::{scope, scope_observed, PoolMetrics, Scope, WorkerPoolMetrics};
+pub use pool::{
+    scope, scope_observed, try_scope_observed, PoolMetrics, Scope, TaskPanic, WorkerPoolMetrics,
+};
 pub use util::{chunk_ranges, scoped_map};
 
 #[cfg(test)]
@@ -134,5 +136,81 @@ mod tests {
         scope(2, |s| {
             s.spawn(|_| panic!("boom"));
         });
+    }
+
+    #[test]
+    fn try_scope_contains_panic_and_reports_message() {
+        let (result, _metrics) = try_scope_observed(2, |s| {
+            s.spawn(|_| panic!("injected failure {}", 7));
+            "root result"
+        });
+        assert_eq!(result, Err(TaskPanic { message: "injected failure 7".to_string() }));
+    }
+
+    #[test]
+    fn try_scope_drains_queued_tasks_after_panic() {
+        // Single thread: tasks run in a deterministic LIFO order on the
+        // caller. The panicking task runs first (spawned last), so the 100
+        // earlier-queued tasks must be drained, not run.
+        let ran = AtomicUsize::new(0);
+        let dropped = AtomicUsize::new(0);
+        struct CountDrop<'a>(&'a AtomicUsize);
+        impl Drop for CountDrop<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (result, _) = try_scope_observed(1, |s| {
+            for _ in 0..100 {
+                let ran = &ran;
+                let guard = CountDrop(&dropped);
+                s.spawn(move |_| {
+                    let _g = &guard;
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            s.spawn(|_| panic!("first"));
+        });
+        assert!(result.is_err());
+        assert_eq!(ran.into_inner(), 0, "queued tasks must not run after the panic");
+        assert_eq!(dropped.into_inner(), 100, "drained closures must still be dropped");
+    }
+
+    #[test]
+    fn try_scope_is_reusable_after_containment() {
+        let (r1, _) = try_scope_observed(4, |s| {
+            s.spawn(|_| panic!("one-off"));
+        });
+        assert!(r1.is_err());
+        // A fresh scope on the same thread works fine afterwards.
+        let counter = AtomicUsize::new(0);
+        let (r2, _) = try_scope_observed(4, |s| {
+            for _ in 0..100 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(r2.is_ok());
+        assert_eq!(counter.into_inner(), 100);
+    }
+
+    #[test]
+    fn try_scope_keeps_first_panic_message() {
+        let (result, _) = try_scope_observed(1, |s| {
+            s.spawn(|_| panic!("second"));
+            s.spawn(|_| panic!("first")); // LIFO: runs first
+        });
+        // The second panicking task is drained, so only one message exists.
+        assert_eq!(result.unwrap_err().message, "first");
+    }
+
+    #[test]
+    fn try_scope_reports_non_string_payloads() {
+        let (result, _) = try_scope_observed(1, |s| {
+            s.spawn(|_| std::panic::panic_any(42usize));
+        });
+        assert_eq!(result.unwrap_err().message, "non-string panic payload");
     }
 }

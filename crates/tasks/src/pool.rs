@@ -72,13 +72,30 @@ struct Shared<'env> {
     pending: AtomicUsize,
     /// Set when the scope is over and workers should exit.
     done: AtomicBool,
-    /// Set when any task panicked (scope re-panics at the end).
+    /// Set when any task panicked. Once poisoned the scope stops running
+    /// queued tasks — it *drains* them (popped and dropped unexecuted) so
+    /// quiescence is still reached, fast, and in a known state.
     poisoned: AtomicBool,
+    /// Payload message of the first panic (later ones are dropped).
+    panic_msg: Mutex<Option<String>>,
     /// Sleeping-worker wakeup.
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
     /// Final per-worker metrics, published once per worker at scope end.
     metrics: Mutex<Vec<WorkerPoolMetrics>>,
+}
+
+/// Render a panic payload for [`TaskPanic::message`]: the `&str`/`String`
+/// payloads of ordinary `panic!` calls are passed through, anything else is
+/// described by its opacity.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl<'env> Shared<'env> {
@@ -88,6 +105,7 @@ impl<'env> Shared<'env> {
             pending: AtomicUsize::new(0),
             done: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             metrics: Mutex::new(vec![WorkerPoolMetrics::default(); threads]),
@@ -117,11 +135,24 @@ impl<'env> Shared<'env> {
         else {
             return false;
         };
+        if self.poisoned.load(Ordering::Acquire) {
+            // A task already panicked: drain instead of run. Dropping the
+            // closure releases whatever it owned (data, reservations).
+            drop(task);
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            self.idle_cv.notify_all();
+            return true;
+        }
         // Contain panics so that (a) worker threads stay alive, (b) pending
-        // still reaches zero, and (c) the scope can re-panic with a single
-        // consistent message once everything has quiesced.
+        // still reaches zero, and (c) the scope can surface one consistent
+        // failure once everything has quiesced.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(scope)));
-        if outcome.is_err() {
+        if let Err(payload) = outcome {
+            let mut first = self.panic_msg.lock();
+            if first.is_none() {
+                *first = Some(payload_message(payload.as_ref()));
+            }
+            drop(first);
             self.poisoned.store(true, Ordering::Release);
         }
         counters.tasks_executed += 1;
@@ -211,6 +242,40 @@ where
     F: FnOnce(&Scope<'_, 'env>) -> R,
     R: Send,
 {
+    let (result, metrics) = try_scope_observed(threads, root);
+    match result {
+        Ok(r) => (r, metrics),
+        Err(p) => panic!("task panicked inside hsa_tasks::scope: {}", p.message),
+    }
+}
+
+/// A contained task panic: the first panicking task's payload message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload if it was a string, else a placeholder.
+    pub message: String,
+}
+
+/// [`scope_observed`] with panic *containment* instead of propagation.
+///
+/// When a task panics, the scope is marked failed, every still-queued task
+/// is drained (popped and dropped without running — their captured state,
+/// including memory reservations, is released by the drop), already
+/// running tasks finish, and the first panic's payload message is returned
+/// as `Err(TaskPanic)`. Worker threads survive and the scope winds down
+/// normally, so the caller keeps a usable process and its own state — the
+/// operator driver turns this into [`AggError::WorkerPanic`] and returns
+/// its tables to the pool.
+///
+/// [`AggError::WorkerPanic`]: https://docs.rs/hsa-fault
+pub fn try_scope_observed<'env, R, F>(
+    threads: usize,
+    root: F,
+) -> (Result<R, TaskPanic>, PoolMetrics)
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+    R: Send,
+{
     let threads = threads.max(1);
     let shared = Shared::new(threads);
 
@@ -246,9 +311,13 @@ where
         result
     });
 
-    if shared.poisoned.load(Ordering::Acquire) {
-        panic!("task panicked inside hsa_tasks::scope");
-    }
+    let outcome = if shared.poisoned.load(Ordering::Acquire) {
+        let message =
+            shared.panic_msg.into_inner().unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(TaskPanic { message })
+    } else {
+        Ok(result)
+    };
     let metrics = PoolMetrics { workers: shared.metrics.into_inner() };
-    (result, metrics)
+    (outcome, metrics)
 }

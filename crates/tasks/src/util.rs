@@ -42,7 +42,10 @@ where
                 s.spawn(move || f(t))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scoped_map worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
     })
 }
 

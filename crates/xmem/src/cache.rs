@@ -107,15 +107,13 @@ impl CacheSim {
         self.stats.misses += 1;
         if set.len() == self.ways {
             // Evict the least recently used way.
-            let victim_ix = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_used)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            let victim = set.swap_remove(victim_ix);
-            if victim.dirty {
-                self.stats.writebacks += 1;
+            if let Some(victim_ix) =
+                set.iter().enumerate().min_by_key(|(_, l)| l.last_used).map(|(i, _)| i)
+            {
+                let victim = set.swap_remove(victim_ix);
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                }
             }
         }
         set.push(Line { tag, dirty: write, last_used: self.clock });

@@ -23,13 +23,11 @@ fn median_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let rows_log2: u32 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(23);
+    let rows_log2: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(23);
     let n = 1usize << rows_log2;
     // ~n/8 groups: enough locality to exercise both routines adaptively.
-    let keys: Vec<u64> = (0..n as u64)
-        .map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)) % (n as u64 / 8))
-        .collect();
+    let keys: Vec<u64> =
+        (0..n as u64).map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15)) % (n as u64 / 8)).collect();
     let cfg = AggregateConfig::default();
     let repeats = 5;
 

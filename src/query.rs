@@ -24,7 +24,10 @@
 //! assert_eq!(rows[0], (vec![1, 7], vec![2.0, 60.0])); // store 1, item 7
 //! ```
 
-use crate::{aggregate_observed, AggFn, AggSpec, AggregateConfig, ObsConfig, RunReport, Table};
+use crate::{
+    try_aggregate_observed, AggError, AggFn, AggSpec, AggregateConfig, ExecEnv, ObsConfig,
+    RunReport, Table,
+};
 use hsa_columnar::encode_composite;
 
 /// A `GROUP BY` query under construction.
@@ -34,6 +37,7 @@ pub struct Query<'t> {
     aggs: Vec<(String, AggFn, Option<String>)>,
     cfg: AggregateConfig,
     obs: ObsConfig,
+    env: ExecEnv,
 }
 
 impl<'t> Query<'t> {
@@ -45,6 +49,7 @@ impl<'t> Query<'t> {
             aggs: Vec::new(),
             cfg: AggregateConfig::default(),
             obs: ObsConfig::disabled(),
+            env: ExecEnv::unrestricted(),
         }
     }
 
@@ -97,41 +102,75 @@ impl<'t> Query<'t> {
         self
     }
 
+    /// Run under an execution environment: memory budget, cancellation
+    /// token, and (for tests) fault injection.
+    pub fn with_env(mut self, env: ExecEnv) -> Self {
+        self.env = env;
+        self
+    }
+
     /// Execute.
     ///
     /// Panics on unknown column names (mirroring [`Table::col`]); at least
-    /// one grouping column is required.
+    /// one grouping column is required. [`Query::try_run`] returns these
+    /// as typed errors instead.
     pub fn run(self) -> QueryResult {
-        assert!(!self.group_by.is_empty(), "query needs at least one GROUP BY column");
-        let key_cols: Vec<&[u64]> = self.group_by.iter().map(|name| self.table.col(name)).collect();
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Execute, returning typed errors for unknown columns, an empty
+    /// `GROUP BY`, and anything the operator reports under the query's
+    /// [`ExecEnv`] (budget exhaustion, cancellation, contained panics).
+    pub fn try_run(self) -> Result<QueryResult, AggError> {
+        if self.group_by.is_empty() {
+            return Err(AggError::EmptyGroupBy);
+        }
+        let col = |name: &str| -> Result<&[u64], AggError> {
+            self.table
+                .column(name)
+                .map(|c| c.data.as_slice())
+                .ok_or_else(|| AggError::UnknownColumn(name.to_string()))
+        };
+        let key_cols: Vec<&[u64]> =
+            self.group_by.iter().map(|name| col(name)).collect::<Result<_, _>>()?;
 
         // Collect the distinct aggregate input columns.
         let mut input_names: Vec<&str> = Vec::new();
         let mut specs = Vec::with_capacity(self.aggs.len());
         for (_, func, input) in &self.aggs {
-            let input_ix = input.as_ref().map(|name| {
-                // Validate eagerly for a clear panic site.
-                let _ = self.table.col(name);
-                match input_names.iter().position(|n| n == name) {
-                    Some(i) => i,
-                    None => {
-                        input_names.push(name);
-                        input_names.len() - 1
-                    }
+            let input_ix = match input {
+                Some(name) => {
+                    // Validate eagerly for a clear error site.
+                    col(name)?;
+                    Some(match input_names.iter().position(|n| n == name) {
+                        Some(i) => i,
+                        None => {
+                            input_names.push(name);
+                            input_names.len() - 1
+                        }
+                    })
                 }
-            });
+                None => None,
+            };
             specs.push(AggSpec { func: *func, input: input_ix });
         }
-        let inputs: Vec<&[u64]> = input_names.iter().map(|n| self.table.col(n)).collect();
+        let inputs: Vec<&[u64]> = input_names.iter().map(|n| col(n)).collect::<Result<_, _>>()?;
 
         // Fuse composite keys; single-column keys pass through untouched.
         let (out, report, tuples) = if key_cols.len() == 1 {
-            let (out, report) =
-                aggregate_observed(key_cols[0], &inputs, &specs, &self.cfg, &self.obs);
+            let (out, report) = try_aggregate_observed(
+                key_cols[0],
+                &inputs,
+                &specs,
+                &self.cfg,
+                &self.env,
+                &self.obs,
+            )?;
             (out, report, None)
         } else {
             let (codes, tuples) = encode_composite(&key_cols);
-            let (out, report) = aggregate_observed(&codes, &inputs, &specs, &self.cfg, &self.obs);
+            let (out, report) =
+                try_aggregate_observed(&codes, &inputs, &specs, &self.cfg, &self.env, &self.obs)?;
             (out, report, Some(tuples))
         };
 
@@ -163,7 +202,7 @@ impl<'t> Query<'t> {
             })
             .collect();
 
-        QueryResult { group_cols, agg_cols, report }
+        Ok(QueryResult { group_cols, agg_cols, report })
     }
 }
 
@@ -363,5 +402,31 @@ mod tests {
     fn unknown_column_panics() {
         let t = table();
         let _ = Query::over(&t).group_by("nope").run();
+    }
+
+    #[test]
+    fn try_run_returns_typed_errors() {
+        let t = table();
+        let err = Query::over(&t).count("n").try_run().unwrap_err();
+        assert_eq!(err, AggError::EmptyGroupBy);
+        let err = Query::over(&t).group_by("nope").try_run().unwrap_err();
+        assert_eq!(err, AggError::UnknownColumn("nope".to_string()));
+        let err = Query::over(&t).group_by("store").sum("nope2", "x").try_run().unwrap_err();
+        assert_eq!(err, AggError::UnknownColumn("nope2".to_string()));
+    }
+
+    #[test]
+    fn try_run_respects_a_memory_budget() {
+        use crate::MemoryBudget;
+        let t = table();
+        let budget = MemoryBudget::limited(16);
+        let err = Query::over(&t)
+            .group_by("store")
+            .count("n")
+            .with_env(ExecEnv::unrestricted().with_budget(budget.clone()))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, AggError::BudgetExceeded { .. }));
+        assert_eq!(budget.outstanding(), 0, "all reservations released on failure");
     }
 }
