@@ -17,9 +17,11 @@
 //! list of them to physical [`StateOp`] columns plus [`Finalizer`]s that
 //! compute the visible output from the state columns.
 
+mod fold;
 mod ops;
 mod planning;
 
+pub use fold::{fold_column, fold_op};
 pub use ops::StateOp;
 pub use planning::{plan, AggSpec, Finalizer, PhysicalCol, Plan};
 

@@ -76,6 +76,9 @@ aggregates (repeatable):
 options:
   --threads <n>           worker threads (default: all cores)
   --strategy <s>          adaptive | hashing | partition:<passes>
+  --kernel <k>            hot-loop kernel tier: auto | scalar | sse2 | avx2
+                          (default: auto — best the CPU supports; requests
+                          above that are clamped down)
   --mem-budget <size>     cap operator working memory (bytes; K/M/G
                           suffixes accepted, e.g. 512M)
   --timeout-ms <n>        abort the aggregation after <n> milliseconds
@@ -152,6 +155,10 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
             "--strategy" => {
                 let v = take_value(&mut args, "--strategy")?;
                 config.strategy = parse_strategy(&v)?;
+            }
+            "--kernel" => {
+                let v = take_value(&mut args, "--kernel")?;
+                config.kernel = v.parse().map_err(UsageError)?;
             }
             "--stats" => show_stats = true,
             "--stats-json" => stats_json = Some(take_value(&mut args, "--stats-json")?),
@@ -299,6 +306,25 @@ mod tests {
     fn bad_strategy_and_unknown_flag() {
         assert!(parse(&["f.csv", "--group-by", "k", "--strategy", "magic"]).is_err());
         assert!(parse(&["f.csv", "--group-by", "k", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn kernel_flag() {
+        use hsa_core::KernelPref;
+        let a = parse(&["f.csv", "--group-by", "k"]).unwrap();
+        assert_eq!(a.config.kernel, KernelPref::Auto);
+        for (arg, want) in [
+            ("auto", KernelPref::Auto),
+            ("scalar", KernelPref::Scalar),
+            ("sse2", KernelPref::Sse2),
+            ("avx2", KernelPref::Avx2),
+        ] {
+            let a = parse(&["f.csv", "--group-by", "k", "--kernel", arg]).unwrap();
+            assert_eq!(a.config.kernel, want, "--kernel {arg}");
+        }
+        let e = parse(&["f.csv", "--group-by", "k", "--kernel", "avx1024"]).unwrap_err();
+        assert!(e.0.contains("avx1024"), "{e}");
+        assert!(parse(&["f.csv", "--group-by", "k", "--kernel"]).is_err());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use hsa_columnar::Run;
 use hsa_fault::{AggError, CancelToken, Reservation};
 use hsa_hash::MAX_LEVEL;
 use hsa_hashtbl::{identity_of, AggTable, GrowTable, TableConfig};
+use hsa_kernels::KernelKind;
 use hsa_obs::{Counter, Hist, Recorder, Tracer};
 use hsa_tasks::sync::Mutex;
 use hsa_tasks::{chunk_ranges, PoolMetrics, Scope};
@@ -111,6 +112,9 @@ struct Ctx<'a> {
     stats: AtomicStats,
     recorder: Recorder,
     tracer: Tracer,
+    /// Kernel tier resolved once per invocation from `cfg.kernel` (and the
+    /// `HSA_KERNEL` override), clamped to what the CPU supports.
+    kind: KernelKind,
     /// First error any task hit; later tasks bail out early once set.
     failed: Mutex<Option<AggError>>,
 }
@@ -230,6 +234,7 @@ fn process_view(
                 sink,
                 ctx.gate(),
                 obs,
+                ctx.kind,
             )? {
                 HashOutcome::Done => return Ok(()),
                 HashOutcome::Switched { next_row } => row = next_row,
@@ -588,6 +593,7 @@ fn run_operator(
     } else {
         env.cancel.clone()
     };
+    let kind = hsa_kernels::select(cfg.kernel);
     let ctx = Ctx {
         cfg,
         env,
@@ -609,6 +615,7 @@ fn run_operator(
             Tracer::disabled()
         },
         failed: Mutex::new(None),
+        kind,
     };
 
     // Phase 1: the work-stealing main loop over the input morsels.
@@ -710,6 +717,7 @@ fn run_operator(
         rows_in: keys.len() as u64,
         groups_out: output.n_groups() as u64,
         threads,
+        kernel: kind.label().to_string(),
         wall_nanos: wall0.elapsed().as_nanos() as u64,
         stats: stats.snapshot(),
         pool: pool_metrics,
@@ -798,6 +806,7 @@ mod tests {
             strategy,
             fill_percent: 25,
             morsel_rows: 1 << 12,
+            kernel: hsa_kernels::KernelPref::Auto,
         }
     }
 

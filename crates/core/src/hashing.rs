@@ -21,6 +21,7 @@ use hsa_columnar::{ChunkedVec, Run};
 use hsa_fault::AggError;
 use hsa_hash::{Hasher64, Murmur2};
 use hsa_hashtbl::{AggTable, Insert};
+use hsa_kernels::KernelKind;
 use hsa_obs::{Counter, Hist};
 
 /// Outcome of hashing (part of) a run.
@@ -100,11 +101,13 @@ pub(crate) fn hash_run(
     sink: &mut impl RunSink,
     gate: Gate<'_>,
     obs: &Obs,
+    kind: KernelKind,
 ) -> Result<HashOutcome, AggError> {
     let hasher = Murmur2::default();
     let aggregated = view.aggregated();
     let n = view.len();
     let level = table.level();
+    let batched = kind != KernelKind::Scalar;
     let mut row = from_row;
 
     while row < n {
@@ -115,7 +118,17 @@ pub(crate) fn hash_run(
         mapping.clear();
         let mut table_full = false;
         let consumed;
-        if ops.is_empty() {
+        if batched {
+            // Batched key pass: hash a block of keys up front, prefetch
+            // their home slots, then resolve probes with the SIMD scan.
+            let b = if ops.is_empty() {
+                table.insert_batch_distinct(hasher, keys, kind)
+            } else {
+                table.insert_batch(hasher, keys, kind, mapping)
+            };
+            consumed = b.consumed;
+            table_full = b.full;
+        } else if ops.is_empty() {
             // DISTINCT fast path: no state columns, no mapping needed.
             let mut done = 0usize;
             for &key in keys {
@@ -142,26 +155,23 @@ pub(crate) fn hash_run(
         }
 
         // Fold the block's values into the state columns, one column at a
-        // time (tight loops; the mapping is cache resident).
+        // time (tight loops; the mapping is cache resident). The kernel
+        // tiers are bit-identical; `Scalar` is the reference loop.
         for (i, &op) in ops.iter().enumerate() {
             let vals = &view.col_tail(i, row)[..consumed];
             let col = table.col_mut(i);
-            if aggregated {
-                for (&slot, &v) in mapping.iter().zip(vals) {
-                    let s = &mut col[slot as usize];
-                    *s = op.merge(*s, v);
-                }
-            } else {
-                for (&slot, &v) in mapping.iter().zip(vals) {
-                    let s = &mut col[slot as usize];
-                    *s = op.apply(*s, v);
-                }
-            }
+            hsa_agg::fold_column(kind, op, aggregated, col, mapping, vals);
         }
 
         *epoch_rows += consumed as u64;
         gate.stats.add_hash_rows(level, consumed as u64);
+        gate.stats.add_kernel_rows(batched, consumed as u64);
         obs.recorder.add(obs.worker, Counter::HashRows, consumed as u64);
+        obs.recorder.add(
+            obs.worker,
+            if batched { Counter::KernelBatchedRows } else { Counter::KernelScalarRows },
+            consumed as u64,
+        );
         row += consumed;
 
         if table_full {
@@ -240,6 +250,7 @@ mod tests {
             &mut sink,
             open_gate!(&stats),
             &Obs::disabled(),
+            hsa_kernels::select(Default::default()),
         )
         .unwrap();
         assert_eq!(out, HashOutcome::Done);
@@ -329,6 +340,7 @@ mod tests {
                 &mut sink,
                 open_gate!(&stats),
                 &Obs::disabled(),
+                hsa_kernels::select(Default::default()),
             )
             .unwrap();
             assert_eq!(out, HashOutcome::Done);
@@ -370,6 +382,7 @@ mod tests {
             &mut sink,
             open_gate!(&stats),
             &Obs::disabled(),
+            hsa_kernels::select(Default::default()),
         )
         .unwrap()
         {

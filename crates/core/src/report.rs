@@ -52,6 +52,10 @@ pub struct RunReport {
     pub groups_out: u64,
     /// Worker threads used.
     pub threads: usize,
+    /// Kernel tier the hot loops ran with (`"scalar"`, `"sse2"`, `"avx2"`)
+    /// — the resolved [`crate::KernelKind`], after CPU detection and any
+    /// `--kernel` / `HSA_KERNEL` override.
+    pub kernel: String,
     /// Wall-clock duration of the whole invocation.
     pub wall_nanos: u64,
     /// The always-on per-level statistics.
@@ -80,6 +84,7 @@ impl RunReport {
             ("rows_in".to_string(), JsonValue::U64(self.rows_in)),
             ("groups_out".to_string(), JsonValue::U64(self.groups_out)),
             ("threads".to_string(), JsonValue::U64(self.threads as u64)),
+            ("kernel".to_string(), JsonValue::Str(self.kernel.clone())),
             ("wall_nanos".to_string(), JsonValue::U64(self.wall_nanos)),
             ("rows_per_sec".to_string(), JsonValue::F64(self.rows_per_sec())),
             ("stats".to_string(), stats_json(&self.stats)),
@@ -101,6 +106,11 @@ impl RunReport {
         let _ = writeln!(s, "rows in            {}", self.rows_in);
         let _ = writeln!(s, "groups out         {}", self.groups_out);
         let _ = writeln!(s, "threads            {}", self.threads);
+        let _ = writeln!(
+            s,
+            "kernel             {}  (batched rows {}   scalar rows {})",
+            self.kernel, self.stats.kernel_batched_rows, self.stats.kernel_scalar_rows
+        );
         let _ = writeln!(
             s,
             "wall time          {ms:.2} ms  ({:.1} M rows/s)",
@@ -202,6 +212,8 @@ pub fn stats_json(stats: &OpStats) -> JsonValue {
         ("budget_downgrades", JsonValue::U64(stats.budget_downgrades)),
         ("cancellations", JsonValue::U64(stats.cancellations)),
         ("contained_panics", JsonValue::U64(stats.contained_panics)),
+        ("kernel_batched_rows", JsonValue::U64(stats.kernel_batched_rows)),
+        ("kernel_scalar_rows", JsonValue::U64(stats.kernel_scalar_rows)),
     ])
 }
 
@@ -233,6 +245,7 @@ mod tests {
             task_nanos_per_level: vec![7_000_000, 1_000_000],
             seals: 4,
             switches_to_partitioning: 2,
+            kernel_batched_rows: 1200,
             ..OpStats::default()
         };
         let pool = PoolMetrics {
@@ -259,6 +272,7 @@ mod tests {
             rows_in: 1500,
             groups_out: 40,
             threads: 2,
+            kernel: "sse2".to_string(),
             wall_nanos: 5_000_000,
             stats,
             pool: Some(pool),
@@ -274,8 +288,11 @@ mod tests {
         let parsed = hsa_obs::json::parse(&text).unwrap();
         assert_eq!(parsed.get("rows_in").unwrap().as_u64(), Some(1500));
         assert_eq!(parsed.get("groups_out").unwrap().as_u64(), Some(40));
+        assert_eq!(parsed.get("kernel").unwrap().as_str(), Some("sse2"));
         let stats = parsed.get("stats").unwrap();
         assert_eq!(stats.get("seals").unwrap().as_u64(), Some(4));
+        assert_eq!(stats.get("kernel_batched_rows").unwrap().as_u64(), Some(1200));
+        assert_eq!(stats.get("kernel_scalar_rows").unwrap().as_u64(), Some(0));
         assert_eq!(
             stats.get("hash_rows_per_level").unwrap().as_array().unwrap()[0].as_u64(),
             Some(1000)
@@ -293,6 +310,7 @@ mod tests {
         let report = sample_report();
         let text = report.pretty();
         assert!(text.contains("rows in            1500"));
+        assert!(text.contains("kernel             sse2  (batched rows 1200   scalar rows 0)"));
         assert!(text.contains("passes used        2"));
         assert!(text.contains("steals 1"));
         assert!(text.contains("inserts 1000"));

@@ -19,6 +19,8 @@ pub(crate) struct AtomicStats {
     budget_downgrades: AtomicU64,
     cancellations: AtomicU64,
     contained_panics: AtomicU64,
+    kernel_batched_rows: AtomicU64,
+    kernel_scalar_rows: AtomicU64,
 }
 
 impl AtomicStats {
@@ -66,6 +68,14 @@ impl AtomicStats {
         self.contained_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_kernel_rows(&self, batched: bool, rows: u64) {
+        if batched {
+            self.kernel_batched_rows.fetch_add(rows, Ordering::Relaxed);
+        } else {
+            self.kernel_scalar_rows.fetch_add(rows, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> OpStats {
         let take = |a: &[AtomicU64]| a.iter().map(|x| x.load(Ordering::Relaxed)).collect();
         OpStats {
@@ -80,6 +90,8 @@ impl AtomicStats {
             budget_downgrades: self.budget_downgrades.load(Ordering::Relaxed),
             cancellations: self.cancellations.load(Ordering::Relaxed),
             contained_panics: self.contained_panics.load(Ordering::Relaxed),
+            kernel_batched_rows: self.kernel_batched_rows.load(Ordering::Relaxed),
+            kernel_scalar_rows: self.kernel_scalar_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -116,6 +128,12 @@ pub struct OpStats {
     /// Worker panics contained by the task scope (the operator returned
     /// `AggError::WorkerPanic` instead of unwinding the caller).
     pub contained_panics: u64,
+    /// Rows whose `HASHING` hot loops ran through the batched
+    /// (prefetch-pipelined / SIMD) kernels.
+    pub kernel_batched_rows: u64,
+    /// Rows whose `HASHING` hot loops ran through the scalar reference
+    /// kernels.
+    pub kernel_scalar_rows: u64,
 }
 
 impl OpStats {
@@ -157,6 +175,8 @@ impl OpStats {
         self.budget_downgrades += other.budget_downgrades;
         self.cancellations += other.cancellations;
         self.contained_panics += other.contained_panics;
+        self.kernel_batched_rows += other.kernel_batched_rows;
+        self.kernel_scalar_rows += other.kernel_scalar_rows;
     }
 }
 
@@ -178,6 +198,8 @@ mod tests {
         a.count_budget_downgrade();
         a.count_cancellation();
         a.count_contained_panic();
+        a.add_kernel_rows(true, 80);
+        a.add_kernel_rows(false, 20);
         let s = a.snapshot();
         assert_eq!(s.hash_rows_per_level[0], 100);
         assert_eq!(s.hash_rows_per_level[1], 50);
@@ -190,6 +212,8 @@ mod tests {
         assert_eq!(s.budget_downgrades, 1);
         assert_eq!(s.cancellations, 1);
         assert_eq!(s.contained_panics, 1);
+        assert_eq!(s.kernel_batched_rows, 80);
+        assert_eq!(s.kernel_scalar_rows, 20);
         assert_eq!(s.passes_used(), 2);
         assert_eq!(s.total_hash_rows(), 150);
         assert_eq!(s.total_part_rows(), 30);

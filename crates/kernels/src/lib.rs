@@ -1,0 +1,664 @@
+//! Hot-path primitives shared by the `HASHING` routine's inner loops.
+//!
+//! Three building blocks, all built around the same observation the paper
+//! makes for `PARTITIONING` (§4, 16-way unrolled hashing): the per-element
+//! CPU cost of the probe and fold loops is dominated by cache misses that
+//! the out-of-order window cannot hide one row at a time. Processing rows
+//! in small batches exposes the memory-level parallelism:
+//!
+//! * [`prefetch_read`] / [`prefetch_write`] — software prefetch hints. A
+//!   batch of 16 rows is hashed first, the home cache lines of all 16 are
+//!   prefetched, and only then are the probes resolved — by the time the
+//!   first probe runs, the other 15 loads are in flight.
+//! * [`probe_scan`] — find the first free-or-matching slot in a stretch of
+//!   a probe block: the occupancy bits and a SIMD key compare produce a
+//!   candidate mask, and the answer is one `trailing_zeros`. Exactly
+//!   equivalent to the scalar walk, so outcomes and probe-step metrics are
+//!   bit-identical.
+//! * [`fold_mapped`] — apply a mapping vector (§3.3, Figure 2) to a state
+//!   column: `col[mapping[j]] = op(col[mapping[j]], vals[j])`, with
+//!   lookahead prefetch of the state slots and, on AVX2, gathered 4-lane
+//!   SIMD arithmetic for conflict-free index groups.
+//!
+//! # Dispatch
+//!
+//! Every kernel takes a [`KernelKind`] selected once per operator run by
+//! [`select`]: `Scalar` is the portable fallback (and the only path under
+//! Miri or off x86-64), `Sse2` is the x86-64 baseline (always available
+//! there), `Avx2` is taken when `is_x86_feature_detected!` says so. The
+//! `HSA_KERNEL` environment variable overrides any programmatic
+//! preference, which is how CI forces the scalar arm. All tiers compute
+//! bit-identical results; they differ only in speed.
+
+/// Rows per pipelined batch: hash 16 keys, prefetch 16 home slots, then
+/// resolve 16 probes. Matches the paper's 16-way unrolled hashing for
+/// `PARTITIONING`; 16 independent loads comfortably fill the ~10-16
+/// outstanding-miss budget of one core without overrunning it.
+pub const BATCH: usize = 16;
+
+/// Lookahead distance (in rows) for the fold kernels' state-slot prefetch.
+/// Far enough that the prefetch completes before the store-back, close
+/// enough that the line is rarely evicted again: one batch ahead.
+pub const FOLD_PREFETCH_AHEAD: usize = 16;
+
+/// Instruction set a kernel call should use. Ordered by capability so
+/// preferences can be clamped to what the CPU offers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelKind {
+    /// Portable scalar loops — the reference semantics, the Miri path,
+    /// and the only tier off x86-64.
+    Scalar,
+    /// x86-64 baseline: batched + prefetch pipelining with 128-bit key
+    /// compares in the probe scan.
+    Sse2,
+    /// 256-bit key compares and gathered 4-lane fold arithmetic.
+    Avx2,
+}
+
+impl KernelKind {
+    /// Stable lowercase label used in reports and `--stats-json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Sse2 => "sse2",
+            KernelKind::Avx2 => "avx2",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Requested kernel tier (configuration); resolved to a [`KernelKind`] by
+/// [`select`] once the CPU has been interrogated.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelPref {
+    /// Use the best tier the CPU supports.
+    #[default]
+    Auto,
+    /// Force the portable scalar path.
+    Scalar,
+    /// At most SSE2 (clamped down where unavailable).
+    Sse2,
+    /// At most AVX2 (clamped down where unavailable).
+    Avx2,
+}
+
+impl std::str::FromStr for KernelPref {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(KernelPref::Auto),
+            "scalar" => Ok(KernelPref::Scalar),
+            "sse2" => Ok(KernelPref::Sse2),
+            "avx2" => Ok(KernelPref::Avx2),
+            other => Err(format!("unknown kernel {other:?} (auto | scalar | sse2 | avx2)")),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelPref {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelPref::Auto => "auto",
+            KernelPref::Scalar => "scalar",
+            KernelPref::Sse2 => "sse2",
+            KernelPref::Avx2 => "avx2",
+        })
+    }
+}
+
+/// The most capable tier this CPU supports. `Scalar` under Miri and on
+/// non-x86-64 targets; at least `Sse2` on x86-64 (part of the base ISA).
+pub fn detect_best() -> KernelKind {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            return KernelKind::Avx2;
+        }
+        KernelKind::Sse2
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        KernelKind::Scalar
+    }
+}
+
+/// Every tier runnable on this CPU, in ascending capability order —
+/// `[Scalar]`, `[Scalar, Sse2]`, or `[Scalar, Sse2, Avx2]`. Differential
+/// tests and the ablation harness iterate this.
+pub fn available_kinds() -> Vec<KernelKind> {
+    let mut v = vec![KernelKind::Scalar];
+    if detect_best() >= KernelKind::Sse2 {
+        v.push(KernelKind::Sse2);
+    }
+    if detect_best() >= KernelKind::Avx2 {
+        v.push(KernelKind::Avx2);
+    }
+    v
+}
+
+/// Resolve a preference to the kernel an operator run will use.
+///
+/// The `HSA_KERNEL` environment variable (`auto|scalar|sse2|avx2`), when
+/// set to a valid value, overrides `pref` — the escape hatch for forcing a
+/// tier across a whole test suite without plumbing configuration.
+/// Preferences above what the CPU supports clamp down to [`detect_best`].
+pub fn select(pref: KernelPref) -> KernelKind {
+    let pref =
+        std::env::var("HSA_KERNEL").ok().and_then(|v| v.parse::<KernelPref>().ok()).unwrap_or(pref);
+    let best = detect_best();
+    match pref {
+        KernelPref::Auto => best,
+        KernelPref::Scalar => KernelKind::Scalar,
+        KernelPref::Sse2 => KernelKind::Sse2.min(best),
+        KernelPref::Avx2 => KernelKind::Avx2.min(best),
+    }
+}
+
+/// Prefetch `data[index]` for reading (T0 hint). A no-op when the index is
+/// out of bounds, under Miri, and off x86-64 — prefetching is only ever a
+/// hint, so the bounds check keeps the API safe without costing outcomes.
+#[inline(always)]
+pub fn prefetch_read<T>(data: &[T], index: usize) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    if let Some(p) = data.get(index) {
+        // SAFETY: `p` is a live reference; prefetch dereferences nothing.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                p as *const T as *const i8,
+            );
+        }
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        let _ = (data, index);
+    }
+}
+
+/// Prefetch `data[index]` for writing. Falls back to the T0 read hint —
+/// `prefetchw` needs its own feature gate and the read hint already pulls
+/// the line close enough for the read-modify-write folds.
+#[inline(always)]
+pub fn prefetch_write<T>(data: &[T], index: usize) {
+    prefetch_read(data, index);
+}
+
+// ---------------------------------------------------------------------------
+// Probe scan
+// ---------------------------------------------------------------------------
+
+/// Scan a contiguous stretch of probe slots for the first one that is
+/// either free or holds `needle`.
+///
+/// `keys` is the stretch (at most 64 slots), `occ` its occupancy bits
+/// (bit `i` set ⇔ `keys[i]` is a live key). Returns the first index `i`
+/// where slot `i` is unoccupied (`Some((i, false))`) or occupied with
+/// `keys[i] == needle` (`Some((i, true))`); `None` when every slot is
+/// occupied by some other key — the caller continues with the wrapped
+/// remainder of the block or reports overflow.
+///
+/// Equivalent to the scalar probe walk by construction: the candidate mask
+/// `(!occ | matches) & len_mask` stops at exactly the slot the walk would,
+/// because every lower bit being clear means every earlier slot was
+/// occupied by a non-matching key.
+#[inline]
+pub fn probe_scan(kind: KernelKind, keys: &[u64], occ: u64, needle: u64) -> Option<(usize, bool)> {
+    debug_assert!(keys.len() <= 64, "probe stretch wider than the occupancy word");
+    let matches = match kind {
+        KernelKind::Scalar => match_mask_scalar(keys, needle),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        KernelKind::Sse2 => match_mask_sse2(keys, needle),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: callers only pass `Avx2` when `select`/`detect_best`
+        // confirmed the feature (the dispatch contract of this crate).
+        KernelKind::Avx2 => unsafe { match_mask_avx2(keys, needle) },
+        #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+        _ => match_mask_scalar(keys, needle),
+    };
+    let len_mask = if keys.len() == 64 { u64::MAX } else { (1u64 << keys.len()) - 1 };
+    let stop = (!occ | matches) & len_mask;
+    if stop == 0 {
+        return None;
+    }
+    let idx = stop.trailing_zeros() as usize;
+    Some((idx, occ >> idx & 1 == 1))
+}
+
+/// Bit `i` set ⇔ `keys[i] == needle` (portable reference).
+#[inline]
+fn match_mask_scalar(keys: &[u64], needle: u64) -> u64 {
+    let mut mask = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        mask |= u64::from(k == needle) << i;
+    }
+    mask
+}
+
+/// SSE2 match mask: two 64-bit lanes per compare. SSE2 has no 64-bit
+/// equality, so compare as 4×32-bit and AND each lane's two halves.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[inline]
+fn match_mask_sse2(keys: &[u64], needle: u64) -> u64 {
+    use std::arch::x86_64::*;
+    let mut mask = 0u64;
+    let chunks = keys.len() / 2;
+    // SAFETY: SSE2 is part of the x86-64 base ISA; loads are unaligned
+    // (`loadu`) and stay within `keys` (2 lanes per iteration).
+    unsafe {
+        let nv = _mm_set1_epi64x(needle as i64);
+        for c in 0..chunks {
+            let kv = _mm_loadu_si128(keys.as_ptr().add(c * 2) as *const __m128i);
+            let eq32 = _mm_cmpeq_epi32(kv, nv);
+            // A 64-bit lane matches iff both its 32-bit halves matched.
+            let eq64 = _mm_and_si128(eq32, _mm_shuffle_epi32::<0b10110001>(eq32));
+            // movemask_pd reads the sign bit of each 64-bit lane.
+            let m = _mm_movemask_pd(_mm_castsi128_pd(eq64)) as u64;
+            mask |= m << (c * 2);
+        }
+    }
+    for (i, &key) in keys.iter().enumerate().skip(chunks * 2) {
+        mask |= u64::from(key == needle) << i;
+    }
+    mask
+}
+
+/// AVX2 match mask: four 64-bit lanes per compare.
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[target_feature(enable = "avx2")]
+unsafe fn match_mask_avx2(keys: &[u64], needle: u64) -> u64 {
+    use std::arch::x86_64::*;
+    let mut mask = 0u64;
+    let chunks = keys.len() / 4;
+    let nv = _mm256_set1_epi64x(needle as i64);
+    for c in 0..chunks {
+        let kv = _mm256_loadu_si256(keys.as_ptr().add(c * 4) as *const __m256i);
+        let eq = _mm256_cmpeq_epi64(kv, nv);
+        let m = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u64;
+        mask |= m << (c * 4);
+    }
+    for (i, &key) in keys.iter().enumerate().skip(chunks * 4) {
+        mask |= u64::from(key == needle) << i;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Mapped folds
+// ---------------------------------------------------------------------------
+
+/// The four state-combining operations the fold kernels implement, each in
+/// raw (`apply`) and partial-aggregate (`merge`) form. Mirrors
+/// `hsa_agg::StateOp` without depending on it — the dependency points the
+/// other way so `hsa-agg` can wrap these kernels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FoldOp {
+    /// apply: `s + 1` (value ignored); merge: `s + v` (COUNT's
+    /// super-aggregate is SUM).
+    Count,
+    /// Wrapping `s + v` in both forms.
+    Sum,
+    /// `min(s, v)` in both forms.
+    Min,
+    /// `max(s, v)` in both forms.
+    Max,
+}
+
+impl FoldOp {
+    #[inline(always)]
+    fn combine(self, s: u64, v: u64, merge: bool) -> u64 {
+        match self {
+            FoldOp::Count => {
+                if merge {
+                    s.wrapping_add(v)
+                } else {
+                    s.wrapping_add(1)
+                }
+            }
+            FoldOp::Sum => s.wrapping_add(v),
+            FoldOp::Min => s.min(v),
+            FoldOp::Max => s.max(v),
+        }
+    }
+}
+
+/// Fold `vals` into `col` through `mapping`:
+/// `col[mapping[j]] = op(col[mapping[j]], vals[j], merge)` for every `j`.
+///
+/// * `Scalar` — the plain loop (reference semantics).
+/// * `Sse2` — the same loop with the state slot [`FOLD_PREFETCH_AHEAD`]
+///   rows ahead prefetched; the fold is a scattered read-modify-write, so
+///   hiding the state-column miss is the whole win.
+/// * `Avx2` — additionally processes groups of 4 rows with a gathered
+///   load, SIMD combine, and 4 scalar stores — but only when the group's
+///   indices are pairwise distinct (a gathered read-modify-write over
+///   duplicate indices would drop updates); conflicted groups fall back to
+///   the scalar body.
+///
+/// All tiers produce bit-identical columns: no reordering across equal
+/// indices ever happens, and the arithmetic is the same.
+///
+/// # Panics
+/// In debug builds, when `vals` is shorter than `mapping` or an index is
+/// out of bounds (release builds bounds-check per element as usual).
+#[inline]
+pub fn fold_mapped(
+    kind: KernelKind,
+    op: FoldOp,
+    merge: bool,
+    col: &mut [u64],
+    mapping: &[u32],
+    vals: &[u64],
+) {
+    debug_assert!(vals.len() >= mapping.len(), "fewer values than mapped rows");
+    match kind {
+        KernelKind::Scalar => fold_scalar(op, merge, col, mapping, vals),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        KernelKind::Sse2 => fold_prefetch(op, merge, col, mapping, vals),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: `Avx2` is only passed after feature detection.
+        KernelKind::Avx2 => unsafe { fold_avx2(op, merge, col, mapping, vals) },
+        #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+        _ => fold_scalar(op, merge, col, mapping, vals),
+    }
+}
+
+#[inline]
+fn fold_scalar(op: FoldOp, merge: bool, col: &mut [u64], mapping: &[u32], vals: &[u64]) {
+    for (&slot, &v) in mapping.iter().zip(vals) {
+        let s = &mut col[slot as usize];
+        *s = op.combine(*s, v, merge);
+    }
+}
+
+/// The batched tier: scalar arithmetic, but the state slot of the row
+/// [`FOLD_PREFETCH_AHEAD`] positions ahead is prefetched each iteration.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[inline]
+fn fold_prefetch(op: FoldOp, merge: bool, col: &mut [u64], mapping: &[u32], vals: &[u64]) {
+    for (j, (&slot, &v)) in mapping.iter().zip(vals).enumerate() {
+        if let Some(&ahead) = mapping.get(j + FOLD_PREFETCH_AHEAD) {
+            prefetch_write(col, ahead as usize);
+        }
+        let s = &mut col[slot as usize];
+        *s = op.combine(*s, v, merge);
+    }
+}
+
+/// AVX2 tier: gather + SIMD combine + scalar scatter for conflict-free
+/// 4-row groups, with the same lookahead prefetch.
+///
+/// # Safety
+/// The CPU must support AVX2. All indices are bounds-checked before the
+/// gather (the gather itself performs no checks).
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[target_feature(enable = "avx2")]
+unsafe fn fold_avx2(op: FoldOp, merge: bool, col: &mut [u64], mapping: &[u32], vals: &[u64]) {
+    use std::arch::x86_64::*;
+    /// Sign-flip constant: unsigned compare via signed `cmpgt`.
+    const SIGN: i64 = i64::MIN;
+    let n = mapping.len();
+    let groups = n / 4;
+    let sign = _mm256_set1_epi64x(SIGN);
+    for g in 0..groups {
+        let j = g * 4;
+        for d in 0..4 {
+            if let Some(&ahead) = mapping.get(j + d + FOLD_PREFETCH_AHEAD) {
+                prefetch_write(col, ahead as usize);
+            }
+        }
+        let i0 = mapping[j] as usize;
+        let i1 = mapping[j + 1] as usize;
+        let i2 = mapping[j + 2] as usize;
+        let i3 = mapping[j + 3] as usize;
+        let conflict = i0 == i1 || i0 == i2 || i0 == i3 || i1 == i2 || i1 == i3 || i2 == i3;
+        let imax = i0.max(i1).max(i2).max(i3);
+        // The gather sign-extends 32-bit indices, so indices that do not
+        // fit in i32 must take the checked scalar path too.
+        if conflict || imax >= col.len() || imax > i32::MAX as usize {
+            // Duplicate indices: the gathered RMW would lose updates —
+            // resolve the group in order. (The bounds guard only defends
+            // the unchecked gather; scalar indexing still checks.)
+            for d in 0..4 {
+                let s = &mut col[mapping[j + d] as usize];
+                *s = op.combine(*s, vals[j + d], merge);
+            }
+            continue;
+        }
+        let idx = _mm_loadu_si128(mapping.as_ptr().add(j) as *const __m128i);
+        // SAFETY: all four indices were bounds-checked above.
+        let s = _mm256_i32gather_epi64::<8>(col.as_ptr() as *const i64, idx);
+        let v = _mm256_loadu_si256(vals.as_ptr().add(j) as *const __m256i);
+        let r = match (op, merge) {
+            (FoldOp::Count, false) => _mm256_add_epi64(s, _mm256_set1_epi64x(1)),
+            (FoldOp::Count | FoldOp::Sum, _) => _mm256_add_epi64(s, v),
+            (FoldOp::Min, _) | (FoldOp::Max, _) => {
+                // Unsigned min/max: flip sign bits, signed compare, blend.
+                let sf = _mm256_xor_si256(s, sign);
+                let vf = _mm256_xor_si256(v, sign);
+                let s_gt = _mm256_cmpgt_epi64(sf, vf);
+                if op == FoldOp::Min {
+                    // where s > v take v, else s
+                    _mm256_blendv_epi8(s, v, s_gt)
+                } else {
+                    _mm256_blendv_epi8(v, s, s_gt)
+                }
+            }
+        };
+        let mut out = [0u64; 4];
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, r);
+        col[i0] = out[0];
+        col[i1] = out[1];
+        col[i2] = out[2];
+        col[i3] = out[3];
+    }
+    for j in groups * 4..n {
+        let s = &mut col[mapping[j] as usize];
+        *s = op.combine(*s, vals[j], merge);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn pref_round_trips_through_strings() {
+        for (s, p) in [
+            ("auto", KernelPref::Auto),
+            ("scalar", KernelPref::Scalar),
+            ("sse2", KernelPref::Sse2),
+            ("avx2", KernelPref::Avx2),
+        ] {
+            assert_eq!(s.parse::<KernelPref>().unwrap(), p);
+            assert_eq!(p.to_string(), s);
+        }
+        assert!("neon".parse::<KernelPref>().is_err());
+    }
+
+    #[test]
+    fn select_clamps_to_detected() {
+        let best = detect_best();
+        // Every selection clamps to the detected best, whatever was asked.
+        for pref in [KernelPref::Auto, KernelPref::Scalar, KernelPref::Sse2, KernelPref::Avx2] {
+            assert!(select(pref) <= best);
+        }
+        // The exact resolutions only hold without an `HSA_KERNEL` override
+        // (CI's forced-scalar job runs this very test under one).
+        if std::env::var_os("HSA_KERNEL").is_none() {
+            assert_eq!(select(KernelPref::Scalar), KernelKind::Scalar);
+            assert_eq!(select(KernelPref::Auto), best);
+            assert!(select(KernelPref::Sse2) <= KernelKind::Sse2);
+        }
+    }
+
+    #[test]
+    fn available_kinds_is_a_prefix_of_the_ladder() {
+        let kinds = available_kinds();
+        assert_eq!(kinds[0], KernelKind::Scalar);
+        assert!(kinds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*kinds.last().unwrap(), detect_best());
+    }
+
+    #[test]
+    fn kind_labels_are_unique() {
+        let labels = [KernelKind::Scalar, KernelKind::Sse2, KernelKind::Avx2].map(|k| k.label());
+        let mut dedup = labels.to_vec();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn prefetch_is_safe_everywhere() {
+        let data = [1u64, 2, 3];
+        prefetch_read(&data, 0);
+        prefetch_read(&data, 2);
+        prefetch_read(&data, 999); // out of bounds: no-op
+        prefetch_write(&data, 1);
+        prefetch_write::<u64>(&[], 0);
+    }
+
+    /// Reference implementation of probe_scan's contract.
+    fn scan_ref(keys: &[u64], occ: u64, needle: u64) -> Option<(usize, bool)> {
+        for (i, &k) in keys.iter().enumerate() {
+            if occ >> i & 1 == 0 {
+                return Some((i, false));
+            }
+            if k == needle {
+                return Some((i, true));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn probe_scan_matches_reference_on_random_stretches() {
+        let mut r = rng(0xC0FFEE);
+        for kind in available_kinds() {
+            for _ in 0..500 {
+                let len = (r() % 65) as usize;
+                // Small key universe so hits happen often.
+                let keys: Vec<u64> = (0..len).map(|_| r() % 8).collect();
+                let occ = r() & if len == 64 { u64::MAX } else { (1 << len) - 1 };
+                let needle = r() % 8;
+                assert_eq!(
+                    probe_scan(kind, &keys, occ, needle),
+                    scan_ref(&keys, occ, needle),
+                    "{kind:?} len={len} occ={occ:b} needle={needle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_scan_edge_cases() {
+        for kind in available_kinds() {
+            // Empty stretch.
+            assert_eq!(probe_scan(kind, &[], 0, 7), None);
+            // Full 64-slot stretch, all occupied, no match.
+            let keys = vec![1u64; 64];
+            assert_eq!(probe_scan(kind, &keys, u64::MAX, 2), None);
+            // Match in the last slot.
+            let mut keys = vec![1u64; 64];
+            keys[63] = u64::MAX;
+            assert_eq!(probe_scan(kind, &keys, u64::MAX, u64::MAX), Some((63, true)));
+            // First slot free wins over a later match.
+            let keys = [5u64, 7, 7];
+            assert_eq!(probe_scan(kind, &keys, 0b110, 7), Some((0, false)));
+            // Earlier occupied mismatches are skipped.
+            assert_eq!(probe_scan(kind, &keys, 0b111, 7), Some((1, true)));
+        }
+    }
+
+    /// Reference fold.
+    fn fold_ref(op: FoldOp, merge: bool, col: &mut [u64], mapping: &[u32], vals: &[u64]) {
+        for (&slot, &v) in mapping.iter().zip(vals) {
+            let s = &mut col[slot as usize];
+            *s = op.combine(*s, v, merge);
+        }
+    }
+
+    #[test]
+    fn fold_mapped_matches_reference_for_every_op_and_kind() {
+        let mut r = rng(0xDEC0DE);
+        let ops = [FoldOp::Count, FoldOp::Sum, FoldOp::Min, FoldOp::Max];
+        for kind in available_kinds() {
+            for &op in &ops {
+                for merge in [false, true] {
+                    for _ in 0..50 {
+                        let slots = 1 + (r() % 200) as usize;
+                        let rows = (r() % 300) as usize;
+                        let base: Vec<u64> = (0..slots).map(|_| r()).collect();
+                        // Heavy duplication to exercise the conflict path.
+                        let mapping: Vec<u32> =
+                            (0..rows).map(|_| (r() % slots as u64) as u32).collect();
+                        let vals: Vec<u64> = (0..rows).map(|_| r()).collect();
+                        let mut a = base.clone();
+                        let mut b = base;
+                        fold_mapped(kind, op, merge, &mut a, &mapping, &vals);
+                        fold_ref(op, merge, &mut b, &mapping, &vals);
+                        assert_eq!(a, b, "{kind:?} {op:?} merge={merge}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_mapped_extreme_values() {
+        for kind in available_kinds() {
+            // Wrapping sum.
+            let mut col = vec![u64::MAX];
+            fold_mapped(kind, FoldOp::Sum, false, &mut col, &[0, 0], &[1, 1]);
+            assert_eq!(col[0], 1, "{kind:?}");
+            // Unsigned min/max across the sign boundary.
+            let mut col = vec![1u64 << 63];
+            fold_mapped(kind, FoldOp::Min, false, &mut col, &[0], &[u64::MAX]);
+            assert_eq!(col[0], 1 << 63, "{kind:?}");
+            let mut col = vec![1u64 << 63];
+            fold_mapped(kind, FoldOp::Max, false, &mut col, &[0], &[u64::MAX]);
+            assert_eq!(col[0], u64::MAX, "{kind:?}");
+            let mut col = vec![5u64];
+            fold_mapped(kind, FoldOp::Min, false, &mut col, &[0], &[1 << 63]);
+            assert_eq!(col[0], 5, "{kind:?}");
+            // Count apply ignores the value; merge adds it.
+            let mut col = vec![10u64, 20];
+            fold_mapped(kind, FoldOp::Count, false, &mut col, &[1, 1], &[999, 999]);
+            assert_eq!(col, [10, 22], "{kind:?}");
+            let mut col = vec![10u64];
+            fold_mapped(kind, FoldOp::Count, true, &mut col, &[0], &[32]);
+            assert_eq!(col[0], 42, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fold_order_dependence_is_preserved_on_duplicates() {
+        // Sum over one slot: order does not matter for the result, but
+        // COUNT-merge and MIN chains through duplicates verify the
+        // conflict fallback processes rows strictly in order.
+        for kind in available_kinds() {
+            let mut col = vec![0u64];
+            let mapping = vec![0u32; 33]; // every group conflicted + tail
+            let vals: Vec<u64> = (0..33).collect();
+            fold_mapped(kind, FoldOp::Sum, false, &mut col, &mapping, &vals);
+            assert_eq!(col[0], (0..33).sum::<u64>(), "{kind:?}");
+        }
+    }
+}

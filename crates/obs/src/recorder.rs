@@ -82,6 +82,12 @@ metric_enum! {
         Cancellations => "cancellations",
         /// Worker panics contained by the scope and surfaced as errors.
         ContainedPanics => "contained_panics",
+        /// Rows whose HASHING hot loops ran through the batched
+        /// (prefetch-pipelined / SIMD) kernels.
+        KernelBatchedRows => "kernel_batched_rows",
+        /// Rows whose HASHING hot loops ran through the scalar reference
+        /// kernels (forced via `--kernel scalar` or `HSA_KERNEL`).
+        KernelScalarRows => "kernel_scalar_rows",
     }
 }
 

@@ -30,5 +30,6 @@ run fig09 "$ROWS"
 run fig10 "$ROWS"
 run fig11 "$ROWS"
 run ablation_fill "$ROWS"
+run ablation_kernels "$ROWS"
 
 echo "All figures written to $OUT/"

@@ -46,7 +46,8 @@ pub use hsa_core::{
     aggregate, aggregate_observed, distinct, distinct_observed, merge_partials, try_aggregate,
     try_aggregate_observed, try_distinct, try_distinct_observed, try_merge_partials,
     AdaptiveParams, AggError, AggregateConfig, CancelReason, CancelToken, ExecEnv, FaultInjector,
-    FaultPlan, GroupByOutput, MemoryBudget, ObsConfig, OpStats, Reservation, RunReport, Strategy,
+    FaultPlan, GroupByOutput, KernelKind, KernelPref, MemoryBudget, ObsConfig, OpStats,
+    Reservation, RunReport, Strategy,
 };
 pub use query::{AggValues, Query, QueryResult};
 
@@ -78,6 +79,10 @@ pub mod kernels {
         digit, Fnv1a, Hasher64, Identity, Multiplicative, Murmur2, Murmur3Finalizer, FANOUT,
     };
     pub use hsa_hashtbl::{identity_of, AggTable, GrowTable, Insert, TableConfig};
+    pub use hsa_kernels::{
+        available_kinds, detect_best, fold_mapped, prefetch_read, prefetch_write, probe_scan,
+        select, FoldOp, KernelKind, KernelPref, BATCH, FOLD_PREFETCH_AHEAD,
+    };
     pub use hsa_partition::{
         memcpy_nt, partition_keys, partition_keys_mapped, partition_naive, partition_overalloc,
         partition_swc, partition_swc_with_mode, partition_unrolled, partition_unrolled_with_mode,

@@ -33,6 +33,7 @@ fn test_cfg(strategy: Strategy) -> AggregateConfig {
         strategy,
         fill_percent: 25,
         morsel_rows: 1 << 13,
+        ..AggregateConfig::default()
     }
 }
 
