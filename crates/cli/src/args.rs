@@ -39,6 +39,12 @@ pub struct CliArgs {
     /// Wall-clock deadline for the aggregation in milliseconds
     /// (`--timeout-ms`).
     pub timeout_ms: Option<u64>,
+    /// Spill directory for out-of-core aggregation (`--spill-dir`): runs
+    /// that do not fit the budget are flushed here instead of failing.
+    pub spill_dir: Option<String>,
+    /// Feed the operator in chunks of this many rows (`--chunk-rows`)
+    /// through the streaming API instead of one slice.
+    pub chunk_rows: Option<usize>,
 }
 
 impl CliArgs {
@@ -82,6 +88,12 @@ options:
   --mem-budget <size>     cap operator working memory (bytes; K/M/G
                           suffixes accepted, e.g. 512M)
   --timeout-ms <n>        abort the aggregation after <n> milliseconds
+  --spill-dir <path>      out-of-core aggregation: runs that do not fit
+                          --mem-budget are flushed to files under <path>
+                          instead of failing the query
+  --chunk-rows <n>        feed the operator <n> rows at a time through the
+                          streaming API (bounds operator-side ingestion;
+                          the CSV itself is still parsed in memory)
   --stats                 print the full run report (per-level passes,
                           probe lengths, SWC flushes, switch alphas, ...)
   --stats-json <path>     write the run report as JSON to <path>
@@ -129,6 +141,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
     let mut trace = None;
     let mut mem_budget = None;
     let mut timeout_ms = None;
+    let mut spill_dir = None;
+    let mut chunk_rows = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -171,6 +185,16 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
                 let v = take_value(&mut args, "--timeout-ms")?;
                 timeout_ms = Some(v.parse().map_err(|_| UsageError(format!("bad timeout {v:?}")))?);
             }
+            "--spill-dir" => spill_dir = Some(take_value(&mut args, "--spill-dir")?),
+            "--chunk-rows" => {
+                let v = take_value(&mut args, "--chunk-rows")?;
+                let n: usize =
+                    v.parse().map_err(|_| UsageError(format!("bad chunk size {v:?}")))?;
+                if n == 0 {
+                    return Err(UsageError("--chunk-rows must be at least 1".into()));
+                }
+                chunk_rows = Some(n);
+            }
             other if is_flag(other) => {
                 return Err(UsageError(format!("unknown option {other:?}")));
             }
@@ -196,6 +220,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
         trace,
         mem_budget,
         timeout_ms,
+        spill_dir,
+        chunk_rows,
     })
 }
 
@@ -363,6 +389,31 @@ mod tests {
         let b = parse(&["f.csv", "--group-by", "k"]).unwrap();
         assert_eq!(b.mem_budget, None);
         assert_eq!(b.timeout_ms, None);
+    }
+
+    #[test]
+    fn spill_and_chunk_flags() {
+        let a = parse(&[
+            "f.csv",
+            "--group-by",
+            "k",
+            "--spill-dir",
+            "/tmp/spill",
+            "--chunk-rows",
+            "4096",
+        ])
+        .unwrap();
+        assert_eq!(a.spill_dir.as_deref(), Some("/tmp/spill"));
+        assert_eq!(a.chunk_rows, Some(4096));
+
+        let b = parse(&["f.csv", "--group-by", "k"]).unwrap();
+        assert_eq!(b.spill_dir, None);
+        assert_eq!(b.chunk_rows, None);
+
+        assert!(parse(&["f.csv", "--group-by", "k", "--spill-dir"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--chunk-rows", "zero"]).is_err());
+        let e = parse(&["f.csv", "--group-by", "k", "--chunk-rows", "0"]).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
     }
 
     #[test]

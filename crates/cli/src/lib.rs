@@ -64,6 +64,9 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
     if let Some(ms) = args.timeout_ms {
         env = env.with_cancel(CancelToken::with_timeout(Duration::from_millis(ms)));
     }
+    if let Some(dir) = &args.spill_dir {
+        env = env.with_spill_dir(dir);
+    }
     let mut q =
         Query::over(&loaded.table).with_config(args.config.clone()).with_obs(obs).with_env(env);
     for g in &args.group_by {
@@ -79,7 +82,11 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
             other => return Err(format!("unknown aggregate {other:?}")),
         };
     }
-    let result = q.try_run().map_err(|e| e.to_string())?;
+    let result = match args.chunk_rows {
+        Some(n) => q.try_run_streaming(n),
+        None => q.try_run(),
+    }
+    .map_err(|e| e.to_string())?;
 
     let group_names = args.group_by.clone();
     let mut out =
@@ -189,6 +196,39 @@ mod tests {
         ]);
         let out = run_on_csv_text(CSV, &a).unwrap().rendered;
         assert!(out.contains("70"), "{out}");
+    }
+
+    #[test]
+    fn tiny_budget_with_spill_dir_completes_out_of_core() {
+        let dir = std::env::temp_dir().join(format!("hsa-cli-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut csv = String::from("k,v\n");
+        for i in 0..50_000u64 {
+            let k = i.wrapping_mul(2654435761) % 20_000;
+            csv.push_str(&format!("{k},{i}\n"));
+        }
+
+        let base = args(&["x.csv", "--group-by", "k", "--sum", "v"]);
+        let unbudgeted = run_on_csv_text(&csv, &base).unwrap();
+
+        let spill = dir.to_str().unwrap().to_string();
+        let a = args(&[
+            "x.csv",
+            "--group-by",
+            "k",
+            "--sum",
+            "v",
+            "--mem-budget",
+            "2M",
+            "--spill-dir",
+            &spill,
+            "--chunk-rows",
+            "4096",
+        ]);
+        let run = run_on_csv_text(&csv, &a).unwrap();
+        assert_eq!(run.rendered, unbudgeted.rendered, "spilled run must match in-memory result");
+        assert!(run.report.stats.spilled_runs() > 0, "stats: {:?}", run.report.stats);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

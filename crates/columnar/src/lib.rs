@@ -19,6 +19,10 @@
 //! * [`Mapping`] — the per-run mapping vector of the column-wise processing
 //!   model (§3.3, Figure 2): hashing emits slot indexes, partitioning emits
 //!   radix digits.
+//! * [`RunHandle`] / [`RunStore`] — the storage identity of a run: resident
+//!   in memory or spilled to a [`FileStore`] scratch file, so the operator
+//!   can degrade to disk instead of failing when its memory budget is
+//!   exhausted.
 //! * [`Table`] — a small named-column table used by the examples to stand in
 //!   for a column-store relation.
 
@@ -26,10 +30,12 @@ mod chunked;
 mod dictionary;
 mod mapping;
 mod run;
+mod store;
 mod table;
 
 pub use chunked::{ChunkedVec, DEFAULT_CHUNK_LEN};
 pub use dictionary::{encode_composite, Dictionary};
 pub use mapping::Mapping;
 pub use run::{Bucket, Run};
-pub use table::{Column, Table};
+pub use store::{FileStore, RunHandle, RunStore, SpilledRun};
+pub use table::{Column, Table, TableError};

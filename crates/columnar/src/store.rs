@@ -1,0 +1,426 @@
+//! Spillable run storage — the `RunStore` / `RunHandle` abstraction.
+//!
+//! The paper's framework is phrased over *runs* that need not fit in RAM
+//! (§2's external-memory cost analysis treats hashing and sorting as the
+//! same sequence of sequential run transfers). This module gives runs a
+//! storage identity separate from their data: every sealed run, partition
+//! output, and leftover-table flush travels as a [`RunHandle`] that is
+//! either resident ([`RunHandle::Mem`]) or flushed to a spill file
+//! ([`RunHandle::Spilled`]). Consumers call [`RunHandle::into_run`] to get
+//! the rows back; a spilled run's file is deleted when its handle drops.
+//!
+//! Two backends, std-only:
+//!
+//! * **MemStore** — the degenerate store: handles wrap the run directly.
+//!   [`RunStore::in_memory`] models it as "no file store configured".
+//! * **[`FileStore`]** — a spill directory. Runs are written once,
+//!   sequentially, column extent by column extent (key column first, then
+//!   each state column), and read back the same way in bounded extents, so
+//!   spill I/O is always bucket-sized sequential transfers — never random
+//!   access.
+//!
+//! The file format is deliberately dumb: a fixed header of little-endian
+//! `u64` words (magic, rows, n_cols, aggregated, source_rows, level)
+//! followed by `rows` key words and `n_cols × rows` state words. No
+//! compression, no framing — the files are process-private scratch, not an
+//! interchange format.
+
+use crate::chunked::ChunkedVec;
+use crate::run::Run;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// File magic: "HSARUN01" as a little-endian u64.
+const MAGIC: u64 = u64::from_le_bytes(*b"HSARUN01");
+
+/// Words per read/write extent (64 KiB): large enough that spill I/O is
+/// sequential-bandwidth bound, small enough that a restore never needs a
+/// row-count-sized transient buffer.
+const EXTENT_WORDS: usize = 8192;
+
+/// A spill directory that materializes runs as numbered scratch files.
+///
+/// Cloneable via `Arc`; the sequence counter makes concurrent spills from
+/// many workers race-free without any locking.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    seq: AtomicU64,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a spill directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, seq: AtomicU64::new(0) })
+    }
+
+    /// The directory spill files are written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Write a run to a fresh spill file and return the handle metadata.
+    ///
+    /// The write is a single sequential pass: header, key extents, then
+    /// each state column's extents. The returned [`SpilledRun`] owns the
+    /// file and deletes it on drop.
+    pub fn write(&self, run: &Run) -> io::Result<SpilledRun> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("run-{seq:08}.bin"));
+        let file = File::create(&path)?;
+        let mut w = BufWriter::new(file);
+        let header = [
+            MAGIC,
+            run.len() as u64,
+            run.n_cols() as u64,
+            run.aggregated as u64,
+            run.source_rows,
+            run.level as u64,
+        ];
+        let mut bytes = 0u64;
+        for word in header {
+            w.write_all(&word.to_le_bytes())?;
+            bytes += 8;
+        }
+        bytes += write_column(&mut w, &run.keys)?;
+        for col in &run.cols {
+            bytes += write_column(&mut w, col)?;
+        }
+        w.flush()?;
+        Ok(SpilledRun {
+            path,
+            rows: run.len(),
+            n_cols: run.n_cols(),
+            aggregated: run.aggregated,
+            source_rows: run.source_rows,
+            level: run.level,
+            bytes,
+        })
+    }
+
+    /// Read a spilled run back into memory (sequential, extent by extent).
+    fn read(&self, spilled: &SpilledRun) -> io::Result<Run> {
+        let file = File::open(&spilled.path)?;
+        let mut r = BufReader::new(file);
+        let mut header = [0u64; 6];
+        for word in header.iter_mut() {
+            let mut buf = [0u8; 8];
+            r.read_exact(&mut buf)?;
+            *word = u64::from_le_bytes(buf);
+        }
+        if header[0] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad spill file magic"));
+        }
+        let rows = header[1] as usize;
+        let n_cols = header[2] as usize;
+        if rows != spilled.rows || n_cols != spilled.n_cols {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "spill file shape mismatch"));
+        }
+        let keys = read_column(&mut r, rows)?;
+        let mut cols = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            cols.push(read_column(&mut r, rows)?);
+        }
+        Ok(Run {
+            keys,
+            cols,
+            aggregated: header[3] != 0,
+            source_rows: header[4],
+            level: header[5] as u32,
+        })
+    }
+}
+
+fn write_column(w: &mut impl Write, col: &ChunkedVec<u64>) -> io::Result<u64> {
+    let mut buf = Vec::with_capacity(EXTENT_WORDS.min(col.len()).max(1) * 8);
+    let mut bytes = 0u64;
+    for chunk in col.chunks() {
+        for extent in chunk.chunks(EXTENT_WORDS) {
+            buf.clear();
+            for v in extent {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+            bytes += buf.len() as u64;
+        }
+    }
+    Ok(bytes)
+}
+
+fn read_column(r: &mut impl Read, rows: usize) -> io::Result<ChunkedVec<u64>> {
+    let mut out = ChunkedVec::new();
+    let mut remaining = rows;
+    let mut buf = vec![0u8; EXTENT_WORDS.min(rows.max(1)) * 8];
+    let mut words = vec![0u64; EXTENT_WORDS.min(rows.max(1))];
+    while remaining > 0 {
+        let n = remaining.min(EXTENT_WORDS);
+        r.read_exact(&mut buf[..n * 8])?;
+        for (i, w) in words[..n].iter_mut().enumerate() {
+            *w = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        out.extend_from_slice(&words[..n]);
+        remaining -= n;
+    }
+    Ok(out)
+}
+
+/// A run that lives in a spill file rather than in memory.
+///
+/// Carries the metadata the driver needs to schedule the run without
+/// touching disk (row count, level, aggregation flag). Owns its file:
+/// dropping the handle deletes the scratch file.
+#[derive(Debug)]
+pub struct SpilledRun {
+    path: PathBuf,
+    rows: usize,
+    n_cols: usize,
+    aggregated: bool,
+    source_rows: u64,
+    level: u32,
+    bytes: u64,
+}
+
+impl SpilledRun {
+    /// Bytes written to the spill file (header + payload).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Path of the backing scratch file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpilledRun {
+    fn drop(&mut self) {
+        // Scratch cleanup is best-effort; a leaked file in a temp spill
+        // dir must not turn a successful query into a panic.
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// A run behind a storage handle: resident in memory or spilled to disk.
+#[derive(Debug)]
+pub enum RunHandle {
+    /// The run is resident; the handle owns its rows.
+    Mem(Run),
+    /// The run was flushed to a [`FileStore`]; the handle owns the file.
+    Spilled(Arc<FileStore>, SpilledRun),
+}
+
+impl RunHandle {
+    /// Number of rows in the run.
+    pub fn len(&self) -> usize {
+        match self {
+            RunHandle::Mem(run) => run.len(),
+            RunHandle::Spilled(_, s) => s.rows,
+        }
+    }
+
+    /// True if the run holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of state columns.
+    pub fn n_cols(&self) -> usize {
+        match self {
+            RunHandle::Mem(run) => run.n_cols(),
+            RunHandle::Spilled(_, s) => s.n_cols,
+        }
+    }
+
+    /// Whether the rows are partial aggregates (see [`Run::aggregated`]).
+    pub fn aggregated(&self) -> bool {
+        match self {
+            RunHandle::Mem(run) => run.aggregated,
+            RunHandle::Spilled(_, s) => s.aggregated,
+        }
+    }
+
+    /// Original input rows this run represents (see [`Run::source_rows`]).
+    pub fn source_rows(&self) -> u64 {
+        match self {
+            RunHandle::Mem(run) => run.source_rows,
+            RunHandle::Spilled(_, s) => s.source_rows,
+        }
+    }
+
+    /// Radix level of the run.
+    pub fn level(&self) -> u32 {
+        match self {
+            RunHandle::Mem(run) => run.level,
+            RunHandle::Spilled(_, s) => s.level,
+        }
+    }
+
+    /// True if this handle is backed by a spill file.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self, RunHandle::Spilled(..))
+    }
+
+    /// On-disk payload bytes for spilled handles, 0 for resident ones.
+    pub fn spilled_bytes(&self) -> u64 {
+        match self {
+            RunHandle::Mem(_) => 0,
+            RunHandle::Spilled(_, s) => s.bytes,
+        }
+    }
+
+    /// Materialize the run, reading it back from disk if it was spilled.
+    ///
+    /// Consumes the handle; for spilled runs the scratch file is deleted
+    /// once the returned [`Run`] is built.
+    pub fn into_run(self) -> io::Result<Run> {
+        match self {
+            RunHandle::Mem(run) => Ok(run),
+            RunHandle::Spilled(store, spilled) => store.read(&spilled),
+        }
+    }
+}
+
+/// The run storage policy for one operator invocation.
+///
+/// `in_memory()` is the MemStore backend: every handle stays resident and
+/// budget exhaustion remains a hard denial. `spilling_to(dir)` attaches a
+/// shared [`FileStore`] so run producers can downgrade a denied
+/// reservation into a spill instead of failing the query.
+#[derive(Clone, Debug, Default)]
+pub struct RunStore {
+    file: Option<Arc<FileStore>>,
+}
+
+impl RunStore {
+    /// Memory-only storage: no spill capability.
+    pub fn in_memory() -> Self {
+        Self { file: None }
+    }
+
+    /// Storage backed by a spill directory (created if missing).
+    pub fn spilling_to(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Ok(Self { file: Some(Arc::new(FileStore::new(dir)?)) })
+    }
+
+    /// True if a spill directory is configured.
+    pub fn can_spill(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// The backing file store, if any.
+    pub fn file_store(&self) -> Option<&Arc<FileStore>> {
+        self.file.as_ref()
+    }
+
+    /// Flush a run to the spill directory and return its handle.
+    ///
+    /// # Errors
+    /// I/O errors from the write, or `Unsupported` if this is a
+    /// memory-only store.
+    pub fn spill(&self, run: &Run) -> io::Result<RunHandle> {
+        let Some(store) = &self.file else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no spill directory configured",
+            ));
+        };
+        let spilled = store.write(run)?;
+        Ok(RunHandle::Spilled(Arc::clone(store), spilled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hsa-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_run() -> Run {
+        let mut run = Run::empty(3, 2, true);
+        for i in 0..10_000u64 {
+            run.keys.push(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            run.cols[0].push(i);
+            run.cols[1].push(u64::MAX - i);
+        }
+        run.source_rows = 12_345;
+        run
+    }
+
+    #[test]
+    fn spill_round_trip_preserves_rows_and_meta() {
+        let dir = temp_dir("roundtrip");
+        let store = RunStore::spilling_to(&dir).unwrap();
+        let run = sample_run();
+        let handle = store.spill(&run).unwrap();
+        assert!(handle.is_spilled());
+        assert_eq!(handle.len(), run.len());
+        assert_eq!(handle.level(), run.level);
+        assert_eq!(handle.source_rows(), run.source_rows);
+        assert!(handle.spilled_bytes() >= (run.len() as u64) * 8 * 3);
+        let back = handle.into_run().unwrap();
+        assert_eq!(back.keys, run.keys);
+        assert_eq!(back.cols, run.cols);
+        assert_eq!(back.aggregated, run.aggregated);
+        assert_eq!(back.source_rows, run.source_rows);
+        assert_eq!(back.level, run.level);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_and_zero_column_runs_round_trip() {
+        let dir = temp_dir("shapes");
+        let store = RunStore::spilling_to(&dir).unwrap();
+        for run in [Run::empty(0, 0, false), Run::empty(7, 4, true)] {
+            let back = store.spill(&run).unwrap().into_run().unwrap();
+            assert_eq!(back.len(), 0);
+            assert_eq!(back.n_cols(), run.n_cols());
+            assert_eq!(back.level, run.level);
+            assert_eq!(back.aggregated, run.aggregated);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_a_handle_deletes_the_scratch_file() {
+        let dir = temp_dir("cleanup");
+        let store = RunStore::spilling_to(&dir).unwrap();
+        let handle = store.spill(&sample_run()).unwrap();
+        let path = match &handle {
+            RunHandle::Spilled(_, s) => s.path().to_path_buf(),
+            RunHandle::Mem(_) => unreachable!(),
+        };
+        assert!(path.exists());
+        drop(handle);
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_store_refuses_to_spill() {
+        let store = RunStore::in_memory();
+        assert!(!store.can_spill());
+        let err = store.spill(&sample_run()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn mem_handles_are_transparent() {
+        let run = sample_run();
+        let (len, level) = (run.len(), run.level);
+        let handle = RunHandle::Mem(run);
+        assert!(!handle.is_spilled());
+        assert_eq!(handle.spilled_bytes(), 0);
+        assert_eq!(handle.len(), len);
+        assert_eq!(handle.level(), level);
+        assert_eq!(handle.into_run().unwrap().len(), len);
+    }
+}

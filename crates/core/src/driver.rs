@@ -16,6 +16,10 @@
 //! recursion depth is bounded by the 8 radix digits of a 64-bit hash, and
 //! buckets at the floor are merged with a growable table keyed by the
 //! actual key values.
+//!
+//! Phase 1 itself lives in [`crate::stream`]: the one-shot entry points
+//! below are one-chunk wrappers over [`crate::AggStream`], which runs one
+//! morsel scope per pushed chunk and then the recursion of this module.
 
 use crate::adaptive::{ModeState, Strategy};
 use crate::exec::{is_degradable, ExecEnv, Gate};
@@ -24,19 +28,20 @@ use crate::obs::{flush_table_metrics, Obs};
 use crate::output::{Collector, GroupByOutput};
 use crate::partitioning::partition_run;
 use crate::report::{ObsConfig, RunReport};
-use crate::sink::{LocalBuckets, RunSink, SharedBuckets};
+use crate::sink::{LocalBuckets, RunSink};
 use crate::stats::{AtomicStats, OpStats};
+use crate::stream::AggStream;
 use crate::view::RunView;
 use crate::AggregateConfig;
 use hsa_agg::{plan, AggFn, AggSpec, StateOp};
-use hsa_columnar::Run;
+use hsa_columnar::{RunHandle, RunStore};
 use hsa_fault::{AggError, CancelToken, Reservation};
 use hsa_hash::MAX_LEVEL;
-use hsa_hashtbl::{identity_of, AggTable, GrowTable, TableConfig};
+use hsa_hashtbl::{AggTable, GrowTable, TableConfig};
 use hsa_kernels::KernelKind;
-use hsa_obs::{Counter, Hist, Recorder, Tracer};
+use hsa_obs::{Counter, Recorder, Tracer};
 use hsa_tasks::sync::Mutex;
-use hsa_tasks::{chunk_ranges, PoolMetrics, Scope};
+use hsa_tasks::{PoolMetrics, Scope};
 use std::time::Instant;
 
 /// Reuse pool for the cache-sized tables: "one or very few hash tables per
@@ -44,7 +49,7 @@ use std::time::Instant;
 ///
 /// The pool owns the budget reservations of every table it has created;
 /// they are released when the pool drops at the end of the invocation.
-struct TablePool {
+pub(crate) struct TablePool {
     cfg: TableConfig,
     identities: Vec<u64>,
     free: Mutex<Vec<AggTable>>,
@@ -54,6 +59,16 @@ struct TablePool {
 }
 
 impl TablePool {
+    pub(crate) fn new(cfg: TableConfig, identities: Vec<u64>, metrics: bool) -> Self {
+        Self {
+            cfg,
+            identities,
+            free: Mutex::new(Vec::new()),
+            held: Mutex::new(Reservation::empty()),
+            metrics,
+        }
+    }
+
     /// Hand out a table, reserving its memory from the budget on a miss.
     ///
     /// Degradation ladder: when the configured size is denied by a real
@@ -93,60 +108,69 @@ impl TablePool {
         }
     }
 
-    fn put(&self, table: AggTable) {
+    pub(crate) fn put(&self, table: AggTable) {
         debug_assert!(table.is_empty(), "tables must be sealed before returning");
         self.free.lock().push(table);
     }
 }
 
-/// Everything shared across the tasks of one operator invocation.
-struct Ctx<'a> {
-    cfg: &'a AggregateConfig,
-    env: &'a ExecEnv,
+/// Everything shared across the tasks of one operator invocation. Owned
+/// (not borrowed) so a [`crate::AggStream`] can hold it across pushes.
+pub(crate) struct Ctx {
+    pub(crate) cfg: AggregateConfig,
+    pub(crate) env: ExecEnv,
     /// The effective cancel token: `env.cancel`, or an internal token the
     /// driver substitutes when the fault plan wants to cancel mid-run.
-    cancel: CancelToken,
-    ops: Vec<StateOp>,
-    pool: TablePool,
-    collector: Collector,
-    stats: AtomicStats,
-    recorder: Recorder,
-    tracer: Tracer,
+    pub(crate) cancel: CancelToken,
+    pub(crate) ops: Vec<StateOp>,
+    pub(crate) pool: TablePool,
+    pub(crate) collector: Collector,
+    pub(crate) stats: AtomicStats,
+    pub(crate) recorder: Recorder,
+    pub(crate) tracer: Tracer,
     /// Kernel tier resolved once per invocation from `cfg.kernel` (and the
     /// `HSA_KERNEL` override), clamped to what the CPU supports.
-    kind: KernelKind,
+    pub(crate) kind: KernelKind,
+    /// Run store the budget degrades into: spills to `env.spill_dir` when
+    /// configured, otherwise memory-only (denials stay denials).
+    pub(crate) store: RunStore,
     /// First error any task hit; later tasks bail out early once set.
-    failed: Mutex<Option<AggError>>,
+    pub(crate) failed: Mutex<Option<AggError>>,
 }
 
-impl Ctx<'_> {
+impl Ctx {
     /// The observability handle for a task running as `worker`.
-    fn obs(&self, worker: usize) -> Obs {
+    pub(crate) fn obs(&self, worker: usize) -> Obs {
         Obs { recorder: self.recorder.clone(), tracer: self.tracer.clone(), worker }
     }
 
     /// The allocation gate tasks reserve memory through.
-    fn gate(&self) -> Gate<'_> {
-        Gate { budget: &self.env.budget, faults: &self.env.faults, stats: &self.stats }
+    pub(crate) fn gate(&self) -> Gate<'_> {
+        Gate {
+            budget: &self.env.budget,
+            faults: &self.env.faults,
+            stats: &self.stats,
+            store: &self.store,
+        }
     }
 
     /// Record the first error; subsequent errors are dropped.
-    fn fail(&self, e: AggError) {
+    pub(crate) fn fail(&self, e: AggError) {
         self.failed.lock().get_or_insert(e);
     }
 
     /// True once any task has failed — remaining tasks skip their work.
-    fn bailed(&self) -> bool {
+    pub(crate) fn bailed(&self) -> bool {
         self.failed.lock().is_some()
     }
 
     /// Take the recorded error, if any.
-    fn take_failure(&self) -> Option<AggError> {
+    pub(crate) fn take_failure(&self) -> Option<AggError> {
         self.failed.lock().take()
     }
 
     /// Poll the cancel token; counts the observation when it has tripped.
-    fn check_cancel(&self, obs: &Obs) -> Result<(), AggError> {
+    pub(crate) fn check_cancel(&self, obs: &Obs) -> Result<(), AggError> {
         if let Some(reason) = self.cancel.cancelled() {
             self.stats.count_cancellation();
             obs.recorder.add(obs.worker, Counter::Cancellations, 1);
@@ -157,16 +181,16 @@ impl Ctx<'_> {
 }
 
 /// Per-worker persistent state of the level-0 main loop.
-struct WorkerState {
-    table: Option<AggTable>,
-    mode: ModeState,
-    epoch_rows: u64,
-    map32: Vec<u32>,
-    map8: Vec<u8>,
+pub(crate) struct WorkerState {
+    pub(crate) table: Option<AggTable>,
+    pub(crate) mode: ModeState,
+    pub(crate) epoch_rows: u64,
+    pub(crate) map32: Vec<u32>,
+    pub(crate) map8: Vec<u8>,
 }
 
 impl WorkerState {
-    fn new(strategy: Strategy) -> Self {
+    pub(crate) fn new(strategy: Strategy) -> Self {
         Self {
             table: None,
             mode: ModeState::new(strategy),
@@ -179,8 +203,8 @@ impl WorkerState {
 
 /// Process one run/morsel through the strategy-selected routines.
 #[allow(clippy::too_many_arguments)]
-fn process_view(
-    ctx: &Ctx<'_>,
+pub(crate) fn process_view(
+    ctx: &Ctx,
     view: &RunView<'_>,
     level: u32,
     table_slot: &mut Option<AggTable>,
@@ -254,7 +278,7 @@ fn process_view(
 }
 
 /// Emit a completed bucket's table as final groups.
-fn emit_final_from_table(ctx: &Ctx<'_>, table: &mut AggTable, obs: &Obs) -> Result<(), AggError> {
+fn emit_final_from_table(ctx: &Ctx, table: &mut AggTable, obs: &Obs) -> Result<(), AggError> {
     let out_bytes = (table.len() * 8 * (1 + table.n_cols())) as u64;
     let mut res = ctx.gate().reserve(out_bytes, obs)?;
     table.seal(|_digit, keys, cols| {
@@ -267,22 +291,26 @@ fn emit_final_from_table(ctx: &Ctx<'_>, table: &mut AggTable, obs: &Obs) -> Resu
 
 /// Merge a bucket with the growable key-addressed table (recursion floor
 /// and the final pass of `PartitionAlways`).
-fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>, obs: &Obs) -> Result<(), AggError> {
+///
+/// Spilled runs are restored one at a time, right before their rows are
+/// folded in, so at most one restored run is resident at any moment.
+fn grow_merge(ctx: &Ctx, bucket: Vec<RunHandle>, obs: &Obs) -> Result<(), AggError> {
     ctx.stats.count_fallback_merge();
     obs.recorder.add(obs.worker, Counter::FallbackMerges, 1);
     obs.tracer.instant(
         obs.worker,
         "fallback_merge",
-        &[("rows", bucket.iter().map(Run::len).sum::<usize>() as u64)],
+        &[("rows", bucket.iter().map(RunHandle::len).sum::<usize>() as u64)],
     );
-    let rows: usize = bucket.iter().map(Run::len).sum();
+    let rows: usize = bucket.iter().map(RunHandle::len).sum();
     let capacity = rows.clamp(16, 1 << 20);
     let mut res =
         ctx.gate().reserve(GrowTable::mem_bytes_upper(capacity, rows, ctx.ops.len()), obs)?;
     let mut table = GrowTable::with_capacity(capacity, &ctx.ops);
     let n_cols = ctx.ops.len();
     let mut vals = vec![0u64; n_cols];
-    for run in bucket {
+    for handle in bucket {
+        let run = ctx.gate().restore(handle, obs)?;
         let aggregated = run.aggregated;
         let view = RunView::Owned(run);
         let mut row = 0;
@@ -315,13 +343,14 @@ fn grow_merge(ctx: &Ctx<'_>, bucket: Vec<Run>, obs: &Obs) -> Result<(), AggError
 
 /// Recursive bucket task (Algorithm 2, line 8).
 ///
-/// `bucket_res` is the budget reservation backing the bucket's runs; it is
-/// dropped (released) when the task finishes consuming them — on success
-/// and on every early-out alike.
-fn process_bucket<'env>(
-    ctx: &'env Ctx<'env>,
+/// `bucket_res` is the budget reservation backing the bucket's resident
+/// runs; it is dropped (released) when the task finishes consuming them —
+/// on success and on every early-out alike. Spilled runs carry no
+/// reservation; each is restored from disk right before it is processed.
+pub(crate) fn process_bucket<'env>(
+    ctx: &'env Ctx,
     scope: &Scope<'_, 'env>,
-    bucket: Vec<Run>,
+    bucket: Vec<RunHandle>,
     bucket_res: Reservation,
     level: u32,
 ) {
@@ -369,8 +398,15 @@ fn process_bucket<'env>(
     let mut map8 = Vec::new();
     let mut local = LocalBuckets::new();
 
-    for run in bucket {
-        debug_assert_eq!(run.level, level, "run level out of sync with recursion");
+    for handle in bucket {
+        debug_assert_eq!(handle.level(), level, "run level out of sync with recursion");
+        let run = match ctx.gate().restore(handle, &obs) {
+            Ok(run) => run,
+            Err(e) => {
+                ctx.fail(e);
+                return;
+            }
+        };
         #[cfg(debug_assertions)]
         if let Err(msg) = run.check_consistent() {
             panic!("inconsistent run entering level {level}: {msg}");
@@ -438,7 +474,8 @@ fn process_bucket<'env>(
 /// pass-breakdown plots are built from.
 ///
 /// Panics on invalid input. For a non-panicking variant with memory
-/// budgets and cancellation, see [`try_aggregate`].
+/// budgets and cancellation, see [`try_aggregate`]; for bounded-chunk
+/// ingestion, see [`crate::AggStream`].
 pub fn aggregate(
     keys: &[u64],
     inputs: &[&[u64]],
@@ -479,12 +516,10 @@ pub fn aggregate_observed(
         .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible [`aggregate_observed`]: typed errors instead of panics, plus
-/// the robustness controls of `env`.
 /// Reject specs that `plan` cannot lower: everything but COUNT needs an
 /// input column. The `AggSpec` constructors always set one, but the
 /// fields are public.
-fn validate_specs(specs: &[AggSpec]) -> Result<(), AggError> {
+pub(crate) fn validate_specs(specs: &[AggSpec]) -> Result<(), AggError> {
     for (i, s) in specs.iter().enumerate() {
         if s.input.is_none() && !matches!(s.func, AggFn::Count) {
             return Err(AggError::SpecNeedsInput { spec: i });
@@ -493,6 +528,9 @@ fn validate_specs(specs: &[AggSpec]) -> Result<(), AggError> {
     Ok(())
 }
 
+/// Fallible [`aggregate_observed`]: typed errors instead of panics, plus
+/// the robustness controls of `env`. One-chunk wrapper over
+/// [`crate::AggStream`], so the streaming and slice paths cannot diverge.
 pub fn try_aggregate_observed(
     keys: &[u64],
     inputs: &[&[u64]],
@@ -501,29 +539,9 @@ pub fn try_aggregate_observed(
     env: &ExecEnv,
     obs_cfg: &ObsConfig,
 ) -> Result<(GroupByOutput, RunReport), AggError> {
-    for (i, col) in inputs.iter().enumerate() {
-        if col.len() != keys.len() {
-            return Err(AggError::RowCountMismatch {
-                column: i,
-                got: col.len(),
-                expected: keys.len(),
-            });
-        }
-    }
-    validate_specs(specs)?;
-    let lowered = plan(specs);
-    // Physical column i reads from this slice; COUNT columns alias the key
-    // column (their value is ignored by the state op).
-    let mut raw_cols = Vec::with_capacity(lowered.cols.len());
-    for c in &lowered.cols {
-        raw_cols.push(match c.input {
-            Some(j) => *inputs
-                .get(j)
-                .ok_or(AggError::MissingInputColumn { referenced: j, available: inputs.len() })?,
-            None => keys,
-        });
-    }
-    run_operator(keys, &raw_cols, false, lowered, cfg, env, obs_cfg)
+    let mut stream = AggStream::new(specs, cfg, env, obs_cfg)?;
+    stream.push(keys, inputs)?;
+    stream.finish()
 }
 
 /// Merge pre-aggregated partial results — the distributed-aggregation
@@ -551,186 +569,22 @@ pub fn try_merge_partials(
 ) -> Result<(GroupByOutput, OpStats), AggError> {
     validate_specs(specs)?;
     let lowered = plan(specs);
-    let mut keys = Vec::new();
-    let mut states: Vec<Vec<u64>> = (0..lowered.cols.len()).map(|_| Vec::new()).collect();
+    let mut stream = AggStream::from_plan(lowered.clone(), true, cfg, env, &ObsConfig::disabled())?;
     for p in partials {
         if p.plan() != &lowered {
             return Err(AggError::MismatchedSpecs);
         }
-        keys.extend_from_slice(&p.keys);
-        for (dst, src) in states.iter_mut().zip(&p.states) {
-            dst.extend_from_slice(src);
-        }
+        let state_slices: Vec<&[u64]> = p.states.iter().map(Vec::as_slice).collect();
+        stream.push_cols(&p.keys, &state_slices)?;
     }
-    let state_slices: Vec<&[u64]> = states.iter().map(Vec::as_slice).collect();
-    let (out, report) =
-        run_operator(&keys, &state_slices, true, lowered, cfg, env, &ObsConfig::disabled())?;
+    let (out, report) = stream.finish()?;
     Ok((out, report.stats))
-}
-
-/// Shared driver body: `raw_cols[i]` feeds physical state column `i`;
-/// `input_aggregated` selects apply vs merge semantics for the input rows.
-#[allow(clippy::too_many_arguments)]
-fn run_operator(
-    keys: &[u64],
-    raw_cols: &[&[u64]],
-    input_aggregated: bool,
-    lowered: hsa_agg::Plan,
-    cfg: &AggregateConfig,
-    env: &ExecEnv,
-    obs_cfg: &ObsConfig,
-) -> Result<(GroupByOutput, RunReport), AggError> {
-    let wall0 = Instant::now();
-    let ops: Vec<StateOp> = lowered.cols.iter().map(|c| c.op).collect();
-    let identities: Vec<u64> = ops.iter().map(|&o| identity_of(o)).collect();
-    let threads = cfg.threads.max(1);
-    let table_cfg = cfg.table_config(ops.len());
-    let observed = obs_cfg.metrics;
-    // A fault plan that cancels after K rows needs a live token to trip,
-    // even when the caller did not pass one.
-    let cancel = if env.faults.plans_cancellation() && !env.cancel.is_enabled() {
-        CancelToken::new()
-    } else {
-        env.cancel.clone()
-    };
-    let kind = hsa_kernels::select(cfg.kernel);
-    let ctx = Ctx {
-        cfg,
-        env,
-        cancel,
-        ops,
-        pool: TablePool {
-            cfg: table_cfg,
-            identities: identities.clone(),
-            free: Mutex::new(Vec::new()),
-            held: Mutex::new(Reservation::empty()),
-            metrics: observed,
-        },
-        collector: Collector::new(lowered.cols.len()),
-        stats: AtomicStats::default(),
-        recorder: if observed { Recorder::enabled(threads) } else { Recorder::disabled() },
-        tracer: if obs_cfg.trace {
-            Tracer::enabled(threads, obs_cfg.trace_capacity)
-        } else {
-            Tracer::disabled()
-        },
-        failed: Mutex::new(None),
-        kind,
-    };
-
-    // Phase 1: the work-stealing main loop over the input morsels.
-    let shared = SharedBuckets::new();
-    let workers: Vec<Mutex<WorkerState>> =
-        (0..threads).map(|_| Mutex::new(WorkerState::new(cfg.strategy))).collect();
-    let n_morsels = keys.len().div_ceil(cfg.morsel_rows.max(1)).max(1);
-    let (scope1, pm1) = hsa_tasks::try_scope_observed(threads, |s| {
-        for range in chunk_ranges(keys.len(), n_morsels) {
-            let (ctx, shared, workers, raw_cols) = (&ctx, &shared, &workers, &raw_cols);
-            s.spawn(move |s2| {
-                if ctx.bailed() {
-                    return;
-                }
-                let t0 = Instant::now();
-                let obs = ctx.obs(s2.worker_index());
-                if let Err(e) = ctx.check_cancel(&obs) {
-                    ctx.fail(e);
-                    return;
-                }
-                let trace_t0 = obs.tracer.now();
-                let rows = range.len() as u64;
-                obs.recorder.add(obs.worker, Counter::MorselsClaimed, 1);
-                obs.recorder.observe(obs.worker, Hist::MorselRows, rows);
-                let mut guard = workers[s2.worker_index()].lock();
-                let ws = &mut *guard;
-                let view = RunView::Borrowed {
-                    keys: &keys[range.clone()],
-                    cols: raw_cols.iter().map(|c| &c[range.clone()]).collect(),
-                    aggregated: input_aggregated,
-                };
-                let mut sink = shared;
-                if let Err(e) = process_view(
-                    ctx,
-                    &view,
-                    0,
-                    &mut ws.table,
-                    &mut ws.mode,
-                    &mut ws.epoch_rows,
-                    &mut ws.map32,
-                    &mut ws.map8,
-                    &mut sink,
-                    &obs,
-                ) {
-                    ctx.fail(e);
-                    return;
-                }
-                if ctx.env.faults.should_cancel_after(rows) {
-                    ctx.cancel.cancel();
-                }
-                ctx.stats.add_level_nanos(0, t0.elapsed().as_nanos() as u64);
-                obs.tracer.span_args(obs.worker, "morsel", trace_t0, &[("rows", rows)]);
-            });
-        }
-    });
-    let pm1 = contain_panics(&ctx, scope1, pm1)?;
-
-    // The morsel loop is done: surface any task error or a cancellation
-    // that tripped after the last poll.
-    if let Some(e) = ctx.take_failure() {
-        return Err(e);
-    }
-    ctx.check_cancel(&ctx.obs(0))?;
-
-    // Seal every worker's leftover table into the level-1 buckets. The
-    // scope has quiesced, so recording into each worker's shard from here
-    // preserves the sharding contract.
-    for (w_idx, w) in workers.into_iter().enumerate() {
-        if let Some(mut table) = w.into_inner().table {
-            if !table.is_empty() {
-                seal_into(&mut table, &mut &shared, ctx.gate(), &ctx.obs(w_idx))?;
-            }
-            ctx.pool.put(table);
-        }
-    }
-
-    // Phase 2: recurse into the buckets, one task each.
-    let (scope2, pm2) = hsa_tasks::try_scope_observed(threads, |s| {
-        for (_digit, bucket, res) in shared.into_nonempty() {
-            let ctx = &ctx;
-            s.spawn(move |s2| process_bucket(ctx, s2, bucket, res, 1));
-        }
-    });
-    let pm2 = contain_panics(&ctx, scope2, pm2)?;
-    if let Some(e) = ctx.take_failure() {
-        return Err(e);
-    }
-    ctx.check_cancel(&ctx.obs(0))?;
-
-    let pool_metrics: Option<PoolMetrics> = observed.then(|| {
-        let mut p = pm1;
-        p.merge(&pm2);
-        p
-    });
-
-    let Ctx { collector, stats, recorder, tracer, .. } = ctx;
-    let output = collector.into_output(lowered);
-    let report = RunReport {
-        rows_in: keys.len() as u64,
-        groups_out: output.n_groups() as u64,
-        threads,
-        kernel: kind.label().to_string(),
-        wall_nanos: wall0.elapsed().as_nanos() as u64,
-        stats: stats.snapshot(),
-        pool: pool_metrics,
-        metrics: observed.then(|| recorder.snapshot()),
-        trace_json: tracer.is_enabled().then(|| tracer.to_chrome_json()),
-    };
-    Ok((output, report))
 }
 
 /// Convert a contained task panic into `AggError::WorkerPanic`, counting
 /// it. Runs post-quiescence, so recording into shard 0 is race-free.
-fn contain_panics(
-    ctx: &Ctx<'_>,
+pub(crate) fn contain_panics(
+    ctx: &Ctx,
     result: Result<(), hsa_tasks::TaskPanic>,
     pm: PoolMetrics,
 ) -> Result<PoolMetrics, AggError> {
@@ -741,6 +595,18 @@ fn contain_panics(
             ctx.recorder.add(0, Counter::ContainedPanics, 1);
             Err(AggError::WorkerPanic { message: p.message })
         }
+    }
+}
+
+/// Build the run store for `env`: spilling when a directory is configured,
+/// memory-only otherwise. Directory-creation failures surface as
+/// [`AggError::SpillFailed`] before any row is processed.
+pub(crate) fn store_for(env: &ExecEnv) -> Result<RunStore, AggError> {
+    match &env.spill_dir {
+        Some(dir) => {
+            RunStore::spilling_to(dir).map_err(|e| AggError::SpillFailed { message: e.to_string() })
+        }
+        None => Ok(RunStore::in_memory()),
     }
 }
 

@@ -1,14 +1,18 @@
-//! Execution environment: budget, cancellation, and fault injection.
+//! Execution environment: budget, cancellation, fault injection, and the
+//! spill store the budget can degrade into.
 
 use crate::obs::Obs;
 use crate::stats::AtomicStats;
+use hsa_columnar::{Run, RunHandle, RunStore};
 use hsa_fault::{AggError, CancelToken, FaultInjector, MemoryBudget, Reservation};
-use hsa_obs::Counter;
+use hsa_obs::{Counter, Hist};
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// The robustness controls of one operator invocation: a shared memory
-/// budget, a cooperative cancellation token, and (for tests) a fault
-/// injector. The default is fully unrestricted and adds one null check per
-/// control point to the fast path.
+/// budget, a cooperative cancellation token, an optional spill directory,
+/// and (for tests) a fault injector. The default is fully unrestricted and
+/// adds one null check per control point to the fast path.
 #[derive(Clone, Debug, Default)]
 pub struct ExecEnv {
     /// Memory budget all growth sites reserve against.
@@ -17,10 +21,15 @@ pub struct ExecEnv {
     pub cancel: CancelToken,
     /// Deterministic fault injection (see `hsa_fault::FaultPlan`).
     pub faults: FaultInjector,
+    /// Spill directory for out-of-core degradation. When set, a denied
+    /// run-materialization reservation is downgraded into a flush to disk
+    /// instead of failing the query; when `None`, budget exhaustion at
+    /// those sites remains a hard `AggError::BudgetExceeded`.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl ExecEnv {
-    /// No budget, no cancellation, no injection.
+    /// No budget, no cancellation, no injection, no spilling.
     pub fn unrestricted() -> Self {
         Self::default()
     }
@@ -42,16 +51,24 @@ impl ExecEnv {
         self.faults = faults;
         self
     }
+
+    /// Enable spilling to the given directory (created on first use).
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
 }
 
 /// The allocation gate the routines reserve memory through: budget +
-/// injector + the stats the denials are counted in. Borrowed from the
-/// driver context and passed to every pass that materializes runs.
+/// injector + spill store + the stats the denials are counted in.
+/// Borrowed from the driver context and passed to every pass that
+/// materializes runs.
 #[derive(Clone, Copy)]
 pub(crate) struct Gate<'a> {
     pub(crate) budget: &'a MemoryBudget,
     pub(crate) faults: &'a FaultInjector,
     pub(crate) stats: &'a AtomicStats,
+    pub(crate) store: &'a RunStore,
 }
 
 impl Gate<'_> {
@@ -68,6 +85,53 @@ impl Gate<'_> {
         self.budget.try_reserve(bytes).inspect_err(|_| self.count_denial(obs))
     }
 
+    /// Whether a denied reservation at a run-materialization site may be
+    /// downgraded into a spill: the denial must be degradable and a spill
+    /// directory must be configured.
+    pub(crate) fn can_spill(&self, e: &AggError) -> bool {
+        is_degradable(e) && self.store.can_spill()
+    }
+
+    /// Flush a run to the spill store and return its handle, applying
+    /// fault injection first and recording spill observability.
+    pub(crate) fn spill(&self, run: &Run, obs: &Obs) -> Result<RunHandle, AggError> {
+        if self.faults.should_fail_spill() {
+            return Err(AggError::SpillFailed { message: "injected fault: spill write".into() });
+        }
+        let t0 = Instant::now();
+        let handle =
+            self.store.spill(run).map_err(|e| AggError::SpillFailed { message: e.to_string() })?;
+        let bytes = handle.spilled_bytes();
+        self.stats.count_spilled_run(run.level, bytes);
+        obs.recorder.add(obs.worker, Counter::SpilledRuns, 1);
+        obs.recorder.add(obs.worker, Counter::SpilledBytes, bytes);
+        obs.recorder.observe(obs.worker, Hist::SpillNanos, t0.elapsed().as_nanos() as u64);
+        Ok(handle)
+    }
+
+    /// Materialize a handle's rows, reading spilled runs back from disk
+    /// (timed and counted). Resident handles pass through untouched.
+    ///
+    /// Restored rows are transient working-set memory of the consuming
+    /// task and are not re-reserved against the budget: the run was
+    /// spilled precisely because the budget had no room, and the consumer
+    /// is about to shrink it (aggregate it or re-partition it into
+    /// bounded sub-runs).
+    pub(crate) fn restore(&self, handle: RunHandle, obs: &Obs) -> Result<Run, AggError> {
+        if !handle.is_spilled() {
+            return handle.into_run().map_err(|e| AggError::SpillFailed { message: e.to_string() });
+        }
+        let bytes = handle.spilled_bytes();
+        let t0 = Instant::now();
+        let run =
+            handle.into_run().map_err(|e| AggError::SpillFailed { message: e.to_string() })?;
+        self.stats.count_restored_run(bytes);
+        obs.recorder.add(obs.worker, Counter::RestoredRuns, 1);
+        obs.recorder.add(obs.worker, Counter::RestoredBytes, bytes);
+        obs.recorder.observe(obs.worker, Hist::RestoreNanos, t0.elapsed().as_nanos() as u64);
+        Ok(run)
+    }
+
     fn count_denial(&self, obs: &Obs) {
         self.stats.count_budget_denial();
         obs.recorder.add(obs.worker, Counter::BudgetDenials, 1);
@@ -75,7 +139,8 @@ impl Gate<'_> {
 }
 
 /// Whether a reservation failure may be degraded around (shrink the
-/// table, fall back to partitioning) rather than surfaced immediately.
+/// table, fall back to partitioning, spill the run) rather than surfaced
+/// immediately.
 pub(crate) fn is_degradable(e: &AggError) -> bool {
     matches!(e, AggError::BudgetExceeded { limit, .. } if *limit > 0)
 }
@@ -90,13 +155,13 @@ mod tests {
         let env = ExecEnv::unrestricted()
             .with_budget(MemoryBudget::limited(1024))
             .with_cancel(CancelToken::new())
-            .with_faults(FaultInjector::new(FaultPlan {
-                fail_alloc: Some(1),
-                ..FaultPlan::none()
-            }));
+            .with_faults(FaultInjector::new(FaultPlan { fail_alloc: Some(1), ..FaultPlan::none() }))
+            .with_spill_dir("/tmp/hsa-spill-test");
         assert_eq!(env.budget.limit(), Some(1024));
         assert!(env.cancel.check().is_ok());
         assert!(env.faults.should_fail_alloc());
+        assert_eq!(env.spill_dir.as_deref(), Some(std::path::Path::new("/tmp/hsa-spill-test")));
+        assert!(ExecEnv::default().spill_dir.is_none());
     }
 
     #[test]
@@ -104,19 +169,70 @@ mod tests {
         let stats = AtomicStats::default();
         let budget = MemoryBudget::limited(100);
         let faults = FaultInjector::new(FaultPlan { fail_alloc: Some(1), ..FaultPlan::none() });
-        let gate = Gate { budget: &budget, faults: &faults, stats: &stats };
+        let store = RunStore::in_memory();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats, store: &store };
         let obs = Obs::disabled();
 
         let injected = gate.reserve(10, &obs).unwrap_err();
         assert!(!is_degradable(&injected), "injected failures must surface");
+        assert!(!gate.can_spill(&injected));
 
         let ok = gate.reserve(60, &obs).unwrap();
         assert_eq!(budget.outstanding(), 60);
         let real = gate.reserve(60, &obs).unwrap_err();
         assert!(is_degradable(&real), "real denials may degrade");
+        assert!(!gate.can_spill(&real), "no spill dir: denial stays a denial");
         drop(ok);
 
         assert_eq!(stats.snapshot().budget_denials, 2);
         assert_eq!(budget.outstanding(), 0);
+    }
+
+    #[test]
+    fn gate_spills_and_restores_through_a_file_store() {
+        let dir = std::env::temp_dir().join(format!("hsa-gate-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stats = AtomicStats::default();
+        let budget = MemoryBudget::unlimited();
+        let faults = FaultInjector::none();
+        let store = RunStore::spilling_to(&dir).unwrap();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats, store: &store };
+        let obs = Obs::disabled();
+
+        let denied = AggError::BudgetExceeded { requested: 1, limit: 64, reserved: 64 };
+        assert!(gate.can_spill(&denied));
+
+        let run = Run::from_rows(&[1, 2, 3], &[&[10, 20, 30]]);
+        let handle = gate.spill(&run, &obs).unwrap();
+        assert!(handle.is_spilled());
+        let back = gate.restore(handle, &obs).unwrap();
+        assert_eq!(back.keys, run.keys);
+        assert_eq!(back.cols, run.cols);
+
+        let s = stats.snapshot();
+        assert_eq!(s.spilled_runs(), 1);
+        assert_eq!(s.restored_runs, 1);
+        assert_eq!(s.spilled_bytes, s.restored_bytes);
+        assert!(s.spilled_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_spill_failure_surfaces_as_spill_error() {
+        let dir = std::env::temp_dir().join(format!("hsa-gate-spillfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stats = AtomicStats::default();
+        let budget = MemoryBudget::unlimited();
+        let faults = FaultInjector::new(FaultPlan { fail_spill: Some(1), ..FaultPlan::none() });
+        let store = RunStore::spilling_to(&dir).unwrap();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats, store: &store };
+        let obs = Obs::disabled();
+
+        let run = Run::from_rows(&[1], &[]);
+        let err = gate.spill(&run, &obs).unwrap_err();
+        assert!(matches!(err, AggError::SpillFailed { .. }));
+        // The next write goes through.
+        assert!(gate.spill(&run, &obs).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

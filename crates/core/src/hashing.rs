@@ -17,8 +17,8 @@ use crate::obs::{flush_table_metrics, Obs};
 use crate::sink::RunSink;
 use crate::view::RunView;
 use hsa_agg::StateOp;
-use hsa_columnar::{ChunkedVec, Run};
-use hsa_fault::AggError;
+use hsa_columnar::{ChunkedVec, Run, RunHandle};
+use hsa_fault::{AggError, Reservation};
 use hsa_hash::{Hasher64, Murmur2};
 use hsa_hashtbl::{AggTable, Insert};
 use hsa_kernels::KernelKind;
@@ -50,7 +50,12 @@ fn seal_bytes_upper(groups: u64, n_cols: usize) -> u64 {
 ///
 /// Reserves an upper estimate of the emitted runs' memory from the budget
 /// first; each run carries an exact-sized slice of that reservation into
-/// the sink and the transient remainder is released on return.
+/// the sink and the transient remainder is released on return. When the
+/// reservation is denied degradably and a spill directory is configured,
+/// the denial is downgraded: the sealed runs are flushed to the spill
+/// store instead and travel as disk-backed handles with empty
+/// reservations. Hard denials (injected faults, zero-byte budgets) and
+/// runs without a spill directory still surface `BudgetExceeded`.
 pub(crate) fn seal_into(
     table: &mut AggTable,
     sink: &mut impl RunSink,
@@ -58,14 +63,31 @@ pub(crate) fn seal_into(
     obs: &Obs,
 ) -> Result<(), AggError> {
     let groups = table.len() as u64;
-    let mut res = gate.reserve(seal_bytes_upper(groups, table.n_cols()), obs)?;
+    let mut res = match gate.reserve(seal_bytes_upper(groups, table.n_cols()), obs) {
+        Ok(res) => Some(res),
+        Err(e) if gate.can_spill(&e) => {
+            gate.stats.count_budget_downgrade();
+            obs.recorder.add(obs.worker, Counter::BudgetDowngrades, 1);
+            obs.tracer.instant(
+                obs.worker,
+                "seal_spill",
+                &[("level", table.level() as u64), ("groups", groups)],
+            );
+            None
+        }
+        Err(e) => return Err(e),
+    };
     obs.recorder.observe(
         obs.worker,
         Hist::SealFillPct,
         groups * 100 / table.total_slots().max(1) as u64,
     );
     let next_level = table.level() + 1;
+    let mut spill_err: Option<AggError> = None;
     table.seal(|digit, keys, cols| {
+        if spill_err.is_some() {
+            return;
+        }
         let run = Run {
             keys: ChunkedVec::from_slice(keys),
             cols: cols.iter().map(|c| ChunkedVec::from_slice(c)).collect(),
@@ -73,9 +95,20 @@ pub(crate) fn seal_into(
             source_rows: keys.len() as u64,
             level: next_level,
         };
-        let run_res = res.take(run.mem_bytes());
-        sink.push_run(digit, run, run_res);
+        match &mut res {
+            Some(res) => {
+                let run_res = res.take(run.mem_bytes());
+                sink.push_run(digit, RunHandle::Mem(run), run_res);
+            }
+            None => match gate.spill(&run, obs) {
+                Ok(handle) => sink.push_run(digit, handle, Reservation::empty()),
+                Err(e) => spill_err = Some(e),
+            },
+        }
     });
+    if let Some(e) = spill_err {
+        return Err(e);
+    }
     gate.stats.count_seal();
     obs.recorder.add(obs.worker, Counter::TablesSealed, 1);
     flush_table_metrics(obs, table);
@@ -204,6 +237,7 @@ mod tests {
     use crate::adaptive::Strategy;
     use crate::sink::LocalBuckets;
     use crate::stats::AtomicStats;
+    use hsa_columnar::RunStore;
     use hsa_fault::{FaultInjector, MemoryBudget};
     use hsa_hashtbl::TableConfig;
     use std::collections::BTreeMap;
@@ -215,6 +249,7 @@ mod tests {
                 budget: &MemoryBudget::unlimited(),
                 faults: &FaultInjector::none(),
                 stats: $stats,
+                store: &RunStore::in_memory(),
             }
         };
     }
@@ -259,7 +294,8 @@ mod tests {
         // Merge all emitted runs with the super-aggregate.
         let mut merged: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         for (_, bucket, _res) in sink.into_nonempty() {
-            for run in bucket {
+            for handle in bucket {
+                let run = handle.into_run().unwrap();
                 assert!(run.aggregated);
                 assert_eq!(run.level, 1);
                 run.check_consistent().unwrap();
@@ -348,7 +384,8 @@ mod tests {
         seal_into(&mut t, &mut sink, open_gate!(&stats), &Obs::disabled()).unwrap();
         let mut total = None;
         for (_, bucket, _res) in sink.into_nonempty() {
-            for run in bucket {
+            for handle in bucket {
+                let run = handle.into_run().unwrap();
                 assert_eq!(run.keys.to_vec(), vec![42]);
                 total = Some(run.cols[0].get(0).unwrap());
             }
@@ -403,12 +440,60 @@ mod tests {
         t.insert_key(7, Murmur2::default().hash_u64(7));
         let budget = MemoryBudget::limited(1);
         let faults = FaultInjector::none();
-        let gate = Gate { budget: &budget, faults: &faults, stats: &stats };
+        let store = RunStore::in_memory();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats, store: &store };
         let mut sink = LocalBuckets::new();
         let err = seal_into(&mut t, &mut sink, gate, &Obs::disabled()).unwrap_err();
         assert!(matches!(err, AggError::BudgetExceeded { limit: 1, .. }));
         assert!(sink.is_empty(), "no run may be emitted on a denied seal");
         assert_eq!(budget.outstanding(), 0);
         assert_eq!(stats.snapshot().budget_denials, 1);
+    }
+
+    #[test]
+    fn denied_seal_downgrades_to_spill_when_a_dir_is_configured() {
+        let dir = std::env::temp_dir().join(format!("hsa-seal-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stats = AtomicStats::default();
+        let ops = [StateOp::Sum];
+        let mut t = table(1 << 10, &ops);
+        let h = Murmur2::default();
+        for key in [7u64, 8, 9] {
+            if let Insert::New(slot) | Insert::Hit(slot) = t.insert_key(key, h.hash_u64(key)) {
+                hsa_agg::fold_column(
+                    KernelKind::Scalar,
+                    StateOp::Sum,
+                    false,
+                    t.col_mut(0),
+                    &[slot],
+                    &[key * 10],
+                );
+            }
+        }
+        let budget = MemoryBudget::limited(1);
+        let faults = FaultInjector::none();
+        let store = RunStore::spilling_to(&dir).unwrap();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats, store: &store };
+        let mut sink = LocalBuckets::new();
+        seal_into(&mut t, &mut sink, gate, &Obs::disabled()).unwrap();
+        assert_eq!(budget.outstanding(), 0, "spilled runs hold no reservation");
+        let mut rows = BTreeMap::new();
+        for (_, bucket, res) in sink.into_nonempty() {
+            assert_eq!(res.bytes(), 0);
+            for handle in bucket {
+                assert!(handle.is_spilled());
+                let run = handle.into_run().unwrap();
+                for (j, k) in run.keys.to_vec().into_iter().enumerate() {
+                    rows.insert(k, run.cols[0].get(j).unwrap());
+                }
+            }
+        }
+        assert_eq!(rows, BTreeMap::from([(7, 70), (8, 80), (9, 90)]));
+        let s = stats.snapshot();
+        assert!(s.spilled_runs() > 0);
+        assert!(s.spilled_bytes > 0);
+        assert_eq!(s.budget_denials, 1);
+        assert_eq!(s.budget_downgrades, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -54,6 +54,7 @@ mod partitioning;
 mod report;
 mod sink;
 mod stats;
+mod stream;
 mod view;
 
 pub use adaptive::{AdaptiveParams, Strategy};
@@ -64,12 +65,14 @@ pub use driver::{
 pub use exec::ExecEnv;
 pub use hsa_kernels::{KernelKind, KernelPref};
 
+pub use hsa_columnar::{RunHandle, RunStore, SpilledRun};
 pub use hsa_fault::{
     AggError, CancelReason, CancelToken, FaultInjector, FaultPlan, MemoryBudget, Reservation,
 };
 pub use output::GroupByOutput;
 pub use report::{ObsConfig, RunReport};
 pub use stats::OpStats;
+pub use stream::AggStream;
 
 use hsa_hashtbl::TableConfig;
 

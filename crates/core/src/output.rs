@@ -8,7 +8,13 @@ use hsa_tasks::sync::Mutex;
 /// short lock — coarse enough to be negligible (§3.2).
 ///
 /// The collector holds the budget reservations backing its growing output
-/// vectors until the output is handed to the caller.
+/// vectors until the output is handed to the caller. Unlike intermediate
+/// runs, final output blocks are never spilled: they are the caller's
+/// result, so a denied output reservation stays a hard
+/// `AggError::BudgetExceeded` even when a spill directory is configured.
+/// One collector spans all chunks of a streaming ingestion
+/// ([`crate::AggStream`]) — it lives in the driver context, not in any
+/// single scope.
 pub(crate) struct Collector {
     inner: Mutex<RawOut>,
 }

@@ -10,8 +10,8 @@ use crate::exec::Gate;
 use crate::obs::Obs;
 use crate::sink::RunSink;
 use crate::view::RunView;
-use hsa_columnar::Run;
-use hsa_fault::AggError;
+use hsa_columnar::{Run, RunHandle};
+use hsa_fault::{AggError, Reservation};
 use hsa_hash::{Murmur2, FANOUT};
 use hsa_obs::{Counter, Hist};
 use hsa_partition::{
@@ -31,7 +31,12 @@ fn partition_bytes_upper(rows: usize, n_cols: usize) -> u64 {
 ///
 /// Reserves an upper estimate of the pass's memory first; each emitted run
 /// carries an exact-sized slice of the reservation and the remainder is
-/// released on return.
+/// released on return. When the reservation is denied degradably and a
+/// spill directory is configured, the denial is downgraded: the pass runs
+/// on transient (unaccounted) memory and every output run is flushed to
+/// the spill store immediately, so nothing stays resident past the pass.
+/// Hard denials and runs without a spill directory still surface
+/// `BudgetExceeded`.
 #[allow(clippy::too_many_arguments)] // the driver's task context, passed flat
 pub(crate) fn partition_run(
     view: &RunView<'_>,
@@ -47,7 +52,20 @@ pub(crate) fn partition_run(
     if rows == 0 {
         return Ok(());
     }
-    let mut res = gate.reserve(partition_bytes_upper(rows, n_cols), obs)?;
+    let mut res = match gate.reserve(partition_bytes_upper(rows, n_cols), obs) {
+        Ok(res) => Some(res),
+        Err(e) if gate.can_spill(&e) => {
+            gate.stats.count_budget_downgrade();
+            obs.recorder.add(obs.worker, Counter::BudgetDowngrades, 1);
+            obs.tracer.instant(
+                obs.worker,
+                "partition_spill",
+                &[("level", level as u64), ("rows", rows as u64)],
+            );
+            None
+        }
+        Err(e) => return Err(e),
+    };
     let hasher = Murmur2::default();
     let t0 = obs.tracer.now();
     let mut pm = PartitionMetrics::default();
@@ -95,8 +113,16 @@ pub(crate) fn partition_run(
         let n = keys.len();
         let cols = col_parts.iter_mut().map(|cp| std::mem::take(&mut cp[digit])).collect();
         let run = Run { keys, cols, aggregated, source_rows: n as u64, level: level + 1 };
-        let run_res = res.take(run.mem_bytes());
-        sink.push_run(digit, run, run_res);
+        match &mut res {
+            Some(res) => {
+                let run_res = res.take(run.mem_bytes());
+                sink.push_run(digit, RunHandle::Mem(run), run_res);
+            }
+            None => {
+                let handle = gate.spill(&run, obs)?;
+                sink.push_run(digit, handle, Reservation::empty());
+            }
+        }
     }
     Ok(())
 }
@@ -106,6 +132,7 @@ mod tests {
     use super::*;
     use crate::sink::LocalBuckets;
     use crate::stats::AtomicStats;
+    use hsa_columnar::RunStore;
     use hsa_fault::{FaultInjector, MemoryBudget};
     use hsa_hash::{digit, Hasher64};
 
@@ -115,6 +142,7 @@ mod tests {
                 budget: &MemoryBudget::unlimited(),
                 faults: &FaultInjector::none(),
                 stats: $stats,
+                store: &RunStore::in_memory(),
             }
         };
     }
@@ -142,7 +170,8 @@ mod tests {
         let h = Murmur2::default();
         let mut total = 0usize;
         for (d, bucket, _res) in sink.into_nonempty() {
-            for run in bucket {
+            for handle in bucket {
+                let run = handle.into_run().unwrap();
                 assert!(!run.aggregated);
                 assert_eq!(run.level, 1);
                 run.check_consistent().unwrap();
@@ -180,7 +209,7 @@ mod tests {
         )
         .unwrap();
         let total: usize =
-            sink.into_nonempty().map(|(_, b, _)| b.iter().map(Run::len).sum::<usize>()).sum();
+            sink.into_nonempty().map(|(_, b, _)| b.iter().map(RunHandle::len).sum::<usize>()).sum();
         assert_eq!(total, 100);
     }
 
@@ -232,8 +261,8 @@ mod tests {
         .unwrap();
         for (_, bucket, _res) in sink.into_nonempty() {
             for r in bucket {
-                assert!(r.aggregated, "partitioning must not clear the flag");
-                assert_eq!(r.level, 2);
+                assert!(r.aggregated(), "partitioning must not clear the flag");
+                assert_eq!(r.level(), 2);
             }
         }
     }
@@ -247,11 +276,50 @@ mod tests {
         let mut mapping = Vec::new();
         let budget = MemoryBudget::limited(100);
         let faults = FaultInjector::none();
-        let gate = Gate { budget: &budget, faults: &faults, stats: &stats };
+        let store = RunStore::in_memory();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats, store: &store };
         let err = partition_run(&view, 0, 0, 0, &mut mapping, &mut sink, gate, &Obs::disabled())
             .unwrap_err();
         assert!(matches!(err, AggError::BudgetExceeded { limit: 100, .. }));
         assert!(sink.is_empty());
         assert_eq!(budget.outstanding(), 0);
+    }
+
+    #[test]
+    fn denied_pass_spills_every_output_when_a_dir_is_configured() {
+        let dir = std::env::temp_dir().join(format!("hsa-part-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let keys: Vec<u64> = (0..2000u64).map(|i| i * 2654435761 % 500).collect();
+        let vals: Vec<u64> = (0..2000).collect();
+        let view = RunView::Borrowed { keys: &keys, cols: vec![&vals], aggregated: false };
+        let mut sink = LocalBuckets::new();
+        let stats = AtomicStats::default();
+        let mut mapping = Vec::new();
+        let budget = MemoryBudget::limited(100);
+        let faults = FaultInjector::none();
+        let store = RunStore::spilling_to(&dir).unwrap();
+        let gate = Gate { budget: &budget, faults: &faults, stats: &stats, store: &store };
+        partition_run(&view, 0, 0, 1, &mut mapping, &mut sink, gate, &Obs::disabled()).unwrap();
+        assert_eq!(budget.outstanding(), 0);
+
+        let h = Murmur2::default();
+        let mut total = 0usize;
+        for (d, bucket, res) in sink.into_nonempty() {
+            assert_eq!(res.bytes(), 0, "spilled runs hold no reservation");
+            for handle in bucket {
+                assert!(handle.is_spilled());
+                let run = handle.into_run().unwrap();
+                run.check_consistent().unwrap();
+                total += run.len();
+                for k in run.keys.to_vec() {
+                    assert_eq!(digit(h.hash_u64(k), 0), d);
+                }
+            }
+        }
+        assert_eq!(total, keys.len());
+        let s = stats.snapshot();
+        assert!(s.spilled_runs() > 0);
+        assert_eq!(s.budget_downgrades, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -140,6 +140,16 @@ impl RunReport {
                 st.budget_denials, st.budget_downgrades, st.cancellations, st.contained_panics
             );
         }
+        if st.spilled_runs() > 0 {
+            let _ = writeln!(
+                s,
+                "spill              runs {}   {} B out   restored {} ({} B)",
+                st.spilled_runs(),
+                st.spilled_bytes,
+                st.restored_runs,
+                st.restored_bytes
+            );
+        }
         if let Some(pool) = &self.pool {
             let t = pool.totals();
             let _ = writeln!(
@@ -214,6 +224,14 @@ pub fn stats_json(stats: &OpStats) -> JsonValue {
         ("contained_panics", JsonValue::U64(stats.contained_panics)),
         ("kernel_batched_rows", JsonValue::U64(stats.kernel_batched_rows)),
         ("kernel_scalar_rows", JsonValue::U64(stats.kernel_scalar_rows)),
+        ("spilled_runs", JsonValue::U64(stats.spilled_runs())),
+        (
+            "spilled_runs_per_level",
+            JsonValue::u64_array(stats.spilled_runs_per_level.iter().copied()),
+        ),
+        ("spilled_bytes", JsonValue::U64(stats.spilled_bytes)),
+        ("restored_runs", JsonValue::U64(stats.restored_runs)),
+        ("restored_bytes", JsonValue::U64(stats.restored_bytes)),
     ])
 }
 
@@ -246,6 +264,10 @@ mod tests {
             seals: 4,
             switches_to_partitioning: 2,
             kernel_batched_rows: 1200,
+            spilled_runs_per_level: vec![0, 3],
+            spilled_bytes: 4096,
+            restored_runs: 3,
+            restored_bytes: 4096,
             ..OpStats::default()
         };
         let pool = PoolMetrics {
@@ -297,6 +319,13 @@ mod tests {
             stats.get("hash_rows_per_level").unwrap().as_array().unwrap()[0].as_u64(),
             Some(1000)
         );
+        assert_eq!(stats.get("spilled_runs").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            stats.get("spilled_runs_per_level").unwrap().as_array().unwrap()[1].as_u64(),
+            Some(3)
+        );
+        assert_eq!(stats.get("spilled_bytes").unwrap().as_u64(), Some(4096));
+        assert_eq!(stats.get("restored_runs").unwrap().as_u64(), Some(3));
         let pool = parsed.get("pool").unwrap();
         assert_eq!(pool.get("totals").unwrap().get("tasks_executed").unwrap().as_u64(), Some(8));
         assert_eq!(pool.get("workers").unwrap().as_array().unwrap().len(), 2);
@@ -312,6 +341,7 @@ mod tests {
         assert!(text.contains("rows in            1500"));
         assert!(text.contains("kernel             sse2  (batched rows 1200   scalar rows 0)"));
         assert!(text.contains("passes used        2"));
+        assert!(text.contains("spill              runs 3"));
         assert!(text.contains("steals 1"));
         assert!(text.contains("inserts 1000"));
         assert!(text.contains("alpha at switches  count 1   mean 3.50"));

@@ -6,11 +6,13 @@
 //! of the runs between the recursive calls requires synchronization, but
 //! this happens infrequently enough to be negligible", §3.2).
 //!
-//! Each run travels with the memory [`Reservation`] that paid for it, so
-//! the budget stays charged while the run waits in a bucket and is
-//! released exactly when the consuming sub-task drops its bucket.
+//! Runs travel as [`RunHandle`]s: resident handles carry the memory
+//! [`Reservation`] that paid for them, so the budget stays charged while
+//! the run waits in a bucket and is released exactly when the consuming
+//! sub-task drops its bucket; spilled handles carry an empty reservation —
+//! their bytes live on disk, not in the budget.
 
-use hsa_columnar::Run;
+use hsa_columnar::RunHandle;
 use hsa_fault::Reservation;
 use hsa_hash::FANOUT;
 use hsa_tasks::sync::Mutex;
@@ -18,13 +20,13 @@ use hsa_tasks::sync::Mutex;
 /// Anything that can receive the runs of one partitioning/hashing pass.
 pub(crate) trait RunSink {
     /// Add `run` to the bucket for radix digit `digit`, together with the
-    /// budget reservation backing its memory.
-    fn push_run(&mut self, digit: usize, run: Run, res: Reservation);
+    /// budget reservation backing its memory (empty for spilled runs).
+    fn push_run(&mut self, digit: usize, run: RunHandle, res: Reservation);
 }
 
 /// Task-local buckets (no synchronization).
 pub(crate) struct LocalBuckets {
-    buckets: Vec<(Vec<Run>, Reservation)>,
+    buckets: Vec<(Vec<RunHandle>, Reservation)>,
 }
 
 impl LocalBuckets {
@@ -40,7 +42,9 @@ impl LocalBuckets {
 
     /// Consume into `(digit, bucket, reservation)` triples for the
     /// non-empty buckets.
-    pub(crate) fn into_nonempty(self) -> impl Iterator<Item = (usize, Vec<Run>, Reservation)> {
+    pub(crate) fn into_nonempty(
+        self,
+    ) -> impl Iterator<Item = (usize, Vec<RunHandle>, Reservation)> {
         self.buckets
             .into_iter()
             .enumerate()
@@ -50,7 +54,7 @@ impl LocalBuckets {
 }
 
 impl RunSink for LocalBuckets {
-    fn push_run(&mut self, digit: usize, run: Run, res: Reservation) {
+    fn push_run(&mut self, digit: usize, run: RunHandle, res: Reservation) {
         debug_assert!(!run.is_empty());
         let (bucket, held) = &mut self.buckets[digit];
         bucket.push(run);
@@ -60,7 +64,7 @@ impl RunSink for LocalBuckets {
 
 /// Shared buckets for the parallel main loop.
 pub(crate) struct SharedBuckets {
-    buckets: Vec<Mutex<(Vec<Run>, Reservation)>>,
+    buckets: Vec<Mutex<(Vec<RunHandle>, Reservation)>>,
 }
 
 impl SharedBuckets {
@@ -72,7 +76,9 @@ impl SharedBuckets {
 
     /// Consume into `(digit, bucket, reservation)` triples for the
     /// non-empty buckets.
-    pub(crate) fn into_nonempty(self) -> impl Iterator<Item = (usize, Vec<Run>, Reservation)> {
+    pub(crate) fn into_nonempty(
+        self,
+    ) -> impl Iterator<Item = (usize, Vec<RunHandle>, Reservation)> {
         self.buckets
             .into_iter()
             .map(Mutex::into_inner)
@@ -84,7 +90,7 @@ impl SharedBuckets {
 
 /// A `&SharedBuckets` is itself a sink (each push takes one short lock).
 impl RunSink for &SharedBuckets {
-    fn push_run(&mut self, digit: usize, run: Run, res: Reservation) {
+    fn push_run(&mut self, digit: usize, run: RunHandle, res: Reservation) {
         debug_assert!(!run.is_empty());
         let mut guard = self.buckets[digit].lock();
         guard.0.push(run);
@@ -95,10 +101,11 @@ impl RunSink for &SharedBuckets {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hsa_columnar::Run;
     use hsa_fault::MemoryBudget;
 
-    fn run_of(n: u64) -> Run {
-        Run::from_rows(&(0..n).collect::<Vec<_>>(), &[])
+    fn run_of(n: u64) -> RunHandle {
+        RunHandle::Mem(Run::from_rows(&(0..n).collect::<Vec<_>>(), &[]))
     }
 
     #[test]
@@ -147,5 +154,20 @@ mod tests {
             shared.into_nonempty().map(|(d, v, _)| (d, v.len())).collect();
         assert_eq!(got.len(), 8);
         assert!(got.iter().all(|&(d, n)| d % 30 == 0 && n == 10));
+    }
+
+    #[test]
+    fn spilled_handles_ride_with_empty_reservations() {
+        let dir = std::env::temp_dir().join(format!("hsa-sink-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = hsa_columnar::RunStore::spilling_to(&dir).unwrap();
+        let spilled = store.spill(&Run::from_rows(&[1, 2], &[&[3, 4]])).unwrap();
+        let mut b = LocalBuckets::new();
+        b.push_run(7, spilled, Reservation::empty());
+        let triples: Vec<_> = b.into_nonempty().collect();
+        assert_eq!(triples.len(), 1);
+        assert!(triples[0].1[0].is_spilled());
+        assert_eq!(triples[0].2.bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

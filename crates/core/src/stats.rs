@@ -21,6 +21,10 @@ pub(crate) struct AtomicStats {
     contained_panics: AtomicU64,
     kernel_batched_rows: AtomicU64,
     kernel_scalar_rows: AtomicU64,
+    spilled_runs: [AtomicU64; MAX_LEVEL as usize + 1],
+    spilled_bytes: AtomicU64,
+    restored_runs: AtomicU64,
+    restored_bytes: AtomicU64,
 }
 
 impl AtomicStats {
@@ -76,6 +80,16 @@ impl AtomicStats {
         }
     }
 
+    pub(crate) fn count_spilled_run(&self, level: u32, bytes: u64) {
+        self.spilled_runs[(level as usize).min(MAX_LEVEL as usize)].fetch_add(1, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_restored_run(&self, bytes: u64) {
+        self.restored_runs.fetch_add(1, Ordering::Relaxed);
+        self.restored_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> OpStats {
         let take = |a: &[AtomicU64]| a.iter().map(|x| x.load(Ordering::Relaxed)).collect();
         OpStats {
@@ -92,6 +106,10 @@ impl AtomicStats {
             contained_panics: self.contained_panics.load(Ordering::Relaxed),
             kernel_batched_rows: self.kernel_batched_rows.load(Ordering::Relaxed),
             kernel_scalar_rows: self.kernel_scalar_rows.load(Ordering::Relaxed),
+            spilled_runs_per_level: take(&self.spilled_runs),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            restored_runs: self.restored_runs.load(Ordering::Relaxed),
+            restored_bytes: self.restored_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -134,6 +152,15 @@ pub struct OpStats {
     /// Rows whose `HASHING` hot loops ran through the scalar reference
     /// kernels.
     pub kernel_scalar_rows: u64,
+    /// Runs flushed to the spill store, per recursion level (a denied
+    /// reservation downgraded to out-of-core storage instead of failing).
+    pub spilled_runs_per_level: Vec<u64>,
+    /// Bytes written to spill files.
+    pub spilled_bytes: u64,
+    /// Spilled runs read back for consumption.
+    pub restored_runs: u64,
+    /// Bytes read back from spill files.
+    pub restored_bytes: u64,
 }
 
 impl OpStats {
@@ -153,6 +180,11 @@ impl OpStats {
         self.part_rows_per_level.iter().sum()
     }
 
+    /// Total runs spilled to disk (all levels).
+    pub fn spilled_runs(&self) -> u64 {
+        self.spilled_runs_per_level.iter().sum()
+    }
+
     /// Fold another invocation's statistics into this one (for averaging
     /// repeated runs or combining sharded operators).
     pub fn merge(&mut self, other: &OpStats) {
@@ -167,6 +199,7 @@ impl OpStats {
         add_levels(&mut self.hash_rows_per_level, &other.hash_rows_per_level);
         add_levels(&mut self.part_rows_per_level, &other.part_rows_per_level);
         add_levels(&mut self.task_nanos_per_level, &other.task_nanos_per_level);
+        add_levels(&mut self.spilled_runs_per_level, &other.spilled_runs_per_level);
         self.seals += other.seals;
         self.switches_to_partitioning += other.switches_to_partitioning;
         self.switches_to_hashing += other.switches_to_hashing;
@@ -177,6 +210,9 @@ impl OpStats {
         self.contained_panics += other.contained_panics;
         self.kernel_batched_rows += other.kernel_batched_rows;
         self.kernel_scalar_rows += other.kernel_scalar_rows;
+        self.spilled_bytes += other.spilled_bytes;
+        self.restored_runs += other.restored_runs;
+        self.restored_bytes += other.restored_bytes;
     }
 }
 
@@ -200,6 +236,8 @@ mod tests {
         a.count_contained_panic();
         a.add_kernel_rows(true, 80);
         a.add_kernel_rows(false, 20);
+        a.count_spilled_run(2, 4096);
+        a.count_restored_run(4096);
         let s = a.snapshot();
         assert_eq!(s.hash_rows_per_level[0], 100);
         assert_eq!(s.hash_rows_per_level[1], 50);
@@ -214,6 +252,11 @@ mod tests {
         assert_eq!(s.contained_panics, 1);
         assert_eq!(s.kernel_batched_rows, 80);
         assert_eq!(s.kernel_scalar_rows, 20);
+        assert_eq!(s.spilled_runs_per_level[2], 1);
+        assert_eq!(s.spilled_runs(), 1);
+        assert_eq!(s.spilled_bytes, 4096);
+        assert_eq!(s.restored_runs, 1);
+        assert_eq!(s.restored_bytes, 4096);
         assert_eq!(s.passes_used(), 2);
         assert_eq!(s.total_hash_rows(), 150);
         assert_eq!(s.total_part_rows(), 30);
@@ -234,12 +277,15 @@ mod tests {
         b.add_hash_rows(1, 5);
         b.add_part_rows(0, 7);
         b.count_switch_to_partitioning();
+        b.count_spilled_run(1, 128);
         m.merge(&b.snapshot());
         assert_eq!(m.hash_rows_per_level[0], 10);
         assert_eq!(m.hash_rows_per_level[1], 5);
         assert_eq!(m.part_rows_per_level[0], 7);
         assert_eq!(m.seals, 1);
         assert_eq!(m.switches_to_partitioning, 1);
+        assert_eq!(m.spilled_runs_per_level[1], 1);
+        assert_eq!(m.spilled_bytes, 128);
         let mut empty = OpStats::default();
         empty.merge(&m);
         assert_eq!(empty, m);

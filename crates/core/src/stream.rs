@@ -1,0 +1,433 @@
+//! Streaming ingestion: the operator as a push-based pipeline stage.
+//!
+//! [`AggStream`] is the phase-1 main loop of the driver, opened up so a
+//! caller can feed the input in bounded chunks instead of one slice:
+//! every [`AggStream::push`] runs one work-stealing morsel scope over the
+//! chunk while the per-worker state (hash table, strategy mode, epoch
+//! counters) persists across pushes, sealing cache-sized runs into the
+//! shared level-1 buckets exactly as the one-shot driver does.
+//! [`AggStream::finish`] then seals the leftover worker tables and runs
+//! the recursion of Algorithm 2 unchanged.
+//!
+//! The one-shot entry points ([`crate::aggregate`] and friends) are
+//! one-chunk wrappers over this type, so the slice path and a
+//! single-push stream are the same code and produce identical outputs
+//! and statistics. Multi-chunk streams produce identical *outputs* under
+//! any cut of the input; the always-on statistics can shift by a few
+//! rows between chunkings (each push is its own morsel scope, and the
+//! scheduler's drain order decides which keys sit in a table when it
+//! seals) while the conserved quantities — rows hashed/partitioned per
+//! level, rows in, groups out — stay exact.
+
+use crate::driver::{
+    contain_panics, process_bucket, store_for, validate_specs, Ctx, TablePool, WorkerState,
+};
+use crate::exec::ExecEnv;
+use crate::output::{Collector, GroupByOutput};
+use crate::report::{ObsConfig, RunReport};
+use crate::sink::SharedBuckets;
+use crate::stats::AtomicStats;
+use crate::view::RunView;
+use crate::AggregateConfig;
+use hsa_agg::{plan, AggSpec, Plan, StateOp};
+use hsa_fault::{AggError, CancelToken};
+use hsa_hashtbl::identity_of;
+use hsa_obs::{Counter, Hist, Recorder, Tracer};
+use hsa_tasks::sync::Mutex;
+use hsa_tasks::{chunk_ranges, PoolMetrics};
+use std::time::Instant;
+
+/// A grouped aggregation accepting its input in bounded chunks.
+///
+/// ```
+/// use hsa_core::{AggStream, AggregateConfig, ExecEnv, ObsConfig};
+/// use hsa_agg::AggSpec;
+///
+/// let cfg = AggregateConfig::default();
+/// let mut stream = AggStream::new(
+///     &[AggSpec::count(), AggSpec::sum(0)],
+///     &cfg,
+///     &ExecEnv::unrestricted(),
+///     &ObsConfig::disabled(),
+/// ).unwrap();
+/// stream.push(&[1, 2, 1], &[&[10, 20, 30]]).unwrap();
+/// stream.push(&[2, 3], &[&[40, 50]]).unwrap();
+/// let (out, _report) = stream.finish().unwrap();
+/// assert_eq!(out.sorted_rows(), vec![(1, vec![2, 40]), (2, vec![2, 60]), (3, vec![1, 50])]);
+/// ```
+///
+/// Ingestion is bounded: each chunk's rows are absorbed into cache-sized
+/// tables or partitioned into runs before `push` returns, and with a
+/// memory budget plus a spill directory configured on the [`ExecEnv`],
+/// sealed runs that exceed the budget are flushed to disk — the resident
+/// set stays bounded regardless of the total input size.
+///
+/// A stream that returned an error is poisoned; drop it (budget
+/// reservations and spill files are released on drop).
+pub struct AggStream {
+    ctx: Ctx,
+    lowered: Plan,
+    input_aggregated: bool,
+    threads: usize,
+    observed: bool,
+    shared: SharedBuckets,
+    workers: Vec<Mutex<WorkerState>>,
+    pool_metrics: PoolMetrics,
+    rows_in: u64,
+    wall0: Instant,
+}
+
+impl AggStream {
+    /// Open a stream for the given aggregate specs (empty = `DISTINCT`).
+    ///
+    /// Fails on specs `plan` cannot lower and on an unusable spill
+    /// directory; no rows are accepted in either case.
+    pub fn new(
+        specs: &[AggSpec],
+        cfg: &AggregateConfig,
+        env: &ExecEnv,
+        obs_cfg: &ObsConfig,
+    ) -> Result<Self, AggError> {
+        validate_specs(specs)?;
+        Self::from_plan(plan(specs), false, cfg, env, obs_cfg)
+    }
+
+    /// Open a stream over an already-lowered plan. `input_aggregated`
+    /// selects apply vs merge semantics for the pushed rows (the
+    /// distributed-merge path pushes pre-aggregated states).
+    pub(crate) fn from_plan(
+        lowered: Plan,
+        input_aggregated: bool,
+        cfg: &AggregateConfig,
+        env: &ExecEnv,
+        obs_cfg: &ObsConfig,
+    ) -> Result<Self, AggError> {
+        let wall0 = Instant::now();
+        let ops: Vec<StateOp> = lowered.cols.iter().map(|c| c.op).collect();
+        let identities: Vec<u64> = ops.iter().map(|&o| identity_of(o)).collect();
+        let threads = cfg.threads.max(1);
+        let table_cfg = cfg.table_config(ops.len());
+        let observed = obs_cfg.metrics;
+        // A fault plan that cancels after K rows needs a live token to
+        // trip, even when the caller did not pass one.
+        let cancel = if env.faults.plans_cancellation() && !env.cancel.is_enabled() {
+            CancelToken::new()
+        } else {
+            env.cancel.clone()
+        };
+        let kind = hsa_kernels::select(cfg.kernel);
+        let store = store_for(env)?;
+        let ctx = Ctx {
+            cfg: cfg.clone(),
+            env: env.clone(),
+            cancel,
+            ops,
+            pool: TablePool::new(table_cfg, identities, observed),
+            collector: Collector::new(lowered.cols.len()),
+            stats: AtomicStats::default(),
+            recorder: if observed { Recorder::enabled(threads) } else { Recorder::disabled() },
+            tracer: if obs_cfg.trace {
+                Tracer::enabled(threads, obs_cfg.trace_capacity)
+            } else {
+                Tracer::disabled()
+            },
+            kind,
+            store,
+            failed: Mutex::new(None),
+        };
+        let workers = (0..threads).map(|_| Mutex::new(WorkerState::new(cfg.strategy))).collect();
+        Ok(Self {
+            ctx,
+            lowered,
+            input_aggregated,
+            threads,
+            observed,
+            shared: SharedBuckets::new(),
+            workers,
+            pool_metrics: PoolMetrics::default(),
+            rows_in: 0,
+            wall0,
+        })
+    }
+
+    /// Ingest one chunk: `inputs` are referenced by index from the specs,
+    /// every column must have `keys.len()` rows. Empty chunks are fine.
+    pub fn push(&mut self, keys: &[u64], inputs: &[&[u64]]) -> Result<(), AggError> {
+        for (i, col) in inputs.iter().enumerate() {
+            if col.len() != keys.len() {
+                return Err(AggError::RowCountMismatch {
+                    column: i,
+                    got: col.len(),
+                    expected: keys.len(),
+                });
+            }
+        }
+        // Physical column i reads from this slice; COUNT columns alias the
+        // key column (their value is ignored by the state op).
+        let mut raw_cols = Vec::with_capacity(self.lowered.cols.len());
+        for c in &self.lowered.cols {
+            raw_cols.push(match c.input {
+                Some(j) => *inputs.get(j).ok_or(AggError::MissingInputColumn {
+                    referenced: j,
+                    available: inputs.len(),
+                })?,
+                None => keys,
+            });
+        }
+        self.push_cols(keys, &raw_cols)
+    }
+
+    /// Ingest one chunk of pre-mapped physical columns (`raw_cols[i]`
+    /// feeds state column `i`) — one work-stealing morsel scope.
+    pub(crate) fn push_cols(&mut self, keys: &[u64], raw_cols: &[&[u64]]) -> Result<(), AggError> {
+        let ctx = &self.ctx;
+        let shared = &self.shared;
+        let workers = &self.workers;
+        let input_aggregated = self.input_aggregated;
+        let n_morsels = keys.len().div_ceil(ctx.cfg.morsel_rows.max(1)).max(1);
+        let (scope, pm) = hsa_tasks::try_scope_observed(self.threads, |s| {
+            for range in chunk_ranges(keys.len(), n_morsels) {
+                s.spawn(move |s2| {
+                    if ctx.bailed() {
+                        return;
+                    }
+                    let t0 = Instant::now();
+                    let obs = ctx.obs(s2.worker_index());
+                    if let Err(e) = ctx.check_cancel(&obs) {
+                        ctx.fail(e);
+                        return;
+                    }
+                    let trace_t0 = obs.tracer.now();
+                    let rows = range.len() as u64;
+                    obs.recorder.add(obs.worker, Counter::MorselsClaimed, 1);
+                    obs.recorder.observe(obs.worker, Hist::MorselRows, rows);
+                    let mut guard = workers[s2.worker_index()].lock();
+                    let ws = &mut *guard;
+                    let view = RunView::Borrowed {
+                        keys: &keys[range.clone()],
+                        cols: raw_cols.iter().map(|c| &c[range.clone()]).collect(),
+                        aggregated: input_aggregated,
+                    };
+                    let mut sink = shared;
+                    if let Err(e) = crate::driver::process_view(
+                        ctx,
+                        &view,
+                        0,
+                        &mut ws.table,
+                        &mut ws.mode,
+                        &mut ws.epoch_rows,
+                        &mut ws.map32,
+                        &mut ws.map8,
+                        &mut sink,
+                        &obs,
+                    ) {
+                        ctx.fail(e);
+                        return;
+                    }
+                    if ctx.env.faults.should_cancel_after(rows) {
+                        ctx.cancel.cancel();
+                    }
+                    ctx.stats.add_level_nanos(0, t0.elapsed().as_nanos() as u64);
+                    obs.tracer.span_args(obs.worker, "morsel", trace_t0, &[("rows", rows)]);
+                });
+            }
+        });
+        let pm = contain_panics(ctx, scope, pm)?;
+        self.pool_metrics.merge(&pm);
+
+        // The chunk's morsel loop is done: surface any task error or a
+        // cancellation that tripped after the last poll.
+        if let Some(e) = self.ctx.take_failure() {
+            return Err(e);
+        }
+        self.ctx.check_cancel(&self.ctx.obs(0))?;
+        self.rows_in += keys.len() as u64;
+        Ok(())
+    }
+
+    /// End of input: seal the leftover worker tables, recurse into the
+    /// buckets (phase 2), and return the grouped result plus the report.
+    pub fn finish(self) -> Result<(GroupByOutput, RunReport), AggError> {
+        let AggStream {
+            ctx,
+            lowered,
+            shared,
+            workers,
+            threads,
+            observed,
+            mut pool_metrics,
+            rows_in,
+            wall0,
+            ..
+        } = self;
+
+        // Seal every worker's leftover table into the level-1 buckets.
+        // All push scopes have quiesced, so recording into each worker's
+        // shard from here preserves the sharding contract.
+        for (w_idx, w) in workers.into_iter().enumerate() {
+            if let Some(mut table) = w.into_inner().table {
+                if !table.is_empty() {
+                    crate::hashing::seal_into(
+                        &mut table,
+                        &mut &shared,
+                        ctx.gate(),
+                        &ctx.obs(w_idx),
+                    )?;
+                }
+                ctx.pool.put(table);
+            }
+        }
+
+        // Phase 2: recurse into the buckets, one task each.
+        let (scope2, pm2) = hsa_tasks::try_scope_observed(threads, |s| {
+            for (_digit, bucket, res) in shared.into_nonempty() {
+                let ctx = &ctx;
+                s.spawn(move |s2| process_bucket(ctx, s2, bucket, res, 1));
+            }
+        });
+        let pm2 = contain_panics(&ctx, scope2, pm2)?;
+        if let Some(e) = ctx.take_failure() {
+            return Err(e);
+        }
+        ctx.check_cancel(&ctx.obs(0))?;
+
+        let pool = observed.then(|| {
+            pool_metrics.merge(&pm2);
+            pool_metrics
+        });
+
+        let kind = ctx.kind;
+        let Ctx { collector, stats, recorder, tracer, .. } = ctx;
+        let output = collector.into_output(lowered);
+        let report = RunReport {
+            rows_in,
+            groups_out: output.n_groups() as u64,
+            threads,
+            kernel: kind.label().to_string(),
+            wall_nanos: wall0.elapsed().as_nanos() as u64,
+            stats: stats.snapshot(),
+            pool,
+            metrics: observed.then(|| recorder.snapshot()),
+            trace_json: tracer.is_enabled().then(|| tracer.to_chrome_json()),
+        };
+        Ok((output, report))
+    }
+
+    /// Rows ingested so far.
+    pub fn rows_pushed(&self) -> u64 {
+        self.rows_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveParams, Strategy};
+
+    fn cfg() -> AggregateConfig {
+        AggregateConfig {
+            cache_bytes: 128 << 10,
+            threads: 2,
+            strategy: Strategy::Adaptive(AdaptiveParams::default()),
+            fill_percent: 25,
+            morsel_rows: 1 << 12,
+            kernel: hsa_kernels::KernelPref::Auto,
+        }
+    }
+
+    #[test]
+    fn chunked_pushes_match_one_shot() {
+        let keys: Vec<u64> = (0..30_000u64).map(|i| i * 2654435761 % 3000).collect();
+        let vals: Vec<u64> = (0..30_000).collect();
+        let specs = [hsa_agg::AggSpec::count(), hsa_agg::AggSpec::sum(0)];
+        let (whole, _) = crate::aggregate(&keys, &[&vals], &specs, &cfg());
+
+        let mut stream =
+            AggStream::new(&specs, &cfg(), &ExecEnv::unrestricted(), &ObsConfig::disabled())
+                .unwrap();
+        for chunk in keys.chunks(7001).zip(vals.chunks(7001)) {
+            stream.push(chunk.0, &[chunk.1]).unwrap();
+        }
+        assert_eq!(stream.rows_pushed(), 30_000);
+        let (out, report) = stream.finish().unwrap();
+        assert_eq!(report.rows_in, 30_000);
+        assert_eq!(out.sorted_rows(), whole.sorted_rows());
+    }
+
+    #[test]
+    fn empty_and_single_row_chunks_are_fine() {
+        let mut stream = AggStream::new(
+            &[hsa_agg::AggSpec::sum(0)],
+            &cfg(),
+            &ExecEnv::unrestricted(),
+            &ObsConfig::disabled(),
+        )
+        .unwrap();
+        stream.push(&[], &[&[]]).unwrap();
+        stream.push(&[9], &[&[100]]).unwrap();
+        stream.push(&[], &[&[]]).unwrap();
+        stream.push(&[9], &[&[1]]).unwrap();
+        let (out, _) = stream.finish().unwrap();
+        assert_eq!(out.sorted_rows(), vec![(9, vec![101])]);
+    }
+
+    #[test]
+    fn push_validates_each_chunk() {
+        let mut stream = AggStream::new(
+            &[hsa_agg::AggSpec::sum(0)],
+            &cfg(),
+            &ExecEnv::unrestricted(),
+            &ObsConfig::disabled(),
+        )
+        .unwrap();
+        let e = stream.push(&[1, 2], &[&[1]]).unwrap_err();
+        assert!(matches!(e, AggError::RowCountMismatch { .. }));
+        let mut stream2 = AggStream::new(
+            &[hsa_agg::AggSpec::sum(0)],
+            &cfg(),
+            &ExecEnv::unrestricted(),
+            &ObsConfig::disabled(),
+        )
+        .unwrap();
+        let e = stream2.push(&[1, 2], &[]).unwrap_err();
+        assert!(matches!(e, AggError::MissingInputColumn { .. }));
+    }
+
+    #[test]
+    fn finish_without_pushes_is_empty() {
+        let stream = AggStream::new(
+            &[hsa_agg::AggSpec::count()],
+            &cfg(),
+            &ExecEnv::unrestricted(),
+            &ObsConfig::disabled(),
+        )
+        .unwrap();
+        let (out, report) = stream.finish().unwrap();
+        assert_eq!(out.n_groups(), 0);
+        assert_eq!(report.rows_in, 0);
+    }
+
+    #[test]
+    fn budget_with_spill_dir_stays_bounded_and_correct() {
+        let dir = std::env::temp_dir().join(format!("hsa-stream-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let keys: Vec<u64> = (0..60_000u64).map(|i| i * 2654435761 % 20_000).collect();
+        let vals: Vec<u64> = (0..60_000).collect();
+        let specs = [hsa_agg::AggSpec::sum(0)];
+        let (whole, _) = crate::aggregate(&keys, &[&vals], &specs, &cfg());
+
+        let budget = hsa_fault::MemoryBudget::limited(4 << 20);
+        let env = ExecEnv::unrestricted().with_budget(budget.clone()).with_spill_dir(&dir);
+        let mut stream = AggStream::new(&specs, &cfg(), &env, &ObsConfig::disabled()).unwrap();
+        for chunk in keys.chunks(8192).zip(vals.chunks(8192)) {
+            stream.push(chunk.0, &[chunk.1]).unwrap();
+        }
+        let (out, report) = stream.finish().unwrap();
+        assert_eq!(out.sorted_rows(), whole.sorted_rows());
+        assert_eq!(budget.outstanding(), 0, "output blocks released with the stream");
+        // With a 4 MiB budget over ~1 MiB tables this input must spill.
+        assert!(report.stats.spilled_runs() > 0, "stats: {:?}", report.stats);
+        assert_eq!(report.stats.restored_runs, report.stats.spilled_runs());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

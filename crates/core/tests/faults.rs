@@ -236,6 +236,98 @@ fn hard_exhaustion_fails_cleanly() {
     assert!(budget.denials() > 0);
 }
 
+fn spill_env(budget: &MemoryBudget, dir: &std::path::Path) -> ExecEnv {
+    ExecEnv::unrestricted().with_budget(budget.clone()).with_spill_dir(dir)
+}
+
+/// A budget that hard-fails the in-memory run must instead complete once a
+/// spill directory turns seal denials into downgrades.
+#[test]
+fn spill_dir_turns_exhaustion_into_success() {
+    let dir = std::env::temp_dir().join(format!("hsa-fault-spill-ok-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Dense: enough groups that sealed runs carry real weight.
+    let keys: Vec<u64> = (0..30_000u64).map(|i| (i.wrapping_mul(2654435761)) % 10_000).collect();
+    let vals: Vec<u64> = (0..30_000u64).collect();
+    let budget = MemoryBudget::limited(1 << 20);
+
+    // This budget is fatal in memory; with a spill dir the same budget
+    // must succeed.
+    let env = ExecEnv::unrestricted().with_budget(budget.clone());
+    let r = try_aggregate(&keys, &[&vals], &specs(), &config(), &env);
+    assert!(matches!(r, Err(AggError::BudgetExceeded { .. })), "in-memory control run: {r:?}");
+
+    let env = spill_env(&budget, &dir);
+    let (out, stats) = try_aggregate(&keys, &[&vals], &specs(), &config(), &env)
+        .expect("spill-enabled run under a tight budget");
+    assert_eq!(budget.outstanding(), 0);
+    assert!(stats.spilled_runs() > 0, "budget never forced a spill: {stats:?}");
+    assert_eq!(stats.restored_runs, stats.spilled_runs(), "every spilled run is read back");
+    assert_matches_reference(&out, &keys, &vals);
+    let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(leftover, 0, "scratch files must be deleted after the run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sweep an injected I/O failure over every spill-file write of a run that
+/// depends on spilling: each must surface as `SpillFailed`, leak nothing,
+/// and leave the budget reusable.
+///
+/// The workload keeps the sweep short by design: 48 distinct keys touch at
+/// most 48 hash digits, the table never fills mid-run (so the only seals
+/// are the leftover flushes), and the budget is sized to admit the worker
+/// tables but deny the seal reservations — every spill write of the run is
+/// one of a few dozen leftover-seal digit flushes.
+#[test]
+fn sweep_failing_every_spill() {
+    let dir = std::env::temp_dir().join(format!("hsa-fault-spill-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let keys: Vec<u64> = (0..20_000u64).map(|i| (i.wrapping_mul(2654435761)) % 48).collect();
+    let vals: Vec<u64> = (0..20_000u64).collect();
+    let cfg = AggregateConfig { threads: 1, ..config() };
+    let budget = MemoryBudget::limited(96 << 10);
+
+    let clean_run = |budget: &MemoryBudget| {
+        let env = spill_env(budget, &dir);
+        let (out, stats) =
+            try_aggregate(&keys, &[&vals], &specs(), &cfg, &env).expect("un-injected spill run");
+        assert_eq!(budget.outstanding(), 0);
+        assert_matches_reference(&out, &keys, &vals);
+        stats
+    };
+    let stats = clean_run(&budget);
+    assert!(stats.spilled_runs() > 0, "sweep workload does not spill: {stats:?}");
+    assert!(stats.spilled_runs() <= 256, "sweep would be too slow: {stats:?}");
+
+    let mut failures = 0u64;
+    for n in 1..10_000 {
+        let plan = FaultPlan { fail_spill: Some(n), ..FaultPlan::none() };
+        let env = spill_env(&budget, &dir).with_faults(FaultInjector::new(plan));
+        let r = try_aggregate(&keys, &[&vals], &specs(), &cfg, &env);
+        assert_eq!(budget.outstanding(), 0, "reservations leaked across the call");
+        match r {
+            Ok((out, _)) => {
+                // The ordinal is past the last spill of the run: nothing
+                // fired, the result must be correct.
+                assert_matches_reference(&out, &keys, &vals);
+                assert!(failures > 0, "sweep never hit a spill write");
+                assert!(n > failures, "sweep: {failures} failures before first pass at n={n}");
+                let _ = std::fs::remove_dir_all(&dir);
+                return;
+            }
+            Err(AggError::SpillFailed { message }) => {
+                assert!(message.contains("injected fault"), "unexpected spill error {message:?}");
+                failures += 1;
+                // The same budget and spill dir must still support a clean
+                // run after the injected I/O failure.
+                clean_run(&budget);
+            }
+            Err(other) => panic!("injected spill failure surfaced as {other:?}"),
+        }
+    }
+    panic!("spill sweep did not terminate");
+}
+
 #[test]
 fn hand_built_spec_without_input_is_rejected() {
     let spec = hsa_agg::AggSpec { func: hsa_agg::AggFn::Sum, input: None };

@@ -1,0 +1,202 @@
+//! Differential test: streaming ingestion against the one-shot slice API.
+//!
+//! The slice entry points are one-chunk wrappers over `AggStream`, so the
+//! two paths share every line of routing code; what this test pins down is
+//! that *chunk boundaries are invisible* — any cut of the input into
+//! pushes (including empty and 1-row chunks) yields the same groups, and
+//! for deterministic configurations the same `OpStats`.
+
+use hsa_agg::AggSpec;
+use hsa_core::{
+    try_aggregate, AdaptiveParams, AggStream, AggregateConfig, ExecEnv, MemoryBudget, ObsConfig,
+    OpStats, Strategy,
+};
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn small_cfg(strategy: Strategy, threads: usize) -> AggregateConfig {
+    AggregateConfig {
+        cache_bytes: 64 << 10,
+        threads,
+        strategy,
+        fill_percent: 25,
+        morsel_rows: 4096,
+        kernel: hsa_kernels::KernelPref::Auto,
+    }
+}
+
+fn workload(rng: &mut Rng, rows: usize, k: u64) -> (Vec<u64>, Vec<u64>) {
+    let keys = (0..rows).map(|_| rng.below(k)).collect();
+    let vals = (0..rows).map(|_| rng.below(1000)).collect();
+    (keys, vals)
+}
+
+/// Cut `[0, n)` into randomized chunk lengths, deliberately including
+/// empty and 1-row chunks.
+fn random_cuts(rng: &mut Rng, n: usize) -> Vec<(usize, usize)> {
+    let mut cuts = Vec::new();
+    let mut at = 0;
+    while at < n {
+        let len = match rng.below(5) {
+            0 => 0,
+            1 => 1,
+            2 => rng.below(64) as usize,
+            _ => rng.below(10_000) as usize,
+        }
+        .min(n - at);
+        cuts.push((at, at + len));
+        at += len;
+    }
+    if cuts.is_empty() {
+        cuts.push((0, 0));
+    }
+    cuts
+}
+
+fn run_streamed(
+    keys: &[u64],
+    vals: &[u64],
+    specs: &[AggSpec],
+    cfg: &AggregateConfig,
+    cuts: &[(usize, usize)],
+) -> (Vec<(u64, Vec<u64>)>, OpStats) {
+    let mut stream =
+        AggStream::new(specs, cfg, &ExecEnv::unrestricted(), &ObsConfig::disabled()).unwrap();
+    for &(a, b) in cuts {
+        stream.push(&keys[a..b], &[&vals[a..b]]).unwrap();
+    }
+    let (out, report) = stream.finish().unwrap();
+    (out.sorted_rows(), report.stats)
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::HashingOnly,
+        Strategy::PartitionAlways { passes: 1 },
+        Strategy::PartitionAlways { passes: 2 },
+        Strategy::Adaptive(AdaptiveParams::default()),
+    ]
+}
+
+#[test]
+fn streaming_equals_oneshot() {
+    let mut rng = Rng(0x5eed_cafe);
+    let specs = [AggSpec::count(), AggSpec::sum(0), AggSpec::max(0)];
+    for case in 0..24 {
+        let rows = match rng.below(4) {
+            0 => 0,
+            1 => 1 + rng.below(50) as usize,
+            _ => 1000 + rng.below(40_000) as usize,
+        };
+        let k = 1 + rng.below(20_000);
+        let (keys, vals) = workload(&mut rng, rows, k);
+        let cuts = random_cuts(&mut rng, rows);
+        let strategy = strategies()[rng.below(4) as usize];
+        let threads = 1 + rng.below(3) as usize;
+        let cfg = small_cfg(strategy, threads);
+
+        let (whole, _) =
+            try_aggregate(&keys, &[&vals], &specs, &cfg, &ExecEnv::unrestricted()).unwrap();
+        let (streamed, _) = run_streamed(&keys, &vals, &specs, &cfg, &cuts);
+        assert_eq!(
+            streamed,
+            whole.sorted_rows(),
+            "case {case}: rows {rows} k {k} {strategy:?} threads {threads} chunks {}",
+            cuts.len()
+        );
+    }
+}
+
+/// The slice entry points are one-chunk streams, so a single `push` of
+/// the whole input must reproduce the one-shot `OpStats` bit-for-bit
+/// (timings aside). Multi-chunk streams run one morsel scope per push,
+/// which changes the order the scheduler drains morsels in — that can
+/// move a seal by a few rows, so across arbitrary cuts only the conserved
+/// quantities are asserted: every input row is hashed at level 0 exactly
+/// once, and no budget/fault counter ever fires on the clean path.
+#[test]
+fn single_push_stats_match_slice_api_and_conserved_fields_survive_chunking() {
+    let mut rng = Rng(0xfeed_f00d);
+    let specs = [AggSpec::count(), AggSpec::sum(0)];
+    let (keys, vals) = workload(&mut rng, 30_000, 5_000);
+    let zero_nanos = |mut s: OpStats| {
+        s.task_nanos_per_level.iter_mut().for_each(|n| *n = 0);
+        s
+    };
+
+    for strategy in [Strategy::HashingOnly, Strategy::PartitionAlways { passes: 1 }] {
+        let cfg = small_cfg(strategy, 1);
+        let (out, base) =
+            try_aggregate(&keys, &[&vals], &specs, &cfg, &ExecEnv::unrestricted()).unwrap();
+
+        // One chunk == the slice path: identical stats.
+        let (rows, streamed) = run_streamed(&keys, &vals, &specs, &cfg, &[(0, keys.len())]);
+        assert_eq!(rows, out.sorted_rows(), "{strategy:?}");
+        assert_eq!(zero_nanos(streamed), zero_nanos(base.clone()), "{strategy:?}");
+
+        // Arbitrary cuts: conserved fields only.
+        for _ in 0..3 {
+            let cuts = random_cuts(&mut rng, keys.len());
+            let (_, s) = run_streamed(&keys, &vals, &specs, &cfg, &cuts);
+            match strategy {
+                Strategy::HashingOnly => {
+                    assert_eq!(s.hash_rows_per_level[0], keys.len() as u64)
+                }
+                _ => assert_eq!(s.part_rows_per_level[0], keys.len() as u64),
+            }
+            assert_eq!(s.budget_denials, 0);
+            assert_eq!(s.budget_downgrades, 0);
+            assert_eq!(s.spilled_runs(), 0);
+            assert_eq!(s.contained_panics, 0);
+            assert_eq!(s.cancellations, 0);
+        }
+    }
+}
+
+/// Streaming under a budget + spill dir: same answer, bounded memory, and
+/// the spill counters show up in the stats.
+#[test]
+fn streaming_spills_under_budget_and_matches() {
+    let dir = std::env::temp_dir().join(format!("hsa-streamtest-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = Rng(0xdead_beef);
+    let specs = [AggSpec::sum(0), AggSpec::min(0)];
+    let (keys, vals) = workload(&mut rng, 80_000, 30_000);
+    let cfg = small_cfg(Strategy::Adaptive(AdaptiveParams::default()), 2);
+
+    let (whole, _) =
+        try_aggregate(&keys, &[&vals], &specs, &cfg, &ExecEnv::unrestricted()).unwrap();
+
+    let budget = MemoryBudget::limited(3 << 20);
+    let env = ExecEnv::unrestricted().with_budget(budget.clone()).with_spill_dir(&dir);
+    let mut stream = AggStream::new(&specs, &cfg, &env, &ObsConfig::disabled()).unwrap();
+    for chunk in keys.chunks(4096).zip(vals.chunks(4096)) {
+        stream.push(chunk.0, &[chunk.1]).unwrap();
+    }
+    let (out, report) = stream.finish().unwrap();
+    assert_eq!(out.sorted_rows(), whole.sorted_rows());
+    assert_eq!(budget.outstanding(), 0);
+    assert!(report.stats.spilled_runs() > 0, "stats: {:?}", report.stats);
+    assert_eq!(report.stats.restored_runs, report.stats.spilled_runs());
+    assert_eq!(report.stats.restored_bytes, report.stats.spilled_bytes);
+    // Every spill file is consumed (deleted on restore) by the end.
+    let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(leftover, 0, "spill files must not outlive the stream");
+    let _ = std::fs::remove_dir_all(&dir);
+}

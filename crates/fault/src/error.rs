@@ -51,6 +51,13 @@ pub enum AggError {
         /// Bytes already reserved when the request was denied.
         reserved: u64,
     },
+    /// A spill write or restore failed. Spilling is the escape hatch for
+    /// budget exhaustion, so I/O trouble on the spill path is surfaced as
+    /// its own variant rather than folded into `BudgetExceeded`.
+    SpillFailed {
+        /// The underlying I/O error, rendered (keeps the enum `Eq`).
+        message: String,
+    },
     /// The operator was cancelled cooperatively.
     Cancelled(CancelReason),
     /// A worker task panicked; the scope was drained and the payload
@@ -84,6 +91,7 @@ impl fmt::Display for AggError {
                 f,
                 "memory budget exceeded: requested {requested} B with {reserved} of {limit} B reserved"
             ),
+            AggError::SpillFailed { message } => write!(f, "spill I/O failed: {message}"),
             AggError::Cancelled(reason) => write!(f, "operator cancelled: {reason}"),
             AggError::WorkerPanic { message } => write!(f, "worker task panicked: {message}"),
         }
@@ -115,6 +123,8 @@ mod tests {
             .contains("deadline"));
         let e = AggError::WorkerPanic { message: "boom".into() };
         assert!(e.to_string().contains("boom"));
+        let e = AggError::SpillFailed { message: "disk full".into() };
+        assert!(e.to_string().contains("spill I/O failed: disk full"));
         assert!(AggError::UnknownColumn("x".into()).to_string().contains("no column named \"x\""));
     }
 

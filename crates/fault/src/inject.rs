@@ -22,6 +22,8 @@ pub struct FaultPlan {
     pub panic_in_task: Option<u64>,
     /// Trip the cancellation token once K input rows have been processed.
     pub cancel_after_rows: Option<u64>,
+    /// Fail the Nth spill-file write with an I/O error.
+    pub fail_spill: Option<u64>,
 }
 
 impl FaultPlan {
@@ -36,6 +38,7 @@ struct InjectState {
     allocs: AtomicU64,
     tasks: AtomicU64,
     rows: AtomicU64,
+    spills: AtomicU64,
 }
 
 /// Shared counters applying a [`FaultPlan`]. Cloning shares the counters,
@@ -64,6 +67,7 @@ impl FaultInjector {
                 allocs: AtomicU64::new(0),
                 tasks: AtomicU64::new(0),
                 rows: AtomicU64::new(0),
+                spills: AtomicU64::new(0),
             })),
         }
     }
@@ -81,6 +85,14 @@ impl FaultInjector {
         let Some(s) = &self.inner else { return false };
         let Some(n) = s.plan.panic_in_task else { return false };
         s.tasks.fetch_add(1, Ordering::Relaxed) + 1 == n
+    }
+
+    /// Count one spill-file write; `true` means this write must fail with
+    /// an injected I/O error.
+    pub fn should_fail_spill(&self) -> bool {
+        let Some(s) = &self.inner else { return false };
+        let Some(n) = s.plan.fail_spill else { return false };
+        s.spills.fetch_add(1, Ordering::Relaxed) + 1 == n
     }
 
     /// Count `rows` processed rows; `true` exactly once, when the total
@@ -144,6 +156,14 @@ mod tests {
         assert!(!f.should_cancel_after(60));
         assert!(f.should_cancel_after(60));
         assert!(!f.should_cancel_after(60));
+    }
+
+    #[test]
+    fn nth_spill_fails_exactly_once() {
+        let f = FaultInjector::new(FaultPlan { fail_spill: Some(2), ..FaultPlan::none() });
+        let fired: Vec<bool> = (0..4).map(|_| f.should_fail_spill()).collect();
+        assert_eq!(fired, vec![false, true, false, false]);
+        assert!(!FaultInjector::none().should_fail_spill());
     }
 
     #[test]

@@ -88,6 +88,15 @@ metric_enum! {
         /// Rows whose HASHING hot loops ran through the scalar reference
         /// kernels (forced via `--kernel scalar` or `HSA_KERNEL`).
         KernelScalarRows => "kernel_scalar_rows",
+        /// Runs flushed to the spill directory after a denied reservation
+        /// was downgraded to out-of-core storage.
+        SpilledRuns => "spilled_runs",
+        /// Bytes written to spill files.
+        SpilledBytes => "spilled_bytes",
+        /// Spilled runs read back into memory for consumption.
+        RestoredRuns => "restored_runs",
+        /// Bytes read back from spill files.
+        RestoredBytes => "restored_bytes",
     }
 }
 
@@ -106,6 +115,10 @@ metric_enum! {
         /// Per-digit skew of one partitioning pass: largest partition's
         /// row count as a percentage of the mean (100 = perfectly even).
         PartitionSkewPct => "partition_skew_pct",
+        /// Nanoseconds spent writing one run to the spill store.
+        SpillNanos => "spill_nanos",
+        /// Nanoseconds spent reading one spilled run back.
+        RestoreNanos => "restore_nanos",
     }
 }
 

@@ -31,5 +31,6 @@ run fig10 "$ROWS"
 run fig11 "$ROWS"
 run ablation_fill "$ROWS"
 run ablation_kernels "$ROWS"
+run ablation_spill "$ROWS"
 
 echo "All figures written to $OUT/"

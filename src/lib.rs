@@ -41,13 +41,13 @@
 mod query;
 
 pub use hsa_agg::{AggFn, AggSpec};
-pub use hsa_columnar::{encode_composite, Column, Dictionary, Table};
+pub use hsa_columnar::{encode_composite, Column, Dictionary, Table, TableError};
 pub use hsa_core::{
     aggregate, aggregate_observed, distinct, distinct_observed, merge_partials, try_aggregate,
     try_aggregate_observed, try_distinct, try_distinct_observed, try_merge_partials,
-    AdaptiveParams, AggError, AggregateConfig, CancelReason, CancelToken, ExecEnv, FaultInjector,
-    FaultPlan, GroupByOutput, KernelKind, KernelPref, MemoryBudget, ObsConfig, OpStats,
-    Reservation, RunReport, Strategy,
+    AdaptiveParams, AggError, AggStream, AggregateConfig, CancelReason, CancelToken, ExecEnv,
+    FaultInjector, FaultPlan, GroupByOutput, KernelKind, KernelPref, MemoryBudget, ObsConfig,
+    OpStats, Reservation, RunHandle, RunReport, RunStore, SpilledRun, Strategy,
 };
 pub use query::{AggValues, Query, QueryResult};
 
