@@ -459,6 +459,8 @@ mod tests {
         for _ in 0..4 {
             v.extend_with_line(&line, |dst, src| {
                 used_fast += 1;
+                // SAFETY: `extend_with_line` passes `dst` valid for 8
+                // writes and `src` is the 8-element line above.
                 unsafe { std::ptr::copy_nonoverlapping(src, dst, 8) }
             });
         }
@@ -472,7 +474,10 @@ mod tests {
         // chunk_len 12 is not a multiple of 8: the second line straddles.
         let mut v = ChunkedVec::with_chunk_len(12);
         let line = [9u64; 8];
+        // SAFETY: same contract as above — `dst` valid for 8 writes,
+        // `src` is the 8-element line.
         v.extend_with_line(&line, |dst, src| unsafe { std::ptr::copy_nonoverlapping(src, dst, 8) });
+        // SAFETY: as above.
         v.extend_with_line(&line, |dst, src| unsafe { std::ptr::copy_nonoverlapping(src, dst, 8) });
         assert_eq!(v.to_vec(), vec![9u64; 16]);
     }

@@ -37,5 +37,5 @@ pub use chunked::{ChunkedVec, DEFAULT_CHUNK_LEN};
 pub use dictionary::{encode_composite, Dictionary};
 pub use mapping::Mapping;
 pub use run::{Bucket, Run};
-pub use store::{FileStore, RunHandle, RunStore, SpilledRun};
+pub use store::{FileStore, RunHandle, RunStore, SpilledRun, EXTENT_WORDS};
 pub use table::{Column, Table, TableError};

@@ -39,7 +39,12 @@ const MAGIC: u64 = u64::from_le_bytes(*b"HSARUN01");
 /// Words per read/write extent (64 KiB): large enough that spill I/O is
 /// sequential-bandwidth bound, small enough that a restore never needs a
 /// row-count-sized transient buffer.
-const EXTENT_WORDS: usize = 8192;
+#[cfg(not(miri))]
+pub const EXTENT_WORDS: usize = 8192;
+/// Under Miri a tiny extent keeps the boundary-straddling round-trip
+/// property tests affordable while exercising the same chunking logic.
+#[cfg(miri)]
+pub const EXTENT_WORDS: usize = 16;
 
 /// A spill directory that materializes runs as numbered scratch files.
 ///

@@ -64,11 +64,16 @@ impl MemoryBudget {
     /// invocation returns — `Ok` or `Err` — this is back to whatever it
     /// was before the call; the fault-injection suite asserts it.
     pub fn outstanding(&self) -> u64 {
+        // ORDERING: Acquire pairs with the AcqRel reserve/release RMWs so
+        // a balance observed after an operator returns reflects every
+        // reservation that operator made and dropped.
         self.inner.as_ref().map_or(0, |i| i.reserved.load(Ordering::Acquire))
     }
 
     /// Reservations denied so far (0 when unlimited).
     pub fn denials(&self) -> u64 {
+        // ORDERING: Relaxed — a monotonic statistics counter; no other
+        // memory is published through it.
         self.inner.as_ref().map_or(0, |i| i.denials.load(Ordering::Relaxed))
     }
 
@@ -79,10 +84,13 @@ impl MemoryBudget {
         let Some(inner) = &self.inner else {
             return Ok(Reservation { budget: None, bytes });
         };
+        // ORDERING: Relaxed — only a hint seeding the CAS loop; the
+        // compare_exchange below revalidates against the real value.
         let mut current = inner.reserved.load(Ordering::Relaxed);
         loop {
             let new = current.saturating_add(bytes);
             if new > inner.limit {
+                // ORDERING: Relaxed — statistics counter (see `denials`).
                 inner.denials.fetch_add(1, Ordering::Relaxed);
                 return Err(AggError::BudgetExceeded {
                     requested: bytes,
@@ -90,6 +98,9 @@ impl MemoryBudget {
                     reserved: current,
                 });
             }
+            // ORDERING: AcqRel on success chains reserve/release RMWs into
+            // a single modification order the Acquire readers observe;
+            // Relaxed on failure — the value is only retried, not acted on.
             match inner.reserved.compare_exchange_weak(
                 current,
                 new,
@@ -112,6 +123,7 @@ impl std::fmt::Debug for MemoryBudget {
             Some(i) => f
                 .debug_struct("MemoryBudget")
                 .field("limit", &i.limit)
+                // ORDERING: Relaxed — debug snapshot, no synchronization.
                 .field("reserved", &i.reserved.load(Ordering::Relaxed))
                 .finish(),
         }
@@ -173,6 +185,10 @@ impl Reservation {
 impl Drop for Reservation {
     fn drop(&mut self) {
         if let Some(inner) = &self.budget {
+            // ORDERING: AcqRel — the release side of the reserve CAS; an
+            // Acquire read of the balance afterwards sees the bytes
+            // returned (outstanding() == 0 after drops is asserted by the
+            // fault suite).
             inner.reserved.fetch_sub(self.bytes, Ordering::AcqRel);
         }
     }

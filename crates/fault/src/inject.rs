@@ -77,6 +77,8 @@ impl FaultInjector {
     pub fn should_fail_alloc(&self) -> bool {
         let Some(s) = &self.inner else { return false };
         let Some(n) = s.plan.fail_alloc else { return false };
+        // ORDERING: Relaxed — the RMW's atomicity alone makes exactly one
+        // caller see the trigger count; no other memory rides on it.
         s.allocs.fetch_add(1, Ordering::Relaxed) + 1 == n
     }
 
@@ -84,6 +86,7 @@ impl FaultInjector {
     pub fn should_panic_in_task(&self) -> bool {
         let Some(s) = &self.inner else { return false };
         let Some(n) = s.plan.panic_in_task else { return false };
+        // ORDERING: Relaxed — same single-winner argument as `allocs`.
         s.tasks.fetch_add(1, Ordering::Relaxed) + 1 == n
     }
 
@@ -92,6 +95,7 @@ impl FaultInjector {
     pub fn should_fail_spill(&self) -> bool {
         let Some(s) = &self.inner else { return false };
         let Some(n) = s.plan.fail_spill else { return false };
+        // ORDERING: Relaxed — same single-winner argument as `allocs`.
         s.spills.fetch_add(1, Ordering::Relaxed) + 1 == n
     }
 
@@ -100,6 +104,8 @@ impl FaultInjector {
     pub fn should_cancel_after(&self, rows: u64) -> bool {
         let Some(s) = &self.inner else { return false };
         let Some(k) = s.plan.cancel_after_rows else { return false };
+        // ORDERING: Relaxed — atomicity makes exactly one add cross the
+        // threshold; which concrete rows counted does not matter.
         let before = s.rows.fetch_add(rows, Ordering::Relaxed);
         before < k && before + rows >= k
     }

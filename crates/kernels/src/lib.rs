@@ -277,12 +277,16 @@ unsafe fn match_mask_avx2(keys: &[u64], needle: u64) -> u64 {
     use std::arch::x86_64::*;
     let mut mask = 0u64;
     let chunks = keys.len() / 4;
-    let nv = _mm256_set1_epi64x(needle as i64);
-    for c in 0..chunks {
-        let kv = _mm256_loadu_si256(keys.as_ptr().add(c * 4) as *const __m256i);
-        let eq = _mm256_cmpeq_epi64(kv, nv);
-        let m = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u64;
-        mask |= m << (c * 4);
+    // SAFETY: the caller guarantees AVX2 (this fn's contract); loads are
+    // unaligned (`loadu`) and stay within `keys` (4 lanes per iteration).
+    unsafe {
+        let nv = _mm256_set1_epi64x(needle as i64);
+        for c in 0..chunks {
+            let kv = _mm256_loadu_si256(keys.as_ptr().add(c * 4) as *const __m256i);
+            let eq = _mm256_cmpeq_epi64(kv, nv);
+            let m = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u64;
+            mask |= m << (c * 4);
+        }
     }
     for (i, &key) in keys.iter().enumerate().skip(chunks * 4) {
         mask |= u64::from(key == needle) << i;
@@ -432,28 +436,34 @@ unsafe fn fold_avx2(op: FoldOp, merge: bool, col: &mut [u64], mapping: &[u32], v
             }
             continue;
         }
-        let idx = _mm_loadu_si128(mapping.as_ptr().add(j) as *const __m128i);
-        // SAFETY: all four indices were bounds-checked above.
-        let s = _mm256_i32gather_epi64::<8>(col.as_ptr() as *const i64, idx);
-        let v = _mm256_loadu_si256(vals.as_ptr().add(j) as *const __m256i);
-        let r = match (op, merge) {
-            (FoldOp::Count, false) => _mm256_add_epi64(s, _mm256_set1_epi64x(1)),
-            (FoldOp::Count | FoldOp::Sum, _) => _mm256_add_epi64(s, v),
-            (FoldOp::Min, _) | (FoldOp::Max, _) => {
-                // Unsigned min/max: flip sign bits, signed compare, blend.
-                let sf = _mm256_xor_si256(s, sign);
-                let vf = _mm256_xor_si256(v, sign);
-                let s_gt = _mm256_cmpgt_epi64(sf, vf);
-                if op == FoldOp::Min {
-                    // where s > v take v, else s
-                    _mm256_blendv_epi8(s, v, s_gt)
-                } else {
-                    _mm256_blendv_epi8(v, s, s_gt)
-                }
-            }
-        };
         let mut out = [0u64; 4];
-        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, r);
+        // SAFETY: AVX2 is guaranteed by the caller. The index load reads
+        // 4 u32s at `mapping[j..j+4]` and the value load 4 u64s at
+        // `vals[j..j+4]`, both in bounds (`j + 4 <= groups * 4 <= n` and
+        // `vals.len() >= n`); all four gather indices were bounds-checked
+        // against `col.len()` above; the store writes the local `out`.
+        unsafe {
+            let idx = _mm_loadu_si128(mapping.as_ptr().add(j) as *const __m128i);
+            let s = _mm256_i32gather_epi64::<8>(col.as_ptr() as *const i64, idx);
+            let v = _mm256_loadu_si256(vals.as_ptr().add(j) as *const __m256i);
+            let r = match (op, merge) {
+                (FoldOp::Count, false) => _mm256_add_epi64(s, _mm256_set1_epi64x(1)),
+                (FoldOp::Count | FoldOp::Sum, _) => _mm256_add_epi64(s, v),
+                (FoldOp::Min, _) | (FoldOp::Max, _) => {
+                    // Unsigned min/max: flip sign bits, signed compare, blend.
+                    let sf = _mm256_xor_si256(s, sign);
+                    let vf = _mm256_xor_si256(v, sign);
+                    let s_gt = _mm256_cmpgt_epi64(sf, vf);
+                    if op == FoldOp::Min {
+                        // where s > v take v, else s
+                        _mm256_blendv_epi8(s, v, s_gt)
+                    } else {
+                        _mm256_blendv_epi8(v, s, s_gt)
+                    }
+                }
+            };
+            _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, r);
+        }
         col[i0] = out[0];
         col[i1] = out[1];
         col[i2] = out[2];

@@ -1,0 +1,86 @@
+//! CLI entry point: `cargo run -p hsa-lint [-- <root>] [--print-allow]`.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut print_allow = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--print-allow" => print_allow = true,
+            "--help" | "-h" => {
+                println!(
+                    "hsa-lint — workspace safety analyzer\n\n\
+                     USAGE: hsa-lint [ROOT] [--print-allow]\n\n\
+                     Walks src/ and crates/*/src from ROOT (default: the enclosing\n\
+                     workspace) and enforces the invariants documented in DESIGN.md §12:\n\
+                     SAFETY comments on unsafe, ORDERING comments on weak atomics,\n\
+                     frozen panic debt, std-only manifests, cold-path markers.\n\n\
+                     --print-allow  print regenerated lint-allow.txt contents and exit"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("hsa-lint: unknown argument {other:?} (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("hsa-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match hsa_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("hsa-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    if print_allow {
+        return match hsa_lint::print_allow(&root) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("hsa-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match hsa_lint::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("hsa-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("hsa-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("hsa-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Comment- and string-aware Rust source scanner.
+//!
+//! `hsa-lint` does not parse Rust; it classifies every character of a
+//! source file as *code*, *comment*, or *string/char literal* with a small
+//! state machine, then reasons about lines. That is exactly enough to
+//! answer the questions the checks ask — "does this line's code contain
+//! the `unsafe` keyword?", "is there a `// SAFETY:` comment on or above
+//! it?", "is this line inside a `#[cfg(test)]` item?" — without dragging
+//! rustc plumbing into a std-only tool.
+//!
+//! The scanner understands line comments (`//`, `///`, `//!`), nested
+//! block comments (`/* /* */ */`), string literals with escapes, raw
+//! strings (`r"…"`, `r#"…"#`, any hash depth), byte strings, and char
+//! literals vs. lifetimes (`'a'` vs. `'env`). String and char literal
+//! *contents* are stripped from the code channel (the delimiters remain),
+//! so `"unsafe"` in a message can never look like the keyword.
+
+/// One scanned source line, split into channels.
+#[derive(Clone, Debug, Default)]
+pub struct SourceLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code with comments removed and string/char literal
+    /// contents blanked (delimiters kept).
+    pub code: String,
+    /// Concatenated text of every comment on the line (line or block),
+    /// without the comment markers.
+    pub comment: String,
+    /// Whether the line lies inside a `#[cfg(test)]` item (the attribute
+    /// line itself counts).
+    pub in_test: bool,
+}
+
+impl SourceLine {
+    /// Whether the code channel is effectively empty (blank or
+    /// whitespace-only once comments and literals are stripped).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// Whether the line is only an attribute (possibly wrapping over — we
+    /// accept any line that *starts* with `#[` or `#![` as attribute-ish).
+    pub fn is_attribute(&self) -> bool {
+        let t = self.code.trim_start();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comments; the value is the nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"`; the flag records a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr {
+        hashes: u32,
+    },
+    /// Inside `'…'`; the flag records a pending backslash escape.
+    CharLit {
+        escaped: bool,
+    },
+}
+
+/// Scan `text` into classified lines. Never fails: unterminated constructs
+/// simply run to end of file in their current state.
+pub fn scan(text: &str) -> Vec<SourceLine> {
+    let mut lines: Vec<SourceLine> = Vec::new();
+    let mut line = SourceLine { number: 1, ..SourceLine::default() };
+    let mut state = State::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {{
+            let number = line.number;
+            lines.push(std::mem::take(&mut line));
+            line.number = number + 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            // A line comment ends with the line; everything else carries
+            // its state across the newline.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    i += 2;
+                    // Skip doc-comment extras so the comment text starts
+                    // at the payload: `/// x` and `//! x` both yield " x".
+                    if matches!(chars.get(i), Some('/') | Some('!')) {
+                        i += 1;
+                    }
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    line.code.push('"');
+                    state = State::Str { escaped: false };
+                    i += 1;
+                }
+                'r' if is_raw_string_start(&chars, i) => {
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    line.code.push('"');
+                    state = State::RawStr { hashes };
+                    i = j + 1; // past the opening quote
+                }
+                'b' if next == Some('"') => {
+                    line.code.push('"');
+                    state = State::Str { escaped: false };
+                    i += 2;
+                }
+                'b' if next == Some('\'') => {
+                    line.code.push('\'');
+                    state = State::CharLit { escaped: false };
+                    i += 2;
+                }
+                '\'' => {
+                    if is_char_literal(&chars, i) {
+                        line.code.push('\'');
+                        state = State::CharLit { escaped: false };
+                    } else {
+                        // A lifetime: keep the tick in the code channel.
+                        line.code.push('\'');
+                    }
+                    i += 1;
+                }
+                _ => {
+                    line.code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit { escaped } => {
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                } else if c == '\\' {
+                    state = State::CharLit { escaped: true };
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() || lines.is_empty() {
+        lines.push(line);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// `r` at `i` starts a raw (byte) string iff it is followed by zero or
+/// more `#` and then `"`, and is not part of a longer identifier
+/// (`for`, `r2`, …).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the `"` at `i` is followed by `hashes` closing `#`s.
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Disambiguate a `'` in code position: char literal or lifetime?
+///
+/// `'\…'` is always a char literal. `'x'` (any single char followed by a
+/// closing tick) is a char literal. Everything else (`'env`, `'static`,
+/// `'_`) is a lifetime.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item (attribute included).
+///
+/// From each `#[cfg(test)]` attribute, skip any further attribute or
+/// comment lines, then consume one item: either up to the `;` that ends a
+/// braceless item, or through the brace pair that the item opens, tracking
+/// depth on the code channel only.
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        lines[i].in_test = true;
+        let mut j = i + 1;
+        // Skip companion attributes / doc comments between the cfg and
+        // the item it gates.
+        while j < lines.len() && (lines[j].is_attribute() || lines[j].is_code_blank()) {
+            lines[j].in_test = true;
+            j += 1;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        while j < lines.len() {
+            lines[j].in_test = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened && depth == 0 => {
+                        // `#[cfg(test)] mod tests;` — braceless item.
+                        opened = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Find every occurrence of the identifier `word` in `code`, returning
+/// byte offsets. Boundaries are non-identifier characters, so `unsafe`
+/// does not match inside `unsafe_op_in_unsafe_fn`.
+pub fn find_word(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        start = at + word.len();
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_leave_the_code_channel() {
+        let src = "let x = \"unsafe // not code\"; // SAFETY: real comment\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("SAFETY: real comment"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let src = "let s = r#\"has \" quote and unsafe\"#; let t = 1;\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }\n";
+        let lines = scan(src);
+        // The double quote inside the char literal must not open a string.
+        assert!(lines[0].code.contains("let d ="));
+        let src2 = "let q = '\\''; let unsafe_looking = \"unsafe\";\n";
+        let lines2 = scan(src2);
+        assert!(find_word(&lines2[0].code, "unsafe").is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let src = "let a = 1; /* start\nmiddle unsafe\nend */ let b = 2;\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].code.is_empty());
+        assert!(lines[1].comment.contains("unsafe"));
+        assert!(lines[2].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        assert_eq!(find_word("unsafe { }", "unsafe"), vec![0]);
+        assert!(find_word("deny(unsafe_op_in_unsafe_fn)", "unsafe").is_empty());
+        assert_eq!(find_word("pub unsafe fn x()", "unsafe").len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn real() {}\n";
+        let lines = scan(src);
+        assert!(lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let lines = scan("/// # Safety\n//! inner doc\n");
+        assert_eq!(lines[0].comment.trim(), "# Safety");
+        assert_eq!(lines[1].comment.trim(), "inner doc");
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a fully compliant library file.
+
+/// Reads the first element without a bounds check.
+pub fn first(v: &[u64]) -> u64 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,4 @@
+//! Fixture: the documented cold path lost its `#[inline(never)]`.
+
+#[inline]
+pub fn probe_collision() {}

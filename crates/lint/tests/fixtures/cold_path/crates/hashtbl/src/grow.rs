@@ -1,0 +1,3 @@
+//! Fixture: the documented `grow` cold path was renamed away.
+
+pub fn expand() {}

@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block with no SAFETY justification.
+
+pub fn peek(v: &[u64]) -> u64 {
+    unsafe { *v.as_ptr() }
+}

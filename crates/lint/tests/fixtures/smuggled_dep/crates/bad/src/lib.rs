@@ -1,0 +1,3 @@
+//! Fixture: the source is clean; the manifest smuggles a dependency.
+
+pub fn nothing() {}

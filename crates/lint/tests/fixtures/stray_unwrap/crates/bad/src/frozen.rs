@@ -1,0 +1,5 @@
+//! Fixture: one unwrap frozen in lint-allow.txt — within budget.
+
+pub fn last(v: &[u64]) -> u64 {
+    v.last().copied().unwrap()
+}

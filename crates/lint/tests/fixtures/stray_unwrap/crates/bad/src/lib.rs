@@ -1,0 +1,5 @@
+//! Fixture: a new unwrap in a library file with no frozen budget.
+
+pub fn first(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Fixture: the same bare Relaxed load outside the ordering scope —
+//! must not be flagged (this crate has no lock-free coordination).
+
+pub fn peek(c: &std::sync::atomic::AtomicU64) -> u64 {
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}

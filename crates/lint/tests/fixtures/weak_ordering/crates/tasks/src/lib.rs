@@ -1,0 +1,5 @@
+//! Fixture: a bare Relaxed load in an ordering-scoped crate.
+
+pub fn peek(c: &std::sync::atomic::AtomicU64) -> u64 {
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}

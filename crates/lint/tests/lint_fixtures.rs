@@ -1,0 +1,126 @@
+//! End-to-end tests: run the analyzer (library and binary) over the
+//! fixture workspaces in `tests/fixtures/`, each seeded with one known
+//! violation, and assert the exact findings and exit codes.
+
+use hsa_lint::{run, Check};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn lint_bin(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hsa-lint")).arg(root).output().expect("spawn hsa-lint")
+}
+
+#[test]
+fn clean_tree_has_no_findings_and_exits_zero() {
+    let root = fixture("clean");
+    assert_eq!(run(&root).unwrap(), vec![]);
+
+    let out = lint_bin(&root);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("clean"), "stdout: {stdout}");
+}
+
+#[test]
+fn missing_safety_comment_is_flagged_at_the_unsafe_line() {
+    let root = fixture("missing_safety");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Safety);
+    assert_eq!(findings[0].path, "crates/bad/src/lib.rs");
+    assert_eq!(findings[0].line, 4);
+
+    let out = lint_bin(&root);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("crates/bad/src/lib.rs:4: [safety]"), "stdout: {stdout}");
+}
+
+#[test]
+fn stray_unwrap_is_flagged_but_frozen_debt_is_not() {
+    let root = fixture("stray_unwrap");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Panic);
+    assert_eq!(findings[0].path, "crates/bad/src/lib.rs");
+    assert_eq!(findings[0].line, 4);
+    assert!(findings[0].message.contains(".unwrap()"), "{}", findings[0].message);
+
+    assert_eq!(lint_bin(&root).status.code(), Some(1));
+}
+
+#[test]
+fn print_allow_regenerates_current_debt() {
+    let text = hsa_lint::print_allow(&fixture("stray_unwrap")).unwrap();
+    assert!(text.contains("crates/bad/src/frozen.rs panic 1"), "{text}");
+    assert!(text.contains("crates/bad/src/lib.rs panic 1"), "{text}");
+}
+
+#[test]
+fn smuggled_dependency_is_flagged_in_the_manifest() {
+    let root = fixture("smuggled_dep");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Deps);
+    assert_eq!(findings[0].path, "crates/bad/Cargo.toml");
+    assert_eq!(findings[0].line, 6);
+    assert!(findings[0].message.contains("serde"), "{}", findings[0].message);
+
+    assert_eq!(lint_bin(&root).status.code(), Some(1));
+}
+
+#[test]
+fn weak_ordering_is_flagged_only_in_scoped_crates() {
+    let root = fixture("weak_ordering");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Ordering);
+    assert_eq!(findings[0].path, "crates/tasks/src/lib.rs");
+    assert_eq!(findings[0].line, 4);
+}
+
+#[test]
+fn lost_cold_path_markers_are_flagged() {
+    let root = fixture("cold_path");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert_eq!(findings[0].check, Check::ColdPath);
+    assert_eq!(findings[0].path, "crates/hashtbl/src/fixed.rs");
+    assert_eq!(findings[0].line, 4);
+    assert!(findings[0].message.contains("#[inline(never)]"));
+    // `grow` is gone entirely: a whole-file (line 0) finding.
+    assert_eq!(findings[1].check, Check::ColdPath);
+    assert_eq!(findings[1].path, "crates/hashtbl/src/grow.rs");
+    assert_eq!(findings[1].line, 0);
+}
+
+#[test]
+fn malformed_allowlist_entries_are_findings() {
+    let root = fixture("bad_allowlist");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Panic);
+    assert_eq!(findings[0].path, "lint-allow.txt");
+    assert_eq!(findings[0].line, 2);
+    assert!(findings[0].message.contains("malformed"), "{}", findings[0].message);
+}
+
+#[test]
+fn nonexistent_root_is_a_usage_error() {
+    let out = lint_bin(&fixture("no_such_fixture"));
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    // The repo itself must pass its own analyzer — the same invocation CI
+    // runs. Walk up from the lint crate to the enclosing workspace root.
+    let root = hsa_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("enclosing workspace root");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings, vec![], "the tree no longer passes hsa-lint");
+}

@@ -1,0 +1,97 @@
+//! Concurrency stress for the sharded recorder and tracer: one thread per
+//! worker shard hammering its own cells (the sharding contract), with the
+//! merged snapshot checked for exact totals. Runs under plain `cargo test`
+//! and in the ThreadSanitizer CI job — if the `UnsafeCell` sharding or the
+//! cache-padding layout were wrong, concurrent writers would corrupt
+//! adjacent shards and the balances below would drift.
+
+use hsa_obs::{Counter, Hist, Recorder, Tracer};
+
+const WORKERS: usize = 8;
+#[cfg(not(miri))]
+const OPS: u64 = 20_000;
+/// Miri interprets every access; a few hundred ops per shard still proves
+/// the sharding contract without minutes of interpretation.
+#[cfg(miri)]
+const OPS: u64 = 256;
+
+#[test]
+fn per_worker_recorder_shards_do_not_interfere() {
+    let rec = Recorder::enabled(WORKERS);
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let rec = &rec;
+            s.spawn(move || {
+                for i in 0..OPS {
+                    rec.add(w, Counter::HashRows, 1);
+                    rec.add(w, Counter::ProbeSteps, i % 3);
+                    rec.observe(w, Hist::ProbeLen, i % 17);
+                    if i % 64 == 0 {
+                        rec.record_alpha(w, (w as f64) / (WORKERS as f64));
+                    }
+                }
+            });
+        }
+    });
+    let snap = rec.snapshot();
+    let merged = snap.merged();
+    // Exact balance: no lost or smeared updates across shards.
+    assert_eq!(merged.counter(Counter::HashRows), WORKERS as u64 * OPS);
+    let expected_steps: u64 = (0..OPS).map(|i| i % 3).sum();
+    assert_eq!(merged.counter(Counter::ProbeSteps), WORKERS as u64 * expected_steps);
+    assert_eq!(merged.hist(Hist::ProbeLen).count(), WORKERS as u64 * OPS);
+    assert_eq!(merged.alpha_count(), WORKERS as u64 * OPS.div_ceil(64));
+    // Untouched metrics stay zero — a smeared write would land somewhere.
+    assert_eq!(merged.counter(Counter::SpilledRuns), 0);
+    assert_eq!(merged.hist(Hist::SpillNanos).count(), 0);
+}
+
+#[test]
+fn tracer_shards_account_for_every_event() {
+    // Capacity below the emission count so the drop path is exercised too.
+    let capacity = (OPS / 4) as usize;
+    let tracer = Tracer::enabled(WORKERS, capacity);
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let tracer = &tracer;
+            s.spawn(move || {
+                for i in 0..OPS {
+                    let start = tracer.now();
+                    if i % 2 == 0 {
+                        tracer.span_args(w, "stress", start, &[("i", i)]);
+                    } else {
+                        tracer.instant(w, "tick", &[("i", i)]);
+                    }
+                }
+            });
+        }
+    });
+    // Recorded + dropped must equal emitted, exactly.
+    let total = tracer.event_count() as u64 + tracer.dropped_count();
+    assert_eq!(total, WORKERS as u64 * OPS);
+    assert_eq!(tracer.event_count(), WORKERS * capacity);
+    // The JSON renderer walks every shard after quiescence.
+    let json = tracer.to_chrome_json();
+    assert!(json.contains("\"traceEvents\""));
+}
+
+#[test]
+fn disabled_recorder_is_safe_under_the_same_load() {
+    // The disabled fast path must stay a null check even when hammered
+    // from many threads against arbitrary worker indices.
+    let rec = Recorder::disabled();
+    let tracer = Tracer::disabled();
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let (rec, tracer) = (&rec, &tracer);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    rec.add(w, Counter::HashRows, i);
+                    tracer.instant(w, "noop", &[]);
+                }
+            });
+        }
+    });
+    assert!(rec.snapshot().is_zero());
+    assert_eq!(tracer.event_count(), 0);
+}

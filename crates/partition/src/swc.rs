@@ -115,10 +115,15 @@ impl SwcBuffers {
         self.lines[d].0[fill] = value;
         if fill + 1 == LINE_U64S {
             if self.streaming {
+                // SAFETY: `extend_with_line` hands `spare` valid for
+                // LINE_U64S writes and `src` is the full buffered line —
+                // exactly `stream_line`'s contract.
                 dst.extend_with_line(&self.lines[d].0, |spare, src| unsafe {
                     stream_line(spare, src)
                 });
             } else {
+                // SAFETY: same pointer contract as above; `spare` and
+                // `src` never overlap (`spare` is spare capacity).
                 dst.extend_with_line(&self.lines[d].0, |spare, src| unsafe {
                     std::ptr::copy_nonoverlapping(src, spare, LINE_U64S)
                 });
@@ -138,6 +143,9 @@ impl SwcBuffers {
         if fill + 1 == LINE_U64S {
             dst.reserve(LINE_U64S);
             let len = dst.len();
+            // SAFETY: `reserve` guarantees LINE_U64S spare slots past
+            // `len`, both copy paths initialize exactly that many, and
+            // `set_len` only covers the initialized prefix.
             unsafe {
                 let spare = dst.as_mut_ptr().add(len);
                 if self.streaming {
@@ -193,12 +201,18 @@ pub(crate) unsafe fn stream_line(dst: *mut u64, src: *const u64) {
     {
         use std::arch::x86_64::_mm_stream_si64;
         for i in 0..LINE_U64S {
-            _mm_stream_si64(dst.add(i) as *mut i64, *src.add(i) as i64);
+            // SAFETY: the caller promises `dst`/`src` valid for 8 u64s
+            // (the function's contract); `i < LINE_U64S` keeps every
+            // offset in that range, and `movnti` needs no alignment
+            // beyond the u64's natural one.
+            unsafe { _mm_stream_si64(dst.add(i) as *mut i64, *src.add(i) as i64) };
         }
     }
     #[cfg(not(all(target_arch = "x86_64", not(miri))))]
     {
-        std::ptr::copy_nonoverlapping(src, dst, LINE_U64S);
+        // SAFETY: caller guarantees both pointers valid for 8 u64s and
+        // the regions come from distinct allocations.
+        unsafe { std::ptr::copy_nonoverlapping(src, dst, LINE_U64S) };
     }
 }
 
@@ -206,6 +220,8 @@ pub(crate) unsafe fn stream_line(dst: *mut u64, src: *const u64) {
 #[inline]
 pub(crate) fn sfence() {
     #[cfg(all(target_arch = "x86_64", not(miri)))]
+    // SAFETY: `sfence` is a pure ordering barrier with no memory
+    // operands or preconditions; always available on x86_64.
     unsafe {
         std::arch::x86_64::_mm_sfence();
     }
@@ -219,6 +235,10 @@ pub fn memcpy_nt(dst: &mut Vec<u64>, src: &[u64]) {
     dst.reserve(src.len());
     let mut chunks = src.chunks_exact(LINE_U64S);
     let mut len = 0usize;
+    // SAFETY: `reserve(src.len())` guarantees capacity for every write
+    // below; `len` tracks exactly how many slots are initialized (full
+    // lines, then the remainder), so `set_len` covers only written
+    // elements and `base` is never offset past capacity.
     unsafe {
         let base = dst.as_mut_ptr();
         for chunk in &mut chunks {

@@ -135,10 +135,15 @@ impl<'env> Shared<'env> {
         else {
             return false;
         };
+        // ORDERING: Acquire pairs with the Release store below so a worker
+        // that sees the poison flag also sees the recorded panic message.
         if self.poisoned.load(Ordering::Acquire) {
             // A task already panicked: drain instead of run. Dropping the
             // closure releases whatever it owned (data, reservations).
             drop(task);
+            // ORDERING: AcqRel — the decrement releases this task's side
+            // effects to whoever observes pending == 0, and acquires
+            // earlier decrements so quiescence implies all effects visible.
             self.pending.fetch_sub(1, Ordering::AcqRel);
             self.idle_cv.notify_all();
             return true;
@@ -153,9 +158,13 @@ impl<'env> Shared<'env> {
                 *first = Some(payload_message(payload.as_ref()));
             }
             drop(first);
+            // ORDERING: Release publishes the panic message written above
+            // to the Acquire loads of the flag (drain path, scope exit).
             self.poisoned.store(true, Ordering::Release);
         }
         counters.tasks_executed += 1;
+        // ORDERING: AcqRel — release this task's writes to observers of
+        // pending == 0 and acquire prior decrements (see drain path above).
         self.pending.fetch_sub(1, Ordering::AcqRel);
         self.idle_cv.notify_all();
         true
@@ -180,6 +189,9 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     where
         F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
     {
+        // ORDERING: AcqRel — the increment must be visible before the task
+        // is enqueued so quiescence checks (pending == 0) can never miss a
+        // task that is already stealable.
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
         self.shared.queues[self.worker].lock().push_back(Box::new(task));
         self.shared.idle_cv.notify_one();
@@ -203,12 +215,17 @@ fn worker_loop<'env>(shared: &Shared<'env>, worker: usize) {
         if shared.run_one(&scope, &mut counters) {
             continue;
         }
+        // ORDERING: Acquire pairs with the Release store of `done` at scope
+        // exit, so a worker that exits also sees every task's effects.
         if shared.done.load(Ordering::Acquire) {
             break;
         }
         // Nothing to do: park until a spawn or completion wakes us. The
         // timeout is a safety net against lost wakeups, not a spin.
         let mut guard = shared.idle_lock.lock();
+        // ORDERING: Acquire on both — pairs with the AcqRel decrements and
+        // the Release `done` store; seeing both conditions means all task
+        // effects are visible before this worker exits.
         if shared.pending.load(Ordering::Acquire) == 0 && shared.done.load(Ordering::Acquire) {
             break;
         }
@@ -290,11 +307,14 @@ where
         let result = root(&root_scope);
 
         // The caller thread helps until quiescence.
+        // ORDERING: Acquire pairs with the AcqRel decrements — observing
+        // pending == 0 here means every task's writes are visible.
         while shared.pending.load(Ordering::Acquire) > 0 {
             if !shared.run_one(&root_scope, &mut counters) {
                 // All remaining tasks are running on other workers; wait
                 // for them to finish or to spawn more work we can steal.
                 let mut guard = shared.idle_lock.lock();
+                // ORDERING: Acquire, same pairing as the loop condition.
                 if shared.pending.load(Ordering::Acquire) == 0 {
                     break;
                 }
@@ -305,12 +325,16 @@ where
             }
         }
 
+        // ORDERING: Release pairs with the workers' Acquire loads of
+        // `done`, publishing the quiesced state before they exit.
         shared.done.store(true, Ordering::Release);
         shared.idle_cv.notify_all();
         shared.publish(0, counters);
         result
     });
 
+    // ORDERING: Acquire pairs with the Release store in `run_one`; seeing
+    // the flag guarantees the panic message below is the recorded one.
     let outcome = if shared.poisoned.load(Ordering::Acquire) {
         let message =
             shared.panic_msg.into_inner().unwrap_or_else(|| "non-string panic payload".to_string());

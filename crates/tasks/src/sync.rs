@@ -75,6 +75,10 @@ fn take_mut<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
         }
     }
     let guard = AbortOnDrop;
+    // SAFETY: `slot` is a valid, exclusively borrowed `T`. The value is
+    // moved out by `read` and a replacement is always written back before
+    // the borrow ends; if `f` panics in between, the guard aborts the
+    // process so the double-drop can never be observed.
     unsafe {
         let old = std::ptr::read(slot);
         let new = f(old);

@@ -1,0 +1,110 @@
+//! Concurrency stress for the work-stealing pool: many threads, many
+//! tasks, exact final-balance assertions. These run under plain
+//! `cargo test` and are the workload the ThreadSanitizer CI job hammers —
+//! a data race in spawn/steal/quiescence shows up here first.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bounded so the suite stays fast under sanitizers (which run this test
+/// binary with ~10× overhead) while still forcing heavy stealing.
+const THREADS: usize = 8;
+const TASKS: u64 = 2_000;
+const CHILDREN: u64 = 4;
+
+#[test]
+fn every_spawned_task_runs_exactly_once() {
+    let total = AtomicU64::new(0);
+    let count = AtomicU64::new(0);
+    hsa_tasks::scope(THREADS, |s| {
+        for i in 0..TASKS {
+            let (total, count) = (&total, &count);
+            s.spawn(move |_| {
+                total.fetch_add(i, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    // The scope returns only at quiescence: every task ran exactly once.
+    assert_eq!(count.load(Ordering::Relaxed), TASKS);
+    assert_eq!(total.load(Ordering::Relaxed), TASKS * (TASKS - 1) / 2);
+}
+
+#[test]
+fn nested_spawns_from_stolen_tasks_all_complete() {
+    // Tasks spawned *by* tasks — from whichever worker stole the parent —
+    // exercise the pending-counter handoff the quiescence check relies on.
+    let count = AtomicU64::new(0);
+    hsa_tasks::scope(THREADS, |s| {
+        for _ in 0..TASKS {
+            let count = &count;
+            s.spawn(move |s| {
+                for _ in 0..CHILDREN {
+                    s.spawn(move |_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), TASKS * CHILDREN);
+}
+
+#[test]
+fn all_workers_participate_under_single_producer_load() {
+    // All tasks enter through worker 0's queue; everyone else only steals.
+    let (_, metrics) = hsa_tasks::scope_observed(THREADS, |s| {
+        for _ in 0..TASKS {
+            s.spawn(|_| {
+                std::hint::black_box(fibonacci(12));
+            });
+        }
+    });
+    let executed: u64 = metrics.workers.iter().map(|w| w.tasks_executed).sum();
+    assert_eq!(executed, TASKS);
+    let stealers = metrics.workers.iter().filter(|w| w.tasks_executed > 0).count();
+    assert!(stealers > 1, "no stealing happened: {metrics:?}");
+}
+
+#[test]
+fn one_panicking_task_poisons_the_scope_but_everything_drains() {
+    let ran = AtomicU64::new(0);
+    let (result, metrics) = hsa_tasks::try_scope_observed(THREADS, |s| {
+        for i in 0..TASKS {
+            let ran = &ran;
+            s.spawn(move |_| {
+                if i == TASKS / 2 {
+                    panic!("injected stress panic");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let err = result.unwrap_err();
+    assert!(err.message.contains("injected stress panic"), "{err:?}");
+    // Quiescence still holds: every task either ran or was drained, and
+    // the accounting never wedges a worker.
+    let executed: u64 = metrics.workers.iter().map(|w| w.tasks_executed).sum();
+    assert!(executed <= TASKS);
+    assert!(ran.load(Ordering::Relaxed) < TASKS);
+
+    // The pool is a per-scope construct: a failed scope must not poison
+    // the next one.
+    let count = AtomicU64::new(0);
+    hsa_tasks::scope(THREADS, |s| {
+        for _ in 0..100 {
+            let count = &count;
+            s.spawn(move |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 100);
+}
+
+fn fibonacci(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fibonacci(n - 1) + fibonacci(n - 2)
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Pre-push check: everything the CI `check` job runs, in the same order.
+#
+#   ./scripts/lint.sh
+#
+# 1. hsa-lint  — workspace safety analyzer (SAFETY/ORDERING comments,
+#                frozen panic debt, std-only manifests, cold-path markers;
+#                see DESIGN.md §12)
+# 2. rustfmt   — formatting, check-only
+# 3. clippy    — all targets, warnings are errors
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> hsa-lint"
+cargo run --release -q -p hsa-lint
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "lint.sh: all clean"
