@@ -1,0 +1,86 @@
+//! Compare a fresh bench sidecar against a committed baseline.
+//!
+//! ```text
+//! bench_diff <baseline.json> <fresh.json> [--tol <pct>] [--cols <c1,c2,...>]\
+//!            [--one-sided] [--structure-only]
+//! ```
+//!
+//! Exit code 0: within tolerance. 1: regression (mismatches printed, one
+//! per line). 2: usage or parse error.
+//!
+//! Row keys (column 0) are joined, so a smoke-sized fresh run compares
+//! cleanly against a full-sized baseline; see `hsa_bench::diff` for the
+//! comparison rules.
+
+use hsa_bench::diff::{diff_sidecars, DiffOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench_diff <baseline.json> <fresh.json> \
+                     [--tol <pct>] [--cols <c1,c2,...>] [--one-sided] [--structure-only]";
+
+fn parse_opts(argv: &[String]) -> Result<(String, String, DiffOptions), String> {
+    let mut paths = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol" => {
+                let v = it.next().ok_or("--tol needs a value")?;
+                opts.tol_pct = v.parse::<f64>().map_err(|_| format!("bad --tol {v:?}"))?;
+                if opts.tol_pct < 0.0 || opts.tol_pct.is_nan() {
+                    return Err(format!("bad --tol {v:?}"));
+                }
+            }
+            "--cols" => {
+                let v = it.next().ok_or("--cols needs a value")?;
+                opts.cols = Some(v.split(',').map(|c| c.trim().to_string()).collect());
+            }
+            "--one-sided" => opts.one_sided = true,
+            "--structure-only" => opts.structure_only = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => paths.push(other.to_string()),
+        }
+    }
+    match paths.len() {
+        2 => Ok((paths.swap_remove(0), paths.remove(0), opts)),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (base_path, fresh_path, opts) = match parse_opts(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let (base, fresh) = match (read(&base_path), read(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match diff_sidecars(&base, &fresh, &opts) {
+        Ok(bad) if bad.is_empty() => {
+            println!("bench_diff: {fresh_path} within tolerance of {base_path}");
+            ExitCode::SUCCESS
+        }
+        Ok(bad) => {
+            eprintln!("bench_diff: {} regression(s) vs {base_path}:", bad.len());
+            for m in &bad {
+                eprintln!("  {m}");
+            }
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

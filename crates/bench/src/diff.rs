@@ -1,0 +1,316 @@
+//! Comparison of two bench JSON sidecars — the engine behind `bench_diff`.
+//!
+//! A sidecar (see [`crate::Sidecar`]) is `{"bench": name, "tables":
+//! [{"columns": [...], "rows": [[cell, ...], ...]}]}`. The diff joins rows
+//! on the first cell of each row (the sweep key: `log2(K)`, `budget x
+//! output`, ...), so a smoke-sized fresh run can be compared against a
+//! baseline recorded at full size — only the keys present in *both* files
+//! are value-checked. Numeric cells pass when they are within a relative
+//! tolerance of the baseline; everything else (bench name, table count,
+//! column lists) must match exactly.
+//!
+//! Absolute nanosecond columns are meaningless across machines, so CI
+//! compares the dimensionless ratio columns (`--cols "probe speedup,fold
+//! speedup"`) or, where no stable ratio exists, just the structure
+//! (`--structure-only`).
+
+use hsa_obs::json::{self, JsonValue};
+
+/// What to compare and how loosely.
+pub struct DiffOptions {
+    /// Relative tolerance, in percent, for numeric cells: a fresh value
+    /// passes when `|fresh - base| <= tol_pct/100 * max(|base|, 1e-9)`.
+    pub tol_pct: f64,
+    /// Only value-compare these columns (the row key, column 0, is always
+    /// the join key). `None` compares every column.
+    pub cols: Option<Vec<String>>,
+    /// Only flag values *below* the baseline (bigger-is-better columns
+    /// like speedups): fresh fails when `fresh < base - tol`. Improvements
+    /// beyond the tolerance pass.
+    pub one_sided: bool,
+    /// Check only the shape: bench name, table count, column lists, and
+    /// that every fresh table has rows. No value comparison.
+    pub structure_only: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { tol_pct: 50.0, cols: None, one_sided: false, structure_only: false }
+    }
+}
+
+/// One parsed sidecar table.
+struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<JsonValue>>,
+}
+
+/// Parse a sidecar document, validating the shape produced by
+/// [`crate::Sidecar`].
+fn parse_sidecar(label: &str, text: &str) -> Result<(String, Vec<Table>), String> {
+    let doc = json::parse(text).map_err(|e| format!("{label}: invalid JSON: {e}"))?;
+    let bench = doc
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{label}: missing \"bench\" name"))?
+        .to_string();
+    let tables = doc
+        .get("tables")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{label}: missing \"tables\" array"))?;
+    let mut out = Vec::with_capacity(tables.len());
+    for (ti, t) in tables.iter().enumerate() {
+        let columns = t
+            .get("columns")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("{label}: table {ti}: missing \"columns\""))?
+            .iter()
+            .map(|c| c.as_str().unwrap_or_default().to_string())
+            .collect();
+        let rows = t
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("{label}: table {ti}: missing \"rows\""))?
+            .iter()
+            .map(|r| r.as_array().map(<[JsonValue]>::to_vec))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| format!("{label}: table {ti}: rows must be arrays"))?;
+        out.push(Table { columns, rows });
+    }
+    Ok((bench, out))
+}
+
+/// Render a cell for row-key matching and messages.
+fn cell_str(v: &JsonValue) -> String {
+    if let Some(u) = v.as_u64() {
+        u.to_string()
+    } else if let Some(f) = v.as_f64() {
+        format!("{f}")
+    } else if let Some(s) = v.as_str() {
+        s.to_string()
+    } else {
+        v.to_string_compact()
+    }
+}
+
+/// Compare two sidecar documents. Returns the list of human-readable
+/// mismatches (empty ⇒ the fresh run is within tolerance), or `Err` when
+/// either document cannot be parsed.
+pub fn diff_sidecars(
+    baseline: &str,
+    fresh: &str,
+    opts: &DiffOptions,
+) -> Result<Vec<String>, String> {
+    let (base_name, base_tables) = parse_sidecar("baseline", baseline)?;
+    let (fresh_name, fresh_tables) = parse_sidecar("fresh", fresh)?;
+
+    let mut bad = Vec::new();
+    if base_name != fresh_name {
+        bad.push(format!("bench name: baseline {base_name:?}, fresh {fresh_name:?}"));
+    }
+    if base_tables.len() != fresh_tables.len() {
+        bad.push(format!(
+            "table count: baseline {}, fresh {}",
+            base_tables.len(),
+            fresh_tables.len()
+        ));
+        return Ok(bad);
+    }
+
+    if let Some(cols) = &opts.cols {
+        for c in cols {
+            if !base_tables.iter().any(|t| t.columns.iter().any(|n| n == c)) {
+                bad.push(format!("--cols: no column named {c:?} in the baseline"));
+            }
+        }
+        if !bad.is_empty() {
+            return Ok(bad);
+        }
+    }
+
+    for (ti, (bt, ft)) in base_tables.iter().zip(&fresh_tables).enumerate() {
+        if bt.columns != ft.columns {
+            bad.push(format!(
+                "table {ti}: columns differ: baseline {:?}, fresh {:?}",
+                bt.columns, ft.columns
+            ));
+            continue;
+        }
+        if ft.rows.is_empty() {
+            bad.push(format!("table {ti}: fresh run produced no rows"));
+            continue;
+        }
+        if opts.structure_only {
+            continue;
+        }
+
+        // Join on the row key (column 0); keys present on only one side are
+        // expected when the fresh run is a smoke-sized sweep.
+        let mut overlap = 0usize;
+        for brow in &bt.rows {
+            let key = match brow.first() {
+                Some(k) => cell_str(k),
+                None => continue,
+            };
+            let Some(frow) = ft.rows.iter().find(|r| r.first().is_some_and(|k| cell_str(k) == key))
+            else {
+                continue;
+            };
+            overlap += 1;
+            for (ci, name) in bt.columns.iter().enumerate().skip(1) {
+                if opts.cols.as_ref().is_some_and(|cs| !cs.iter().any(|c| c == name)) {
+                    continue;
+                }
+                let (bc, fc) = match (brow.get(ci), frow.get(ci)) {
+                    (Some(b), Some(f)) => (b, f),
+                    _ => {
+                        bad.push(format!("table {ti} row {key}: column {name:?} missing a cell"));
+                        continue;
+                    }
+                };
+                match (bc.as_f64(), fc.as_f64()) {
+                    (Some(b), Some(f)) => {
+                        let tol = opts.tol_pct / 100.0 * b.abs().max(1e-9);
+                        let fails = if opts.one_sided { f < b - tol } else { (f - b).abs() > tol };
+                        if fails {
+                            let sign = if opts.one_sided { "-" } else { "±" };
+                            bad.push(format!(
+                                "table {ti} row {key}: {name} = {f} vs baseline {b} \
+                                 (tolerance {sign}{:.0}%)",
+                                opts.tol_pct
+                            ));
+                        }
+                    }
+                    _ => {
+                        if cell_str(bc) != cell_str(fc) {
+                            bad.push(format!(
+                                "table {ti} row {key}: {name} = {:?} vs baseline {:?}",
+                                cell_str(fc),
+                                cell_str(bc)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if overlap == 0 {
+            bad.push(format!("table {ti}: no row keys in common with the baseline"));
+        }
+    }
+    Ok(bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sidecar(bench: &str, columns: &str, rows: &str) -> String {
+        format!("{{\"bench\": \"{bench}\", \"tables\": [{{\"columns\": [{columns}], \"rows\": [{rows}]}}]}}")
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let s = sidecar("k", "\"n\", \"x\"", "[12, 1.0], [16, 2.0]");
+        assert!(diff_sidecars(&s, &s, &DiffOptions::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_beyond_fails() {
+        let base = sidecar("k", "\"n\", \"x\"", "[12, 1.0]");
+        let close = sidecar("k", "\"n\", \"x\"", "[12, 1.4]");
+        let far = sidecar("k", "\"n\", \"x\"", "[12, 1.6]");
+        let opts = DiffOptions::default(); // ±50%
+        assert!(diff_sidecars(&base, &close, &opts).unwrap().is_empty());
+        let bad = diff_sidecars(&base, &far, &opts).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("1.6"), "{bad:?}");
+    }
+
+    #[test]
+    fn smoke_sized_fresh_run_only_compares_shared_keys() {
+        let base = sidecar("k", "\"n\", \"x\"", "[12, 1.0], [16, 2.0], [20, 3.0]");
+        let smoke = sidecar("k", "\"n\", \"x\"", "[12, 1.1], [16, 1.9]");
+        assert!(diff_sidecars(&base, &smoke, &DiffOptions::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn no_shared_keys_is_flagged() {
+        let base = sidecar("k", "\"n\", \"x\"", "[12, 1.0]");
+        let other = sidecar("k", "\"n\", \"x\"", "[99, 1.0]");
+        let bad = diff_sidecars(&base, &other, &DiffOptions::default()).unwrap();
+        assert!(bad.iter().any(|m| m.contains("no row keys in common")), "{bad:?}");
+    }
+
+    #[test]
+    fn one_sided_passes_improvements_but_flags_drops() {
+        let base = sidecar("k", "\"n\", \"speedup\"", "[12, 1.0]");
+        let better = sidecar("k", "\"n\", \"speedup\"", "[12, 2.5]");
+        let worse = sidecar("k", "\"n\", \"speedup\"", "[12, 0.4]");
+        let opts = DiffOptions { one_sided: true, ..DiffOptions::default() }; // -50%
+        assert!(diff_sidecars(&base, &better, &opts).unwrap().is_empty());
+        let bad = diff_sidecars(&base, &worse, &opts).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("-50%"), "{bad:?}");
+    }
+
+    #[test]
+    fn cols_filter_ignores_unlisted_columns() {
+        let base = sidecar("k", "\"n\", \"ns\", \"speedup\"", "[12, 100.0, 1.0]");
+        let fresh = sidecar("k", "\"n\", \"ns\", \"speedup\"", "[12, 900.0, 1.1]");
+        let opts =
+            DiffOptions { cols: Some(vec!["speedup".to_string()]), ..DiffOptions::default() };
+        assert!(diff_sidecars(&base, &fresh, &opts).unwrap().is_empty());
+        // Without the filter, the 9x nanosecond blowup is a regression.
+        let bad = diff_sidecars(&base, &fresh, &DiffOptions::default()).unwrap();
+        assert!(bad.iter().any(|m| m.contains("ns")), "{bad:?}");
+    }
+
+    #[test]
+    fn unknown_cols_name_is_an_error_message() {
+        let s = sidecar("k", "\"n\", \"x\"", "[12, 1.0]");
+        let opts = DiffOptions { cols: Some(vec!["nope".to_string()]), ..DiffOptions::default() };
+        let bad = diff_sidecars(&s, &s, &opts).unwrap();
+        assert!(bad.iter().any(|m| m.contains("nope")), "{bad:?}");
+    }
+
+    #[test]
+    fn structure_only_checks_shape_not_values() {
+        let base = sidecar("k", "\"n\", \"x\"", "[12, 1.0]");
+        let wild = sidecar("k", "\"n\", \"x\"", "[12, 999.0]");
+        let opts = DiffOptions { structure_only: true, ..DiffOptions::default() };
+        assert!(diff_sidecars(&base, &wild, &opts).unwrap().is_empty());
+        let renamed = sidecar("k", "\"n\", \"y\"", "[12, 1.0]");
+        let bad = diff_sidecars(&base, &renamed, &opts).unwrap();
+        assert!(bad.iter().any(|m| m.contains("columns differ")), "{bad:?}");
+        let empty = sidecar("k", "\"n\", \"x\"", "");
+        let bad = diff_sidecars(&base, &empty, &opts).unwrap();
+        assert!(bad.iter().any(|m| m.contains("no rows")), "{bad:?}");
+    }
+
+    #[test]
+    fn string_cells_must_match_exactly() {
+        let base = sidecar("s", "\"k\", \"mode\"", "[\"a\", \"fast\"]");
+        let fresh = sidecar("s", "\"k\", \"mode\"", "[\"a\", \"slow\"]");
+        let bad = diff_sidecars(&base, &fresh, &DiffOptions::default()).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+    }
+
+    #[test]
+    fn name_and_table_count_mismatches() {
+        let a = sidecar("a", "\"n\"", "[1]");
+        let b = sidecar("b", "\"n\"", "[1]");
+        let bad = diff_sidecars(&a, &b, &DiffOptions::default()).unwrap();
+        assert!(bad.iter().any(|m| m.contains("bench name")), "{bad:?}");
+        let two = "{\"bench\": \"a\", \"tables\": [{\"columns\": [\"n\"], \"rows\": [[1]]}, \
+                   {\"columns\": [\"n\"], \"rows\": [[1]]}]}";
+        let bad = diff_sidecars(&a, two, &DiffOptions::default()).unwrap();
+        assert!(bad.iter().any(|m| m.contains("table count")), "{bad:?}");
+    }
+
+    #[test]
+    fn parse_errors_are_err_not_mismatches() {
+        let s = sidecar("k", "\"n\"", "[1]");
+        assert!(diff_sidecars("not json", &s, &DiffOptions::default()).is_err());
+        assert!(diff_sidecars(&s, "{}", &DiffOptions::default()).is_err());
+    }
+}

@@ -17,6 +17,8 @@
 use hsa_obs::json::JsonValue;
 use std::time::Instant;
 
+pub mod diff;
+
 /// Measure `f`, returning (median seconds, last result).
 pub fn median_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut times = Vec::with_capacity(repeats.max(1));

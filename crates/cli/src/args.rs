@@ -29,6 +29,11 @@ pub struct CliArgs {
     pub config: AggregateConfig,
     /// Print the full run report after the result.
     pub show_stats: bool,
+    /// Print the EXPLAIN ANALYZE phase tree after the result.
+    pub explain: bool,
+    /// Emit a live progress heartbeat to stderr every this many
+    /// milliseconds (`--progress <ms>`).
+    pub progress_ms: Option<u64>,
     /// Write the machine-readable run report (JSON) to this path.
     pub stats_json: Option<String>,
     /// Write a Chrome trace (load in Perfetto / `chrome://tracing`) to
@@ -50,7 +55,7 @@ pub struct CliArgs {
 impl CliArgs {
     /// Whether any form of deep observability was requested.
     pub fn wants_metrics(&self) -> bool {
-        self.show_stats || self.stats_json.is_some()
+        self.show_stats || self.stats_json.is_some() || self.explain
     }
 }
 
@@ -96,6 +101,13 @@ options:
                           the CSV itself is still parsed in memory)
   --stats                 print the full run report (per-level passes,
                           probe lengths, SWC flushes, switch alphas, ...)
+  --explain               print the EXPLAIN ANALYZE operator tree: per
+                          level and phase, exclusive time, % of wall
+                          clock, rows in/out, and the observed reduction
+                          factor alpha
+  --progress <ms>         emit a live heartbeat line to stderr every <ms>
+                          milliseconds (rows/s, current phases, budget
+                          usage) from a background sampler thread
   --stats-json <path>     write the run report as JSON to <path>
   --trace <path>          write a Chrome trace of the task timeline to
                           <path> (open with Perfetto or chrome://tracing)
@@ -137,6 +149,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
     let mut aggs: Vec<(String, String, String)> = Vec::new();
     let mut config = AggregateConfig::default();
     let mut show_stats = false;
+    let mut explain = false;
+    let mut progress_ms = None;
     let mut stats_json = None;
     let mut trace = None;
     let mut mem_budget = None;
@@ -175,6 +189,16 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
                 config.kernel = v.parse().map_err(UsageError)?;
             }
             "--stats" => show_stats = true,
+            "--explain" => explain = true,
+            "--progress" => {
+                let v = take_value(&mut args, "--progress")?;
+                let ms: u64 =
+                    v.parse().map_err(|_| UsageError(format!("bad progress interval {v:?}")))?;
+                if ms == 0 {
+                    return Err(UsageError("--progress must be at least 1 ms".into()));
+                }
+                progress_ms = Some(ms);
+            }
             "--stats-json" => stats_json = Some(take_value(&mut args, "--stats-json")?),
             "--trace" => trace = Some(take_value(&mut args, "--trace")?),
             "--mem-budget" => {
@@ -216,6 +240,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
         aggs,
         config,
         show_stats,
+        explain,
+        progress_ms,
         stats_json,
         trace,
         mem_budget,
@@ -376,6 +402,23 @@ mod tests {
 
         assert!(parse(&["f.csv", "--group-by", "k", "--stats-json"]).is_err());
         assert!(parse(&["f.csv", "--group-by", "k", "--trace", "--stats"]).is_err());
+    }
+
+    #[test]
+    fn explain_and_progress_flags() {
+        let a = parse(&["f.csv", "--group-by", "k", "--explain", "--progress", "250"]).unwrap();
+        assert!(a.explain);
+        assert_eq!(a.progress_ms, Some(250));
+        assert!(a.wants_metrics(), "--explain implies metrics collection");
+
+        let b = parse(&["f.csv", "--group-by", "k"]).unwrap();
+        assert!(!b.explain);
+        assert_eq!(b.progress_ms, None);
+
+        assert!(parse(&["f.csv", "--group-by", "k", "--progress"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--progress", "soon"]).is_err());
+        let e = parse(&["f.csv", "--group-by", "k", "--progress", "0"]).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
     }
 
     #[test]

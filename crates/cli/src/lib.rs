@@ -55,6 +55,7 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
     let obs = ObsConfig {
         metrics: args.wants_metrics(),
         trace: args.trace.is_some(),
+        progress: args.progress_ms.map(Duration::from_millis),
         ..ObsConfig::disabled()
     };
     let mut env = ExecEnv::unrestricted();
@@ -97,6 +98,10 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
     if args.show_stats {
         out.push('\n');
         out.push_str(&result.report.pretty());
+    }
+    if args.explain {
+        out.push('\n');
+        out.push_str(&result.report.explain());
     }
     Ok(CliRun { rendered: out, report: result.report })
 }
@@ -164,6 +169,29 @@ mod tests {
         // --stats implies deep metrics; tracing stays off.
         assert!(run.report.metrics.is_some());
         assert!(run.report.trace_json.is_none());
+    }
+
+    #[test]
+    fn explain_flag_appends_the_phase_tree() {
+        let a = args(&["x.csv", "--group-by", "country", "--sum", "amount", "--explain"]);
+        let run = run_on_csv_text(CSV, &a).unwrap();
+        assert!(run.rendered.contains("query · wall"), "{}", run.rendered);
+        assert!(run.rendered.contains("hash_insert"), "{}", run.rendered);
+        assert!(run.rendered.contains("output"), "{}", run.rendered);
+        // --explain implies deep metrics and a profile in the report.
+        assert!(run.report.profile.is_some());
+        let json = run.report.to_json().to_string_compact();
+        assert!(json.contains("\"profile\""), "{json}");
+    }
+
+    #[test]
+    fn progress_flag_runs_the_sampler_without_touching_stdout() {
+        let a = args(&["x.csv", "--group-by", "country", "--count", "--progress", "1"]);
+        let run = run_on_csv_text(CSV, &a).unwrap();
+        assert!(run.rendered.contains("de"), "{}", run.rendered);
+        // Progress alone requests no deep metrics.
+        assert!(run.report.metrics.is_none());
+        assert!(run.report.profile.is_none());
     }
 
     #[test]

@@ -39,7 +39,7 @@ use hsa_fault::{AggError, CancelToken, Reservation};
 use hsa_hash::MAX_LEVEL;
 use hsa_hashtbl::{AggTable, GrowTable, TableConfig};
 use hsa_kernels::KernelKind;
-use hsa_obs::{Counter, Recorder, Tracer};
+use hsa_obs::{Counter, Phase, ProgressGauge, Recorder, Tracer};
 use hsa_tasks::sync::Mutex;
 use hsa_tasks::{PoolMetrics, Scope};
 use std::time::Instant;
@@ -128,6 +128,9 @@ pub(crate) struct Ctx {
     pub(crate) stats: AtomicStats,
     pub(crate) recorder: Recorder,
     pub(crate) tracer: Tracer,
+    /// Live progress cells read by the `--progress` sampler thread
+    /// (disabled unless a sampler is running).
+    pub(crate) gauge: ProgressGauge,
     /// Kernel tier resolved once per invocation from `cfg.kernel` (and the
     /// `HSA_KERNEL` override), clamped to what the CPU supports.
     pub(crate) kind: KernelKind,
@@ -141,7 +144,7 @@ pub(crate) struct Ctx {
 impl Ctx {
     /// The observability handle for a task running as `worker`.
     pub(crate) fn obs(&self, worker: usize) -> Obs {
-        Obs { recorder: self.recorder.clone(), tracer: self.tracer.clone(), worker }
+        Obs::new(self.recorder.clone(), self.tracer.clone(), self.gauge.clone(), worker)
     }
 
     /// The allocation gate tasks reserve memory through.
@@ -279,13 +282,18 @@ pub(crate) fn process_view(
 
 /// Emit a completed bucket's table as final groups.
 fn emit_final_from_table(ctx: &Ctx, table: &mut AggTable, obs: &Obs) -> Result<(), AggError> {
+    let pt = obs.phase_start(table.level(), Phase::Output);
+    let groups = table.len() as u64;
     let out_bytes = (table.len() * 8 * (1 + table.n_cols())) as u64;
+    // On a denied reservation the timer is dropped unrecorded: the query
+    // is failing and partial attribution would only skew the tree.
     let mut res = ctx.gate().reserve(out_bytes, obs)?;
     table.seal(|_digit, keys, cols| {
         let block_res = res.take((keys.len() * 8 * (1 + cols.len())) as u64);
         ctx.collector.push_block(keys, cols, block_res);
     });
     flush_table_metrics(obs, table);
+    obs.phase_end(pt, groups, groups, out_bytes);
     Ok(())
 }
 
@@ -302,6 +310,8 @@ fn grow_merge(ctx: &Ctx, bucket: Vec<RunHandle>, obs: &Obs) -> Result<(), AggErr
         "fallback_merge",
         &[("rows", bucket.iter().map(RunHandle::len).sum::<usize>() as u64)],
     );
+    let level = bucket.first().map_or(0, RunHandle::level);
+    let pt = obs.phase_start(level, Phase::GrowMerge);
     let rows: usize = bucket.iter().map(RunHandle::len).sum();
     let capacity = rows.clamp(16, 1 << 20);
     let mut res =
@@ -338,6 +348,7 @@ fn grow_merge(ctx: &Ctx, bucket: Vec<RunHandle>, obs: &Obs) -> Result<(), AggErr
     }
     let out_res = res.take((keys.len() * 8 * (1 + cols.len())) as u64);
     ctx.collector.push_block(&keys, &cols, out_res);
+    obs.phase_end(pt, rows as u64, keys.len() as u64, 0);
     Ok(())
 }
 
@@ -360,6 +371,11 @@ pub(crate) fn process_bucket<'env>(
     }
     let t0 = Instant::now();
     let obs = ctx.obs(scope.worker_index());
+    // The whole task runs inside a Driver phase: the nested accounting
+    // subtracts every work phase, so the cell keeps only the dispatch
+    // overhead (restore plumbing, views, pooling, run teardown) — and the
+    // guard records it on error exits and contained panics too.
+    let _driver = obs.phase_scope(level, Phase::Driver);
     if ctx.env.faults.should_panic_in_task() {
         panic!("injected fault: task panic");
     }

@@ -5,7 +5,7 @@ use crate::obs::Obs;
 use crate::stats::AtomicStats;
 use hsa_columnar::{Run, RunHandle, RunStore};
 use hsa_fault::{AggError, CancelToken, FaultInjector, MemoryBudget, Reservation};
-use hsa_obs::{Counter, Hist};
+use hsa_obs::{Counter, Hist, Phase};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -98,6 +98,7 @@ impl Gate<'_> {
         if self.faults.should_fail_spill() {
             return Err(AggError::SpillFailed { message: "injected fault: spill write".into() });
         }
+        let pt = obs.phase_start(run.level, Phase::Spill);
         let t0 = Instant::now();
         let handle =
             self.store.spill(run).map_err(|e| AggError::SpillFailed { message: e.to_string() })?;
@@ -106,6 +107,7 @@ impl Gate<'_> {
         obs.recorder.add(obs.worker, Counter::SpilledRuns, 1);
         obs.recorder.add(obs.worker, Counter::SpilledBytes, bytes);
         obs.recorder.observe(obs.worker, Hist::SpillNanos, t0.elapsed().as_nanos() as u64);
+        obs.phase_end(pt, 0, 0, bytes);
         Ok(handle)
     }
 
@@ -122,6 +124,7 @@ impl Gate<'_> {
             return handle.into_run().map_err(|e| AggError::SpillFailed { message: e.to_string() });
         }
         let bytes = handle.spilled_bytes();
+        let pt = obs.phase_start(handle.level(), Phase::Restore);
         let t0 = Instant::now();
         let run =
             handle.into_run().map_err(|e| AggError::SpillFailed { message: e.to_string() })?;
@@ -129,6 +132,7 @@ impl Gate<'_> {
         obs.recorder.add(obs.worker, Counter::RestoredRuns, 1);
         obs.recorder.add(obs.worker, Counter::RestoredBytes, bytes);
         obs.recorder.observe(obs.worker, Hist::RestoreNanos, t0.elapsed().as_nanos() as u64);
+        obs.phase_end(pt, 0, run.len() as u64, bytes);
         Ok(run)
     }
 

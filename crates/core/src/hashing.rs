@@ -22,7 +22,7 @@ use hsa_fault::{AggError, Reservation};
 use hsa_hash::{Hasher64, Murmur2};
 use hsa_hashtbl::{AggTable, Insert};
 use hsa_kernels::KernelKind;
-use hsa_obs::{Counter, Hist};
+use hsa_obs::{Counter, Hist, Phase};
 
 /// Outcome of hashing (part of) a run.
 #[derive(Debug, PartialEq, Eq)]
@@ -62,6 +62,7 @@ pub(crate) fn seal_into(
     gate: Gate<'_>,
     obs: &Obs,
 ) -> Result<(), AggError> {
+    let pt = obs.phase_start(table.level(), Phase::Seal);
     let groups = table.len() as u64;
     let mut res = match gate.reserve(seal_bytes_upper(groups, table.n_cols()), obs) {
         Ok(res) => Some(res),
@@ -113,6 +114,9 @@ pub(crate) fn seal_into(
     obs.recorder.add(obs.worker, Counter::TablesSealed, 1);
     flush_table_metrics(obs, table);
     obs.tracer.instant(obs.worker, "seal", &[("level", next_level as u64 - 1), ("groups", groups)]);
+    // Spill time inside the seal was attributed to its own phase by the
+    // nested-time accounting; this cell holds the pure seal cost.
+    obs.phase_end(pt, groups, groups, 0);
     Ok(())
 }
 
@@ -143,10 +147,20 @@ pub(crate) fn hash_run(
     let batched = kind != KernelKind::Scalar;
     let mut row = from_row;
 
+    // One phase span covers the whole call, not each aligned block: deep
+    // levels hash thousands of tiny blocks and per-block clock reads are
+    // measurable. Seals (and their spills) triggered mid-loop open nested
+    // spans; the nested-time accounting keeps this span's exclusive time
+    // pure hash-insert.
+    let pt = obs.phase_start(level, Phase::HashInsert);
+    let mut span_in = 0u64;
+    let mut span_out = 0u64;
+
     while row < n {
         let block_len = view.aligned_block_len(row, ops.len());
         debug_assert!(block_len > 0, "empty aligned block at row {row}/{n}");
         let keys = &view.key_tail(row)[..block_len];
+        let groups_before = table.len() as u64;
 
         mapping.clear();
         let mut table_full = false;
@@ -206,6 +220,10 @@ pub(crate) fn hash_run(
             consumed as u64,
         );
         row += consumed;
+        // rows_out accumulates the *new* groups: summed per level this
+        // yields the level's observed reduction factor α = rows_in/rows_out.
+        span_in += consumed as u64;
+        span_out += table.len() as u64 - groups_before;
 
         if table_full {
             // The reduction factor the strategy judges (§5): rows absorbed
@@ -223,11 +241,13 @@ pub(crate) fn hash_run(
                     "switch_to_partitioning",
                     &[("level", level as u64), ("alpha_x100", (alpha * 100.0) as u64)],
                 );
+                obs.phase_end(pt, span_in, span_out, 0);
                 return Ok(HashOutcome::Switched { next_row: row });
             }
             // Retry the row that hit the full table with the fresh one.
         }
     }
+    obs.phase_end(pt, span_in, span_out, 0);
     Ok(HashOutcome::Done)
 }
 

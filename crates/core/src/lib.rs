@@ -69,8 +69,9 @@ pub use hsa_columnar::{RunHandle, RunStore, SpilledRun};
 pub use hsa_fault::{
     AggError, CancelReason, CancelToken, FaultInjector, FaultPlan, MemoryBudget, Reservation,
 };
+pub use hsa_obs::ProfileTree;
 pub use output::GroupByOutput;
-pub use report::{ObsConfig, RunReport};
+pub use report::{ObsConfig, RunReport, REPORT_VERSION};
 pub use stats::OpStats;
 pub use stream::AggStream;
 

@@ -1,29 +1,116 @@
 //! The per-task observability handle.
 //!
 //! [`Obs`] bundles the handles to the (possibly disabled) metrics
-//! [`Recorder`] and timeline [`Tracer`] with the worker index of the task
-//! currently running. Both handles are a single `Option<Arc>` — cloning
-//! one per task is two refcount bumps — and every recording call on a
-//! disabled handle is one null check, so the routines are instrumented
-//! unconditionally.
+//! [`Recorder`], timeline [`Tracer`], and live [`ProgressGauge`] with the
+//! worker index of the task currently running. The handles are each a
+//! single `Option<Arc>` — cloning one per task is a few refcount bumps —
+//! and every recording call on a disabled handle is one null check, so
+//! the routines are instrumented unconditionally.
+//!
+//! # Phase timing
+//!
+//! [`Obs::phase_start`]/[`Obs::phase_end`] bracket one phase of the
+//! operator (see [`Phase`]) and record **exclusive** time: the `nested`
+//! cell accumulates the total duration of every completed phase on this
+//! task, so an enclosing phase can subtract the time its children already
+//! claimed (a spill inside a seal lands in `spill`, not twice). When both
+//! the recorder and the gauge are disabled, `phase_start` returns `None`
+//! without reading the clock — the disabled path stays two null checks.
 
 use hsa_hashtbl::AggTable;
-use hsa_obs::{Counter, Hist, Recorder, Tracer};
+use hsa_obs::{Counter, Hist, Phase, PhaseCell, ProgressGauge, Recorder, Tracer};
+use std::cell::Cell;
+use std::time::Instant;
 
 /// Observability context of one task: where to record, and as whom.
 #[derive(Clone)]
 pub(crate) struct Obs {
     pub(crate) recorder: Recorder,
     pub(crate) tracer: Tracer,
+    pub(crate) gauge: ProgressGauge,
     pub(crate) worker: usize,
+    /// Total nanoseconds of phases completed on this task so far; the
+    /// delta across a phase's lifetime is its children's time.
+    nested: Cell<u64>,
+}
+
+/// An in-flight phase measurement returned by [`Obs::phase_start`].
+pub(crate) struct PhaseTimer {
+    level: u32,
+    phase: Phase,
+    t0: Instant,
+    nested0: u64,
 }
 
 impl Obs {
+    pub(crate) fn new(
+        recorder: Recorder,
+        tracer: Tracer,
+        gauge: ProgressGauge,
+        worker: usize,
+    ) -> Self {
+        Self { recorder, tracer, gauge, worker, nested: Cell::new(0) }
+    }
+
     /// A handle that records nothing (unit tests drive the routines
     /// without a driver context).
     #[cfg(test)]
     pub(crate) fn disabled() -> Self {
-        Self { recorder: Recorder::disabled(), tracer: Tracer::disabled(), worker: 0 }
+        Self::new(Recorder::disabled(), Tracer::disabled(), ProgressGauge::disabled(), 0)
+    }
+
+    /// Begin timing one phase at `level`. Returns `None` — without
+    /// touching the clock — when neither metrics nor progress is enabled.
+    #[inline]
+    pub(crate) fn phase_start(&self, level: u32, phase: Phase) -> Option<PhaseTimer> {
+        if !self.recorder.is_enabled() && !self.gauge.is_enabled() {
+            return None;
+        }
+        self.gauge.set_state(self.worker, level, phase);
+        Some(PhaseTimer { level, phase, t0: Instant::now(), nested0: self.nested.get() })
+    }
+
+    /// Finish a phase: fold its exclusive time and row/byte deltas into
+    /// the recorder's `(worker, level, phase)` cell and bump the gauge.
+    pub(crate) fn phase_end(
+        &self,
+        timer: Option<PhaseTimer>,
+        rows_in: u64,
+        rows_out: u64,
+        bytes: u64,
+    ) {
+        let Some(t) = timer else { return };
+        let total = t.t0.elapsed().as_nanos() as u64;
+        let child = self.nested.get().saturating_sub(t.nested0);
+        self.recorder.phase(
+            self.worker,
+            t.level,
+            t.phase,
+            PhaseCell { nanos: total.saturating_sub(child), calls: 1, rows_in, rows_out, bytes },
+        );
+        self.gauge.add_rows(self.worker, rows_in);
+        self.nested.set(t.nested0.saturating_add(total));
+    }
+
+    /// Begin a phase that ends when the returned guard drops — on every
+    /// exit path including error returns and contained panics. Used for
+    /// [`Phase::Driver`] wrappers around whole task bodies, where the
+    /// nested-time accounting leaves only the dispatch overhead in the
+    /// cell; row/byte deltas stay zero.
+    pub(crate) fn phase_scope(&self, level: u32, phase: Phase) -> PhaseScope<'_> {
+        PhaseScope { obs: self, timer: self.phase_start(level, phase) }
+    }
+}
+
+/// RAII wrapper completing a phase on drop (see [`Obs::phase_scope`]).
+pub(crate) struct PhaseScope<'a> {
+    obs: &'a Obs,
+    timer: Option<PhaseTimer>,
+}
+
+impl Drop for PhaseScope<'_> {
+    fn drop(&mut self) {
+        self.obs.phase_end(self.timer.take(), 0, 0, 0);
     }
 }
 

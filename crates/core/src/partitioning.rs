@@ -13,7 +13,7 @@ use crate::view::RunView;
 use hsa_columnar::{Run, RunHandle};
 use hsa_fault::{AggError, Reservation};
 use hsa_hash::{Murmur2, FANOUT};
-use hsa_obs::{Counter, Hist};
+use hsa_obs::{Counter, Hist, Phase};
 use hsa_partition::{
     partition_keys_mapped_observed, partition_keys_observed, scatter_by_digits_observed,
     swc_pass_bytes, PartitionMetrics,
@@ -52,6 +52,7 @@ pub(crate) fn partition_run(
     if rows == 0 {
         return Ok(());
     }
+    let pt = obs.phase_start(level, Phase::Partition);
     let mut res = match gate.reserve(partition_bytes_upper(rows, n_cols), obs) {
         Ok(res) => Some(res),
         Err(e) if gate.can_spill(&e) => {
@@ -124,6 +125,9 @@ pub(crate) fn partition_run(
             }
         }
     }
+    // Spill time inside the emit loop was attributed to its own phase by
+    // the nested-time accounting; this cell holds the pure partition cost.
+    obs.phase_end(pt, rows as u64, rows as u64, pm.swc_flush_bytes);
     Ok(())
 }
 

@@ -9,31 +9,50 @@
 
 use crate::stats::OpStats;
 use hsa_obs::json::JsonValue;
-use hsa_obs::{Counter, Hist, MetricsSnapshot, WorkerSnapshot, DEFAULT_TRACE_CAPACITY};
+use hsa_obs::{
+    Counter, Hist, MetricsSnapshot, ProfileTree, WorkerSnapshot, DEFAULT_TRACE_CAPACITY,
+};
 use hsa_tasks::{PoolMetrics, WorkerPoolMetrics};
+
+/// Version of the [`RunReport::to_json`] schema, emitted as
+/// `report_version`. Stability contract (see DESIGN.md §13): adding new
+/// members does **not** bump this — consumers must ignore unknown keys;
+/// renaming, removing, or reinterpreting an existing member does.
+pub const REPORT_VERSION: u64 = 1;
 
 /// What the observed operator entry points should collect.
 #[derive(Clone, Debug)]
 pub struct ObsConfig {
     /// Collect the deep per-worker metrics (probe lengths, SWC flushes,
-    /// per-switch α, ...).
+    /// per-switch α, phase attribution, ...).
     pub metrics: bool,
     /// Record the task timeline (Chrome trace events).
     pub trace: bool,
     /// Per-worker trace buffer capacity, in events; once full, further
     /// events are counted as dropped.
     pub trace_capacity: usize,
+    /// Emit a live progress heartbeat to stderr at this interval (the
+    /// CLI's `--progress <ms>`). Runs a background sampler thread over
+    /// relaxed-atomic gauge cells — the metrics shards are never read
+    /// before quiescence — and works with or without `metrics`.
+    pub progress: Option<std::time::Duration>,
 }
 
 impl ObsConfig {
     /// Collect nothing beyond the always-on [`OpStats`].
     pub fn disabled() -> Self {
-        Self { metrics: false, trace: false, trace_capacity: DEFAULT_TRACE_CAPACITY }
+        Self {
+            metrics: false,
+            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            progress: None,
+        }
     }
 
-    /// Collect everything.
+    /// Collect everything (except the progress heartbeat, which is
+    /// output, not collection).
     pub fn full() -> Self {
-        Self { metrics: true, trace: true, trace_capacity: DEFAULT_TRACE_CAPACITY }
+        Self { metrics: true, trace: true, ..Self::disabled() }
     }
 }
 
@@ -64,6 +83,8 @@ pub struct RunReport {
     pub pool: Option<PoolMetrics>,
     /// Deep per-worker metrics (None when off).
     pub metrics: Option<MetricsSnapshot>,
+    /// The EXPLAIN ANALYZE phase tree (None when deep metrics were off).
+    pub profile: Option<ProfileTree>,
     /// Rendered Chrome trace JSON (None when tracing was off).
     pub trace_json: Option<String>,
 }
@@ -81,6 +102,7 @@ impl RunReport {
     /// artifact with its own format).
     pub fn to_json(&self) -> JsonValue {
         let mut pairs = vec![
+            ("report_version".to_string(), JsonValue::U64(REPORT_VERSION)),
             ("rows_in".to_string(), JsonValue::U64(self.rows_in)),
             ("groups_out".to_string(), JsonValue::U64(self.groups_out)),
             ("threads".to_string(), JsonValue::U64(self.threads as u64)),
@@ -95,7 +117,19 @@ impl RunReport {
         if let Some(metrics) = &self.metrics {
             pairs.push(("metrics".to_string(), metrics.to_json()));
         }
+        if let Some(profile) = &self.profile {
+            pairs.push(("profile".to_string(), profile.to_json()));
+        }
         JsonValue::Object(pairs)
+    }
+
+    /// The `--explain` rendering: the indented phase tree, or a hint when
+    /// the run was not profiled.
+    pub fn explain(&self) -> String {
+        match &self.profile {
+            Some(profile) => profile.render(),
+            None => "no profile collected (run with metrics enabled)\n".to_string(),
+        }
     }
 
     /// Multi-line human-readable rendering (the CLI's `--stats`).
@@ -138,6 +172,13 @@ impl RunReport {
                 s,
                 "robustness         budget denials {}   downgrades {}   cancellations {}   contained panics {}",
                 st.budget_denials, st.budget_downgrades, st.cancellations, st.contained_panics
+            );
+        }
+        if st.budget_high_water_bytes > 0 {
+            let _ = writeln!(
+                s,
+                "budget high-water  {:.2} MiB",
+                st.budget_high_water_bytes as f64 / (1024.0 * 1024.0)
             );
         }
         if st.spilled_runs() > 0 {
@@ -220,6 +261,7 @@ pub fn stats_json(stats: &OpStats) -> JsonValue {
         ("fallback_merges", JsonValue::U64(stats.fallback_merges)),
         ("budget_denials", JsonValue::U64(stats.budget_denials)),
         ("budget_downgrades", JsonValue::U64(stats.budget_downgrades)),
+        ("budget_high_water_bytes", JsonValue::U64(stats.budget_high_water_bytes)),
         ("cancellations", JsonValue::U64(stats.cancellations)),
         ("contained_panics", JsonValue::U64(stats.contained_panics)),
         ("kernel_batched_rows", JsonValue::U64(stats.kernel_batched_rows)),
@@ -299,6 +341,7 @@ mod tests {
             stats,
             pool: Some(pool),
             metrics: Some(rec.snapshot()),
+            profile: None,
             trace_json: None,
         }
     }
@@ -308,6 +351,7 @@ mod tests {
         let report = sample_report();
         let text = report.to_json().to_string_pretty(2);
         let parsed = hsa_obs::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("report_version").unwrap().as_u64(), Some(REPORT_VERSION));
         assert_eq!(parsed.get("rows_in").unwrap().as_u64(), Some(1500));
         assert_eq!(parsed.get("groups_out").unwrap().as_u64(), Some(40));
         assert_eq!(parsed.get("kernel").unwrap().as_str(), Some("sse2"));
@@ -326,6 +370,7 @@ mod tests {
         );
         assert_eq!(stats.get("spilled_bytes").unwrap().as_u64(), Some(4096));
         assert_eq!(stats.get("restored_runs").unwrap().as_u64(), Some(3));
+        assert_eq!(stats.get("budget_high_water_bytes").unwrap().as_u64(), Some(0));
         let pool = parsed.get("pool").unwrap();
         assert_eq!(pool.get("totals").unwrap().get("tasks_executed").unwrap().as_u64(), Some(8));
         assert_eq!(pool.get("workers").unwrap().as_array().unwrap().len(), 2);
@@ -355,6 +400,40 @@ mod tests {
         let parsed = hsa_obs::json::parse(&report.to_json().to_string_compact()).unwrap();
         assert!(parsed.get("pool").is_none());
         assert!(parsed.get("metrics").is_none());
+        assert!(parsed.get("profile").is_none());
         assert!(parsed.get("stats").is_some());
+    }
+
+    #[test]
+    fn explain_without_a_profile_says_so() {
+        let report = sample_report();
+        assert!(report.explain().contains("no profile collected"));
+    }
+
+    #[test]
+    fn profile_section_round_trips_in_json() {
+        use hsa_obs::{Phase, PhaseCell, Recorder};
+        let rec = Recorder::enabled(1);
+        rec.phase(
+            0,
+            0,
+            Phase::HashInsert,
+            PhaseCell { nanos: 500, calls: 1, rows_in: 100, rows_out: 10, bytes: 0 },
+        );
+        let mut report = sample_report();
+        report.profile = Some(ProfileTree::build(&rec.snapshot(), 1000, 1, 64));
+        let parsed = hsa_obs::json::parse(&report.to_json().to_string_compact()).unwrap();
+        let profile = parsed.get("profile").unwrap();
+        assert_eq!(profile.get("wall_nanos").unwrap().as_u64(), Some(1000));
+        assert_eq!(profile.get("budget_high_water_bytes").unwrap().as_u64(), Some(64));
+        assert!(report.explain().contains("hash_insert"));
+    }
+
+    #[test]
+    fn pretty_shows_the_budget_high_water_when_nonzero() {
+        let mut report = sample_report();
+        assert!(!report.pretty().contains("budget high-water"));
+        report.stats.budget_high_water_bytes = 3 * 1024 * 1024;
+        assert!(report.pretty().contains("budget high-water  3.00 MiB"));
     }
 }

@@ -110,6 +110,9 @@ impl AtomicStats {
             spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
             restored_runs: self.restored_runs.load(Ordering::Relaxed),
             restored_bytes: self.restored_bytes.load(Ordering::Relaxed),
+            // Owned by the budget, not these cells: the driver copies the
+            // budget's mark in after snapshotting.
+            budget_high_water_bytes: 0,
         }
     }
 }
@@ -161,6 +164,9 @@ pub struct OpStats {
     pub restored_runs: u64,
     /// Bytes read back from spill files.
     pub restored_bytes: u64,
+    /// Peak concurrently reserved bytes the memory budget saw during the
+    /// invocation (0 when the budget is unlimited).
+    pub budget_high_water_bytes: u64,
 }
 
 impl OpStats {
@@ -213,6 +219,9 @@ impl OpStats {
         self.spilled_bytes += other.spilled_bytes;
         self.restored_runs += other.restored_runs;
         self.restored_bytes += other.restored_bytes;
+        // Peaks don't add: merged invocations report the highest mark.
+        self.budget_high_water_bytes =
+            self.budget_high_water_bytes.max(other.budget_high_water_bytes);
     }
 }
 
@@ -278,7 +287,11 @@ mod tests {
         b.add_part_rows(0, 7);
         b.count_switch_to_partitioning();
         b.count_spilled_run(1, 128);
-        m.merge(&b.snapshot());
+        m.budget_high_water_bytes = 700;
+        let mut bs = b.snapshot();
+        bs.budget_high_water_bytes = 300;
+        m.merge(&bs);
+        assert_eq!(m.budget_high_water_bytes, 700, "peaks max, not add");
         assert_eq!(m.hash_rows_per_level[0], 10);
         assert_eq!(m.hash_rows_per_level[1], 5);
         assert_eq!(m.part_rows_per_level[0], 7);

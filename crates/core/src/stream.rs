@@ -32,7 +32,10 @@ use crate::AggregateConfig;
 use hsa_agg::{plan, AggSpec, Plan, StateOp};
 use hsa_fault::{AggError, CancelToken};
 use hsa_hashtbl::identity_of;
-use hsa_obs::{Counter, Hist, Recorder, Tracer};
+use hsa_obs::{
+    BudgetProbe, Counter, Hist, Phase, PhaseCell, ProfileTree, ProgressGauge, ProgressSampler,
+    Recorder, Tracer,
+};
 use hsa_tasks::sync::Mutex;
 use hsa_tasks::{chunk_ranges, PoolMetrics};
 use std::time::Instant;
@@ -75,6 +78,10 @@ pub struct AggStream {
     pool_metrics: PoolMetrics,
     rows_in: u64,
     wall0: Instant,
+    /// Live heartbeat thread (`ObsConfig::progress`); runs across pushes
+    /// and phase 2, stopped and joined before the report is assembled —
+    /// or on drop, including an unwinding one.
+    sampler: Option<ProgressSampler>,
 }
 
 impl AggStream {
@@ -117,6 +124,19 @@ impl AggStream {
         };
         let kind = hsa_kernels::select(cfg.kernel);
         let store = store_for(env)?;
+        // The gauge mirrors coarse per-worker position in relaxed atomics
+        // so the sampler thread never reads the recorder's shards.
+        let gauge = if obs_cfg.progress.is_some() {
+            ProgressGauge::enabled(threads)
+        } else {
+            ProgressGauge::disabled()
+        };
+        let sampler = obs_cfg.progress.map(|interval| {
+            let budget = env.budget.clone();
+            let probe: BudgetProbe =
+                Box::new(move || budget.limit().map(|limit| (budget.outstanding(), limit)));
+            ProgressSampler::start(gauge.clone(), interval, Some(probe))
+        });
         let ctx = Ctx {
             cfg: cfg.clone(),
             env: env.clone(),
@@ -131,6 +151,7 @@ impl AggStream {
             } else {
                 Tracer::disabled()
             },
+            gauge,
             kind,
             store,
             failed: Mutex::new(None),
@@ -147,6 +168,7 @@ impl AggStream {
             pool_metrics: PoolMetrics::default(),
             rows_in: 0,
             wall0,
+            sampler,
         })
     }
 
@@ -193,6 +215,9 @@ impl AggStream {
                     }
                     let t0 = Instant::now();
                     let obs = ctx.obs(s2.worker_index());
+                    // Morsel bookkeeping outside the work phases lands in
+                    // the level-0 Driver cell (see Phase::Driver).
+                    let _driver = obs.phase_scope(0, Phase::Driver);
                     if let Err(e) = ctx.check_cancel(&obs) {
                         ctx.fail(e);
                         return;
@@ -258,6 +283,7 @@ impl AggStream {
             mut pool_metrics,
             rows_in,
             wall0,
+            sampler,
             ..
         } = self;
 
@@ -296,18 +322,47 @@ impl AggStream {
             pool_metrics
         });
 
+        // The workers have quiesced: stop the heartbeat before the final
+        // lowering so no line interleaves with the caller's own output.
+        drop(sampler);
+        // The budget owns its peak, not the stats cells; read it before
+        // the context is torn apart below.
+        let high_water = ctx.env.budget.high_water();
+
         let kind = ctx.kind;
         let Ctx { collector, stats, recorder, tracer, .. } = ctx;
+        let out_t0 = Instant::now();
         let output = collector.into_output(lowered);
+        // The final lowering is single-threaded post-quiescence work;
+        // attribute it to worker 0's level-0 output cell directly.
+        recorder.phase(
+            0,
+            0,
+            Phase::Output,
+            PhaseCell {
+                nanos: out_t0.elapsed().as_nanos() as u64,
+                calls: 1,
+                rows_in: output.n_groups() as u64,
+                rows_out: output.n_groups() as u64,
+                bytes: 0,
+            },
+        );
+        let mut stats = stats.snapshot();
+        stats.budget_high_water_bytes = high_water;
+        let wall_nanos = wall0.elapsed().as_nanos() as u64;
+        let metrics = observed.then(|| recorder.snapshot());
+        let profile =
+            metrics.as_ref().map(|m| ProfileTree::build(m, wall_nanos, threads, high_water));
         let report = RunReport {
             rows_in,
             groups_out: output.n_groups() as u64,
             threads,
             kernel: kind.label().to_string(),
-            wall_nanos: wall0.elapsed().as_nanos() as u64,
-            stats: stats.snapshot(),
+            wall_nanos,
+            stats,
             pool,
-            metrics: observed.then(|| recorder.snapshot()),
+            metrics,
+            profile,
             trace_json: tracer.is_enabled().then(|| tracer.to_chrome_json()),
         };
         Ok((output, report))

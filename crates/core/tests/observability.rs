@@ -4,9 +4,10 @@
 
 use hsa_agg::AggSpec;
 use hsa_core::{
-    aggregate_observed, distinct_observed, AdaptiveParams, AggregateConfig, ObsConfig, Strategy,
+    aggregate_observed, distinct_observed, AdaptiveParams, AggStream, AggregateConfig, ExecEnv,
+    ObsConfig, Strategy,
 };
-use hsa_obs::{json, Counter, Hist};
+use hsa_obs::{json, Counter, Hist, Phase};
 
 /// Small cache + morsels so seals, switches, and recursion all happen at
 /// test input sizes.
@@ -120,6 +121,123 @@ fn disabled_observability_adds_no_sections() {
     let parsed = json::parse(&report.to_json().to_string_pretty(2)).unwrap();
     assert!(parsed.get("metrics").is_none());
     assert_eq!(parsed.get("rows_in").unwrap().as_u64(), Some(50_000));
+}
+
+#[test]
+fn profile_conserves_rows_across_levels() {
+    // Distinct keys force seals, switches, and multi-level recursion.
+    let keys = distinct_keys(200_000);
+    let (_, report) = distinct_observed(&keys, &adaptive_cfg(), &ObsConfig::full());
+    let profile = report.profile.as_ref().expect("profile rides with metrics");
+
+    // Level 0 consumed every input row exactly once, by hashing or
+    // partitioning.
+    let consumed0 =
+        profile.cell(0, Phase::HashInsert).rows_in + profile.cell(0, Phase::Partition).rows_in;
+    assert_eq!(consumed0, 200_000);
+
+    // Every run entering level L was produced at level L−1: seals emit
+    // their groups and partitioning re-emits its rows, one level down.
+    for lvl in 1..profile.levels_used() {
+        let into = profile.cell(lvl, Phase::HashInsert).rows_in
+            + profile.cell(lvl, Phase::Partition).rows_in
+            + profile.cell(lvl, Phase::GrowMerge).rows_in;
+        let from_above = profile.cell(lvl - 1, Phase::Seal).rows_out
+            + profile.cell(lvl - 1, Phase::Partition).rows_out;
+        assert_eq!(into, from_above, "rows not conserved entering level {lvl}");
+    }
+
+    // On distinct keys the hash phases observe α ≈ 1.
+    let hash0 = profile.cell(0, Phase::HashInsert);
+    assert!(hash0.rows_out > 0);
+    assert!(
+        (hash0.rows_in as f64 / hash0.rows_out as f64) < 2.0,
+        "distinct keys must show alpha near 1"
+    );
+
+    // The render names the phases that actually ran.
+    let explain = report.explain();
+    assert!(explain.contains("hash_insert"), "explain: {explain}");
+    assert!(explain.contains("partition"), "explain: {explain}");
+    assert!(explain.contains("level 1"), "explain: {explain}");
+}
+
+#[test]
+fn explain_attributes_nearly_all_wall_time_single_threaded() {
+    // Acceptance: ≥ 95% of the query wall clock lands in leaf phases. At
+    // one thread coverage is exactly the attributed share of wall time.
+    let keys = distinct_keys(400_000);
+    let cfg = AggregateConfig { threads: 1, ..adaptive_cfg() };
+    let obs = ObsConfig { metrics: true, ..ObsConfig::disabled() };
+    let (_, report) = distinct_observed(&keys, &cfg, &obs);
+    let profile = report.profile.as_ref().expect("profile rides with metrics");
+    assert_eq!(profile.threads, 1);
+    let coverage = profile.coverage();
+    assert!(coverage >= 0.95, "only {:.1}% of wall time attributed", coverage * 100.0);
+    assert!(coverage <= 1.05, "attributed more than wall time: {coverage}");
+}
+
+#[test]
+fn profile_tracks_spill_restore_and_the_budget_high_water() {
+    let dir = std::env::temp_dir().join(format!("hsa-obs-profile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let keys = distinct_keys(120_000);
+    let budget = hsa_core::MemoryBudget::limited(4 << 20);
+    let env = ExecEnv::unrestricted().with_budget(budget.clone()).with_spill_dir(&dir);
+    let cfg = adaptive_cfg();
+    let specs = [AggSpec::count()];
+    let mut stream = AggStream::new(&specs, &cfg, &env, &ObsConfig::full()).unwrap();
+    for chunk in keys.chunks(8192) {
+        stream.push(chunk, &[]).unwrap();
+    }
+    let (out, report) = stream.finish().unwrap();
+    assert_eq!(out.n_groups(), 120_000);
+    assert!(report.stats.spilled_runs() > 0, "budgeted run must spill");
+
+    // The peak reservation was recorded, bounded by the limit, and copied
+    // into both the stats and the profile header.
+    let hw = report.stats.budget_high_water_bytes;
+    assert!(hw > 0, "a budgeted run must record a high-water mark");
+    assert!(hw <= 4 << 20, "high water {hw} exceeds the limit");
+    let profile = report.profile.as_ref().expect("profile rides with metrics");
+    assert_eq!(profile.budget_high_water, hw);
+
+    // Spill and restore phases carry their byte traffic; synchronous I/O
+    // reports zero overlap.
+    let spilled: u64 =
+        (0..profile.levels_used()).map(|lvl| profile.cell(lvl, Phase::Spill).bytes).sum();
+    assert_eq!(spilled, report.stats.spilled_bytes);
+    assert!(profile.io_nanos() > 0);
+    assert_eq!(profile.overlap_fraction(), 0.0);
+
+    // JSON carries the same numbers under the profile section.
+    let parsed = json::parse(&report.to_json().to_string_compact()).unwrap();
+    let p = parsed.get("profile").unwrap();
+    assert_eq!(p.get("budget_high_water_bytes").unwrap().as_u64(), Some(hw));
+    assert_eq!(p.get("spill_overlap_fraction").unwrap().as_f64(), Some(0.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn progress_sampler_runs_and_stops_through_a_stream() {
+    // The heartbeat thread must start with the stream, survive pushes and
+    // phase 2, and be joined by finish() — finishing promptly (a leaked
+    // sampler would keep the process alive and flood stderr).
+    let keys = distinct_keys(60_000);
+    let obs =
+        ObsConfig { progress: Some(std::time::Duration::from_millis(1)), ..ObsConfig::disabled() };
+    let specs = [AggSpec::count()];
+    let mut stream =
+        AggStream::new(&specs, &adaptive_cfg(), &ExecEnv::unrestricted(), &obs).unwrap();
+    for chunk in keys.chunks(4096) {
+        stream.push(chunk, &[]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let (out, report) = stream.finish().unwrap();
+    assert_eq!(out.n_groups(), 60_000);
+    // Progress alone collects no deep metrics and no profile.
+    assert!(report.metrics.is_none());
+    assert!(report.profile.is_none());
 }
 
 #[test]

@@ -12,6 +12,8 @@ struct BudgetInner {
     reserved: AtomicU64,
     /// Reservations denied over the budget's lifetime.
     denials: AtomicU64,
+    /// Highest value `reserved` ever reached (monotonic).
+    high_water: AtomicU64,
 }
 
 /// A shared memory budget: every structure that grows reserves its bytes
@@ -46,6 +48,7 @@ impl MemoryBudget {
                 limit: limit_bytes,
                 reserved: AtomicU64::new(0),
                 denials: AtomicU64::new(0),
+                high_water: AtomicU64::new(0),
             })),
         }
     }
@@ -68,6 +71,16 @@ impl MemoryBudget {
         // a balance observed after an operator returns reflects every
         // reservation that operator made and dropped.
         self.inner.as_ref().map_or(0, |i| i.reserved.load(Ordering::Acquire))
+    }
+
+    /// Highest concurrently reserved byte count this budget ever saw
+    /// (0 when unlimited — an unlimited budget tracks nothing). Monotonic
+    /// over the budget's lifetime; read it after the operator has
+    /// returned to learn the run's peak accounted footprint.
+    pub fn high_water(&self) -> u64 {
+        // ORDERING: Relaxed — a monotonic statistic read after the fact;
+        // no other memory is published through it.
+        self.inner.as_ref().map_or(0, |i| i.high_water.load(Ordering::Relaxed))
     }
 
     /// Reservations denied so far (0 when unlimited).
@@ -108,6 +121,22 @@ impl MemoryBudget {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
+                    // ORDERING: Relaxed max-CAS — the high-water mark is a
+                    // monotonic statistic; it publishes no other memory and
+                    // is read only after the fact, so no ordering with the
+                    // reserve CAS above is needed.
+                    let mut hw = inner.high_water.load(Ordering::Relaxed);
+                    while new > hw {
+                        match inner.high_water.compare_exchange_weak(
+                            hw,
+                            new,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break,
+                            Err(observed) => hw = observed,
+                        }
+                    }
                     return Ok(Reservation { budget: Some(Arc::clone(inner)), bytes });
                 }
                 Err(observed) => current = observed,
@@ -291,5 +320,41 @@ mod tests {
             }
         });
         assert_eq!(b.outstanding(), 0);
+    }
+
+    #[test]
+    fn high_water_is_the_peak_not_the_balance() {
+        let b = MemoryBudget::limited(100);
+        assert_eq!(b.high_water(), 0);
+        let r1 = b.try_reserve(60).unwrap();
+        let r2 = b.try_reserve(30).unwrap();
+        assert_eq!(b.high_water(), 90);
+        drop(r1);
+        drop(r2);
+        assert_eq!(b.outstanding(), 0);
+        // The mark survives release and only moves up.
+        let _r3 = b.try_reserve(40).unwrap();
+        assert_eq!(b.high_water(), 90);
+        assert_eq!(MemoryBudget::unlimited().high_water(), 0);
+    }
+
+    #[test]
+    fn high_water_under_contention_is_bounded_and_reached() {
+        let b = MemoryBudget::limited(1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if let Ok(_r) = b.try_reserve(125) {
+                            assert!(b.high_water() <= 1000);
+                        }
+                    }
+                });
+            }
+        });
+        // Every grant raised the mark at least to its own new balance.
+        assert!(b.high_water() >= 125);
+        assert!(b.high_water() <= 1000);
     }
 }

@@ -14,6 +14,12 @@
 //!   recorder is a null check per call site;
 //! * [`Tracer`] — bounded per-worker span buffers emitting Chrome
 //!   trace-event JSON ([`Tracer::to_chrome_json`]) loadable in Perfetto;
+//! * [`ProfileTree`] — the EXPLAIN ANALYZE phase tree (query → level →
+//!   phase) aggregated from per-worker [`PhaseCell`]s recorded through
+//!   the [`Recorder`];
+//! * [`ProgressGauge`] / [`ProgressSampler`] — relaxed-atomic live
+//!   progress cells plus the background heartbeat thread that reads them
+//!   (the recorder's shards themselves must never be read live);
 //! * [`json`] — a dependency-free JSON writer/parser used by every
 //!   machine-readable report in the workspace.
 //!
@@ -29,10 +35,14 @@
 pub mod json;
 
 mod hist;
+mod profile;
+mod progress;
 mod recorder;
 mod trace;
 
 pub use hist::{Histogram, HIST_BUCKETS};
+pub use profile::{Phase, PhaseCell, ProfileTree, PROFILE_LEVELS};
+pub use progress::{BudgetProbe, ProgressGauge, ProgressSampler, ProgressSink};
 pub use recorder::{Counter, Hist, MetricsSnapshot, Recorder, WorkerSnapshot};
 pub use trace::{TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
 

@@ -11,6 +11,7 @@
 
 use crate::hist::Histogram;
 use crate::json::JsonValue;
+use crate::profile::{Phase, PhaseCell, PROFILE_LEVELS};
 use crate::CachePadded;
 use std::cell::UnsafeCell;
 use std::sync::Arc;
@@ -127,6 +128,7 @@ metric_enum! {
 pub(crate) struct WorkerShard {
     counters: [u64; Counter::COUNT],
     hists: [Histogram; Hist::COUNT],
+    phases: [[PhaseCell; Phase::COUNT]; PROFILE_LEVELS],
     alphas: Vec<f64>,
     alpha_count: u64,
     alpha_sum: f64,
@@ -137,6 +139,7 @@ impl Default for WorkerShard {
         Self {
             counters: [0; Counter::COUNT],
             hists: std::array::from_fn(|_| Histogram::new()),
+            phases: [[PhaseCell::default(); Phase::COUNT]; PROFILE_LEVELS],
             alphas: Vec::new(),
             alpha_count: 0,
             alpha_sum: 0.0,
@@ -219,6 +222,16 @@ impl Recorder {
         }
     }
 
+    /// Fold `delta` into the `(level, phase)` cell of `worker`. Levels
+    /// beyond [`PROFILE_LEVELS`] clamp into the last slot.
+    #[inline]
+    pub fn phase(&self, worker: usize, level: u32, phase: Phase, delta: PhaseCell) {
+        if let Some(shard) = self.shard(worker) {
+            let level = (level as usize).min(PROFILE_LEVELS - 1);
+            shard.phases[level][phase as usize].add(&delta);
+        }
+    }
+
     /// Record the reduction factor observed at one adaptive switch.
     #[inline]
     pub fn record_alpha(&self, worker: usize, alpha: f64) {
@@ -265,6 +278,12 @@ impl WorkerSnapshot {
         &self.shard.hists[h as usize]
     }
 
+    /// The `(level, phase)` profiling cell. Levels beyond
+    /// [`PROFILE_LEVELS`] clamp into the last slot.
+    pub fn phase_cell(&self, level: usize, phase: Phase) -> &PhaseCell {
+        &self.shard.phases[level.min(PROFILE_LEVELS - 1)][phase as usize]
+    }
+
     /// Recorded per-switch α values (bounded; see [`Self::alpha_count`]).
     pub fn alphas(&self) -> &[f64] {
         &self.shard.alphas
@@ -287,6 +306,11 @@ impl WorkerSnapshot {
         for (a, b) in self.shard.hists.iter_mut().zip(&other.shard.hists) {
             a.merge(b);
         }
+        for (arow, brow) in self.shard.phases.iter_mut().zip(&other.shard.phases) {
+            for (a, b) in arow.iter_mut().zip(brow) {
+                a.add(b);
+            }
+        }
         let room = MAX_ALPHAS_PER_WORKER.saturating_sub(self.shard.alphas.len());
         self.shard.alphas.extend(other.shard.alphas.iter().take(room).copied());
         self.shard.alpha_count += other.shard.alpha_count;
@@ -297,6 +321,7 @@ impl WorkerSnapshot {
     pub fn is_zero(&self) -> bool {
         self.shard.counters.iter().all(|&c| c == 0)
             && self.shard.hists.iter().all(Histogram::is_empty)
+            && self.shard.phases.iter().flatten().all(PhaseCell::is_empty)
             && self.shard.alpha_count == 0
     }
 
@@ -309,6 +334,22 @@ impl WorkerSnapshot {
         for &h in Hist::ALL {
             pairs.push((h.label().to_string(), self.hist(h).to_json()));
         }
+        let phases: Vec<(String, JsonValue)> = self
+            .shard
+            .phases
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row.iter().any(|c| !c.is_empty()))
+            .map(|(level, row)| {
+                let cells: Vec<(String, JsonValue)> = Phase::ALL
+                    .iter()
+                    .filter(|&&p| !row[p as usize].is_empty())
+                    .map(|&p| (p.label().to_string(), row[p as usize].to_json()))
+                    .collect();
+                (format!("level{level}"), JsonValue::Object(cells))
+            })
+            .collect();
+        pairs.push(("phases".to_string(), JsonValue::Object(phases)));
         pairs.push((
             "alphas".to_string(),
             JsonValue::Array(self.shard.alphas.iter().map(|&a| JsonValue::F64(a)).collect()),
@@ -422,6 +463,30 @@ mod tests {
         let m = r.snapshot().merged();
         assert_eq!(m.alphas().len(), MAX_ALPHAS_PER_WORKER);
         assert_eq!(m.alpha_count(), (MAX_ALPHAS_PER_WORKER + 100) as u64);
+    }
+
+    #[test]
+    fn phase_cells_shard_and_merge() {
+        let r = Recorder::enabled(2);
+        let d = |nanos, rows_in| PhaseCell { nanos, calls: 1, rows_in, rows_out: 0, bytes: 0 };
+        r.phase(0, 0, Phase::HashInsert, d(100, 1000));
+        r.phase(1, 0, Phase::HashInsert, d(50, 500));
+        r.phase(0, 3, Phase::Restore, d(9, 0));
+        let snap = r.snapshot();
+        assert_eq!(snap.workers[0].phase_cell(0, Phase::HashInsert).nanos, 100);
+        assert_eq!(snap.workers[1].phase_cell(0, Phase::HashInsert).rows_in, 500);
+        let m = snap.merged();
+        assert_eq!(m.phase_cell(0, Phase::HashInsert).nanos, 150);
+        assert_eq!(m.phase_cell(0, Phase::HashInsert).calls, 2);
+        assert_eq!(m.phase_cell(3, Phase::Restore).nanos, 9);
+        assert!(!snap.is_zero());
+
+        let text = snap.to_json().to_string_pretty(2);
+        let parsed = crate::json::parse(&text).unwrap();
+        let phases = parsed.get("merged").unwrap().get("phases").unwrap();
+        let cell = phases.get("level0").unwrap().get("hash_insert").unwrap();
+        assert_eq!(cell.get("rows_in").unwrap().as_u64(), Some(1500));
+        assert!(phases.get("level1").is_none(), "empty levels are omitted");
     }
 
     #[test]

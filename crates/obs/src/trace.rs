@@ -200,6 +200,13 @@ impl Tracer {
         self.for_each_buffer(|buf| buf.dropped).into_iter().sum()
     }
 
+    /// Events dropped per worker (empty when disabled). A nonzero entry
+    /// means that worker's timeline is truncated — raise the capacity via
+    /// `--trace-capacity`/[`Tracer::enabled`] to capture the full run.
+    pub fn dropped_counts(&self) -> Vec<u64> {
+        self.for_each_buffer(|buf| buf.dropped)
+    }
+
     fn for_each_buffer<R>(&self, mut f: impl FnMut(&WorkerBuffer) -> R) -> Vec<R> {
         match self.inner.as_deref() {
             None => Vec::new(),
@@ -236,16 +243,19 @@ impl Tracer {
             ]));
         }
         let mut dropped = 0u64;
+        let mut dropped_by_worker = Vec::with_capacity(inner.buffers.len());
         for (tid, buffer) in inner.buffers.iter().enumerate() {
             // SAFETY: quiescence is the caller's contract; we only read.
             let buffer = unsafe { &*buffer.0.get() };
             dropped += buffer.dropped;
+            dropped_by_worker.push(JsonValue::U64(buffer.dropped));
             events.extend(buffer.events.iter().map(|e| e.to_json(tid)));
         }
         JsonValue::obj([
             ("traceEvents", JsonValue::Array(events)),
             ("displayTimeUnit", JsonValue::str("ns")),
             ("droppedEvents", JsonValue::U64(dropped)),
+            ("droppedEventsByWorker", JsonValue::Array(dropped_by_worker)),
         ])
         .to_string_compact()
     }
@@ -298,14 +308,20 @@ mod tests {
 
     #[test]
     fn buffers_are_bounded() {
-        let t = Tracer::enabled(1, 4);
+        let t = Tracer::enabled(2, 4);
         for _ in 0..10 {
             t.instant(0, "e", &[]);
         }
-        assert_eq!(t.event_count(), 4);
+        t.instant(1, "e", &[]);
+        assert_eq!(t.event_count(), 5);
         assert_eq!(t.dropped_count(), 6);
+        assert_eq!(t.dropped_counts(), vec![6, 0]);
         let parsed = crate::json::parse(&t.to_chrome_json()).unwrap();
         assert_eq!(parsed.get("droppedEvents").unwrap().as_u64(), Some(6));
+        let by_worker = parsed.get("droppedEventsByWorker").unwrap().as_array().unwrap();
+        assert_eq!(by_worker.len(), 2);
+        assert_eq!(by_worker[0].as_u64(), Some(6));
+        assert_eq!(by_worker[1].as_u64(), Some(0));
     }
 
     #[test]

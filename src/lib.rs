@@ -47,7 +47,8 @@ pub use hsa_core::{
     try_aggregate_observed, try_distinct, try_distinct_observed, try_merge_partials,
     AdaptiveParams, AggError, AggStream, AggregateConfig, CancelReason, CancelToken, ExecEnv,
     FaultInjector, FaultPlan, GroupByOutput, KernelKind, KernelPref, MemoryBudget, ObsConfig,
-    OpStats, Reservation, RunHandle, RunReport, RunStore, SpilledRun, Strategy,
+    OpStats, ProfileTree, Reservation, RunHandle, RunReport, RunStore, SpilledRun, Strategy,
+    REPORT_VERSION,
 };
 pub use query::{AggValues, Query, QueryResult};
 
