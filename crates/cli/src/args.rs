@@ -47,6 +47,10 @@ pub struct CliArgs {
     /// Spill directory for out-of-core aggregation (`--spill-dir`): runs
     /// that do not fit the budget are flushed here instead of failing.
     pub spill_dir: Option<String>,
+    /// Byte cap for the spill directory (`--spill-limit`): spill writes
+    /// beyond this degrade into a typed disk-budget error instead of
+    /// filling the disk.
+    pub spill_limit: Option<u64>,
     /// Feed the operator in chunks of this many rows (`--chunk-rows`)
     /// through the streaming API instead of one slice.
     pub chunk_rows: Option<usize>,
@@ -96,6 +100,10 @@ options:
   --spill-dir <path>      out-of-core aggregation: runs that do not fit
                           --mem-budget are flushed to files under <path>
                           instead of failing the query
+  --spill-limit <size>    cap the bytes the spill directory may hold
+                          (K/M/G suffixes accepted); exceeding it fails
+                          the query with a disk-budget error (exit 2)
+                          instead of filling the disk
   --chunk-rows <n>        feed the operator <n> rows at a time through the
                           streaming API (bounds operator-side ingestion;
                           the CSV itself is still parsed in memory)
@@ -156,6 +164,7 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
     let mut mem_budget = None;
     let mut timeout_ms = None;
     let mut spill_dir = None;
+    let mut spill_limit = None;
     let mut chunk_rows = None;
 
     while let Some(arg) = args.next() {
@@ -210,6 +219,10 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
                 timeout_ms = Some(v.parse().map_err(|_| UsageError(format!("bad timeout {v:?}")))?);
             }
             "--spill-dir" => spill_dir = Some(take_value(&mut args, "--spill-dir")?),
+            "--spill-limit" => {
+                let v = take_value(&mut args, "--spill-limit")?;
+                spill_limit = Some(parse_size(&v)?);
+            }
             "--chunk-rows" => {
                 let v = take_value(&mut args, "--chunk-rows")?;
                 let n: usize =
@@ -247,6 +260,7 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
         mem_budget,
         timeout_ms,
         spill_dir,
+        spill_limit,
         chunk_rows,
     })
 }
@@ -442,18 +456,24 @@ mod tests {
             "k",
             "--spill-dir",
             "/tmp/spill",
+            "--spill-limit",
+            "64M",
             "--chunk-rows",
             "4096",
         ])
         .unwrap();
         assert_eq!(a.spill_dir.as_deref(), Some("/tmp/spill"));
+        assert_eq!(a.spill_limit, Some(64 << 20));
         assert_eq!(a.chunk_rows, Some(4096));
 
         let b = parse(&["f.csv", "--group-by", "k"]).unwrap();
         assert_eq!(b.spill_dir, None);
+        assert_eq!(b.spill_limit, None);
         assert_eq!(b.chunk_rows, None);
 
         assert!(parse(&["f.csv", "--group-by", "k", "--spill-dir"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--spill-limit"]).is_err());
+        assert!(parse(&["f.csv", "--group-by", "k", "--spill-limit", "lots"]).is_err());
         assert!(parse(&["f.csv", "--group-by", "k", "--chunk-rows", "zero"]).is_err());
         let e = parse(&["f.csv", "--group-by", "k", "--chunk-rows", "0"]).unwrap_err();
         assert!(e.0.contains("at least 1"), "{e}");

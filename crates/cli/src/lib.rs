@@ -13,13 +13,17 @@
 
 mod args;
 mod csv;
+mod error;
 mod load;
 
-pub use args::{parse_args, CliArgs, UsageError};
+pub use args::{parse_args, CliArgs, UsageError, USAGE};
 pub use csv::{parse_csv, CsvError};
+pub use error::{CliError, ErrorClass};
 pub use load::{load_table, LoadedTable};
 
-use hashing_is_sorting::{CancelToken, ExecEnv, MemoryBudget, ObsConfig, Query, RunReport};
+use hashing_is_sorting::{
+    CancelToken, DiskBudget, ExecEnv, MemoryBudget, ObsConfig, Query, RunReport,
+};
 use std::time::Duration;
 
 /// Everything one CLI invocation produced: the rendered result table plus
@@ -35,20 +39,23 @@ pub struct CliRun {
 }
 
 /// Run a parsed CLI invocation against CSV `text`.
-pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
-    let rows = parse_csv(text).map_err(|e| e.to_string())?;
-    let loaded = load_table(&rows).map_err(|e| e.to_string())?;
+///
+/// Failures come back as a [`CliError`] whose class decides the process
+/// exit code (budget 2, timeout 3, I/O 4, invalid input 5).
+pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, CliError> {
+    let rows = parse_csv(text).map_err(CliError::invalid)?;
+    let loaded = load_table(&rows).map_err(CliError::invalid)?;
 
     for name in args.all_column_refs() {
         if loaded.table.column(name).is_none() {
-            return Err(format!("no column named {name:?} in the input"));
+            return Err(CliError::invalid(format!("no column named {name:?} in the input")));
         }
     }
     for name in &args.numeric_column_refs() {
         if loaded.dictionary_of(name).is_some() {
-            return Err(format!(
+            return Err(CliError::invalid(format!(
                 "column {name:?} is not numeric and cannot be aggregated (only grouped)"
-            ));
+            )));
         }
     }
 
@@ -68,6 +75,9 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
     if let Some(dir) = &args.spill_dir {
         env = env.with_spill_dir(dir);
     }
+    if let Some(bytes) = args.spill_limit {
+        env = env.with_disk_budget(DiskBudget::limited(bytes));
+    }
     let mut q =
         Query::over(&loaded.table).with_config(args.config.clone()).with_obs(obs).with_env(env);
     for g in &args.group_by {
@@ -80,14 +90,14 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, String> {
             "min" => q.min(col, name),
             "max" => q.max(col, name),
             "avg" => q.avg(col, name),
-            other => return Err(format!("unknown aggregate {other:?}")),
+            other => return Err(CliError::invalid(format!("unknown aggregate {other:?}"))),
         };
     }
+    // Operator errors carry their own class (budget, timeout, I/O, …).
     let result = match args.chunk_rows {
         Some(n) => q.try_run_streaming(n),
         None => q.try_run(),
-    }
-    .map_err(|e| e.to_string())?;
+    }?;
 
     let group_names = args.group_by.clone();
     let mut out =
@@ -149,14 +159,16 @@ mod tests {
     fn rejects_aggregating_string_column() {
         let a = args(&["x.csv", "--group-by", "country", "--sum", "city"]);
         let err = run_on_csv_text(CSV, &a).unwrap_err();
-        assert!(err.contains("not numeric"), "{err}");
+        assert!(err.to_string().contains("not numeric"), "{err}");
+        assert_eq!(err.class, ErrorClass::InvalidInput);
     }
 
     #[test]
     fn rejects_unknown_column() {
         let a = args(&["x.csv", "--group-by", "nope"]);
         let err = run_on_csv_text(CSV, &a).unwrap_err();
-        assert!(err.contains("no column named"), "{err}");
+        assert!(err.to_string().contains("no column named"), "{err}");
+        assert_eq!(err.class, ErrorClass::InvalidInput);
     }
 
     #[test]
@@ -198,15 +210,19 @@ mod tests {
     fn mem_budget_failure_is_one_line() {
         let a = args(&["x.csv", "--group-by", "country", "--mem-budget", "1k"]);
         let err = run_on_csv_text(CSV, &a).unwrap_err();
-        assert!(err.contains("memory budget exceeded"), "{err}");
-        assert_eq!(err.lines().count(), 1, "{err}");
+        assert!(err.to_string().contains("memory budget exceeded"), "{err}");
+        assert_eq!(err.to_string().lines().count(), 1, "{err}");
+        assert_eq!(err.class, ErrorClass::Budget);
+        assert_eq!(err.class.exit_code(), 2);
     }
 
     #[test]
     fn zero_timeout_cancels() {
         let a = args(&["x.csv", "--group-by", "country", "--timeout-ms", "0"]);
         let err = run_on_csv_text(CSV, &a).unwrap_err();
-        assert!(err.contains("cancelled"), "{err}");
+        assert!(err.to_string().contains("cancelled"), "{err}");
+        assert_eq!(err.class, ErrorClass::Timeout);
+        assert_eq!(err.class.exit_code(), 3);
     }
 
     #[test]
@@ -263,10 +279,88 @@ mod tests {
     fn malformed_csv_is_one_line_error() {
         let a = args(&["x.csv", "--group-by", "k"]);
         let err = run_on_csv_text("a,b\n1\n", &a).unwrap_err();
-        assert!(err.contains("fields"), "{err}");
-        assert_eq!(err.lines().count(), 1, "{err}");
+        assert!(err.to_string().contains("fields"), "{err}");
+        assert_eq!(err.to_string().lines().count(), 1, "{err}");
+        assert_eq!(err.class, ErrorClass::InvalidInput);
         let err = run_on_csv_text("", &a).unwrap_err();
-        assert!(err.contains("empty input"), "{err}");
+        assert!(err.to_string().contains("empty input"), "{err}");
+    }
+
+    #[test]
+    fn spill_limit_exhaustion_is_a_budget_error() {
+        let dir = std::env::temp_dir().join(format!("hsa-cli-disklimit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut csv = String::from("k,v\n");
+        for i in 0..50_000u64 {
+            let k = i.wrapping_mul(2654435761) % 20_000;
+            csv.push_str(&format!("{k},{i}\n"));
+        }
+        let spill = dir.to_str().unwrap().to_string();
+        // A spill limit too small for even one run: the degradation
+        // ladder's last rung fails with a typed disk-budget error.
+        let a = args(&[
+            "x.csv",
+            "--group-by",
+            "k",
+            "--sum",
+            "v",
+            "--mem-budget",
+            "2M",
+            "--spill-dir",
+            &spill,
+            "--spill-limit",
+            "4k",
+            "--chunk-rows",
+            "4096",
+        ]);
+        let err = run_on_csv_text(&csv, &a).unwrap_err();
+        assert!(err.to_string().contains("spill disk budget exceeded"), "{err}");
+        assert_eq!(err.class, ErrorClass::Budget);
+        // No partial spill files may be left behind (the lock file is
+        // retired when the store drops with the failed query).
+        let leftover = std::fs::read_dir(&dir)
+            .map(|d| {
+                d.flatten()
+                    .filter(|e| e.file_name().to_str().is_some_and(|n| n.ends_with(".bin")))
+                    .count()
+            })
+            .unwrap_or(0);
+        assert_eq!(leftover, 0, "no spill files may survive a failed query");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generous_spill_limit_still_completes_out_of_core() {
+        let dir = std::env::temp_dir().join(format!("hsa-cli-disklim-ok-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut csv = String::from("k,v\n");
+        for i in 0..50_000u64 {
+            let k = i.wrapping_mul(2654435761) % 20_000;
+            csv.push_str(&format!("{k},{i}\n"));
+        }
+        let base = args(&["x.csv", "--group-by", "k", "--sum", "v"]);
+        let unbudgeted = run_on_csv_text(&csv, &base).unwrap();
+        let spill = dir.to_str().unwrap().to_string();
+        let a = args(&[
+            "x.csv",
+            "--group-by",
+            "k",
+            "--sum",
+            "v",
+            "--mem-budget",
+            "2M",
+            "--spill-dir",
+            &spill,
+            "--spill-limit",
+            "256M",
+            "--chunk-rows",
+            "4096",
+        ]);
+        let run = run_on_csv_text(&csv, &a).unwrap();
+        assert_eq!(run.rendered, unbudgeted.rendered, "bounded spill must match in-memory");
+        assert!(run.report.stats.spilled_runs() > 0);
+        assert!(run.report.stats.disk_high_water_bytes > 0, "{:?}", run.report.stats);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,43 +1,51 @@
 //! `hsa` binary: GROUP BY over CSV from the shell.
+//!
+//! Failures print a one-line `error: <class>: <detail>` to stderr and
+//! exit with the class's code: 1 internal, 2 budget, 3 timeout, 4 I/O,
+//! 5 invalid input (including usage errors). `--help` exits 0.
 
-use hsa_cli::{parse_args, run_on_csv_text, UsageError};
+use hsa_cli::{parse_args, run_on_csv_text, CliError, ErrorClass, UsageError, USAGE};
 use std::process::ExitCode;
+
+fn fail(e: &CliError) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::from(e.class.exit_code())
+}
 
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(UsageError(msg)) => {
+            // --help is not an error: usage on stdout, exit 0.
+            if msg == USAGE {
+                println!("{msg}");
+                return ExitCode::SUCCESS;
+            }
             eprintln!("{msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(ErrorClass::InvalidInput.exit_code());
         }
     };
     let text = match std::fs::read_to_string(&args.file) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("cannot read {}: {e}", args.file);
-            return ExitCode::FAILURE;
+            return fail(&CliError::new(ErrorClass::Io, format!("cannot read {}: {e}", args.file)))
         }
     };
     let run = match run_on_csv_text(&text, &args) {
         Ok(run) => run,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&e),
     };
     print!("{}", run.rendered);
     if let Some(path) = &args.stats_json {
         let json = run.report.to_json().to_string_pretty(2);
         if let Err(e) = std::fs::write(path, json) {
-            eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return fail(&CliError::new(ErrorClass::Io, format!("cannot write {path}: {e}")));
         }
     }
     if let Some(path) = &args.trace {
         let trace = run.report.trace_json.as_deref().unwrap_or("{\"traceEvents\":[]}");
         if let Err(e) = std::fs::write(path, trace) {
-            eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return fail(&CliError::new(ErrorClass::Io, format!("cannot write {path}: {e}")));
         }
     }
     ExitCode::SUCCESS

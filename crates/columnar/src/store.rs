@@ -19,22 +19,63 @@
 //!   spill I/O is always bucket-sized sequential transfers — never random
 //!   access.
 //!
-//! The file format is deliberately dumb: a fixed header of little-endian
-//! `u64` words (magic, rows, n_cols, aggregated, source_rows, level)
-//! followed by `rows` key words and `n_cols × rows` state words. No
-//! compression, no framing — the files are process-private scratch, not an
-//! interchange format.
+//! # File format (`HSARUN02`)
+//!
+//! ```text
+//! header   6 LE u64 words: magic, rows, n_cols, aggregated, source_rows, level
+//! columns  1 + n_cols columns (keys first), each split into extents of
+//!          up to EXTENT_WORDS words; every extent is followed by one
+//!          trailer word: low 32 bits CRC32C of the payload bytes, high
+//!          32 bits the extent's word count
+//! footer   4 LE u64 words: extent count, total bytes before the footer,
+//!          CRC32C of every byte before the footer, magic again
+//! ```
+//!
+//! Every restore re-verifies all of it: magic, shape, each extent's CRC
+//! and word count, and the footer's counts and whole-file checksum — so
+//! corruption, truncation, and torn writes surface as a typed
+//! `AggError::SpillCorrupt`, never as silently wrong rows. Restored runs
+//! are therefore *verifiably* the runs that were sealed.
+//!
+//! # Durability behaviour
+//!
+//! Writes reserve their exact file size against the store's
+//! [`DiskBudget`] first (the reservation rides the [`SpilledRun`] and is
+//! released when the scratch file is deleted), transient I/O errors are
+//! retried from scratch under a clockless bounded [`RetryPolicy`] with
+//! partial files unlinked on every failure path, and `FileStore::new`
+//! sweeps the directory for spill files orphaned by dead processes
+//! (liveness via a per-pid lock file, plus `/proc` on Linux).
 
 use crate::chunked::ChunkedVec;
+use crate::crc::{crc32c, Crc32c};
 use crate::run::Run;
+use hsa_fault::{
+    AggError, DiskBudget, DiskReservation, FaultInjector, RetryPolicy, SpillFaultKind,
+};
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// File magic: "HSARUN01" as a little-endian u64.
-const MAGIC: u64 = u64::from_le_bytes(*b"HSARUN01");
+/// File magic: "HSARUN02" as a little-endian u64. Version 2 added the
+/// per-extent CRC trailers and the sealed footer; v1 (`HSARUN01`) files
+/// are not readable (spill files are process-private scratch, so the
+/// break only invalidates files a crashed v1 process left behind — the
+/// orphan sweep removes those wholesale).
+const MAGIC: u64 = u64::from_le_bytes(*b"HSARUN02");
+
+/// Header length in bytes (6 words).
+const HEADER_BYTES: u64 = 48;
+/// Footer length in bytes (4 words).
+const FOOTER_BYTES: u64 = 32;
+
+/// Spill files are `hsarun-<pid>-<seq>.bin`; the pid makes files
+/// attributable to their writing process so the orphan sweep can reclaim
+/// scratch left behind by a crash.
+const SPILL_PREFIX: &str = "hsarun-";
 
 /// Words per read/write extent (64 KiB): large enough that spill I/O is
 /// sequential-bandwidth bound, small enough that a restore never needs a
@@ -46,22 +87,88 @@ pub const EXTENT_WORDS: usize = 8192;
 #[cfg(miri)]
 pub const EXTENT_WORDS: usize = 16;
 
-/// A spill directory that materializes runs as numbered scratch files.
+/// I/O robustness counters of one [`FileStore`] (see
+/// [`FileStore::io_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreIoStats {
+    /// Spill writes re-attempted after a transient I/O error.
+    pub spill_retries: u64,
+    /// Restores re-attempted after a transient I/O error.
+    pub restore_retries: u64,
+    /// Spill operations abandoned: a permanent error, or retries
+    /// exhausted.
+    pub io_abandons: u64,
+    /// Orphaned spill files reclaimed by the startup sweep.
+    pub reclaimed_files: u64,
+    /// Bytes those reclaimed files occupied.
+    pub reclaimed_bytes: u64,
+    /// Wall time the startup sweep took, in nanoseconds.
+    pub reclaim_nanos: u64,
+}
+
+/// A spill directory that materializes runs as per-process numbered
+/// scratch files.
 ///
 /// Cloneable via `Arc`; the sequence counter makes concurrent spills from
 /// many workers race-free without any locking.
 #[derive(Debug)]
 pub struct FileStore {
     dir: PathBuf,
+    pid: u32,
     seq: AtomicU64,
+    faults: FaultInjector,
+    disk: DiskBudget,
+    retry: RetryPolicy,
+    spill_retries: AtomicU64,
+    restore_retries: AtomicU64,
+    io_abandons: AtomicU64,
+    reclaimed_files: u64,
+    reclaimed_bytes: u64,
+    reclaim_nanos: u64,
 }
 
 impl FileStore {
-    /// Open (creating if needed) a spill directory.
-    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+    /// Open (creating if needed) a spill directory with no fault
+    /// injection and no disk limit.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, AggError> {
+        Self::with_env(dir, FaultInjector::none(), DiskBudget::unlimited())
+    }
+
+    /// Open a spill directory wired to an execution environment: spill
+    /// writes reserve against `disk`, storage-level faults come from
+    /// `faults`, and the directory is swept for scratch files orphaned by
+    /// dead processes before any new file is written.
+    pub fn with_env(
+        dir: impl Into<PathBuf>,
+        faults: FaultInjector,
+        disk: DiskBudget,
+    ) -> Result<Self, AggError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(Self { dir, seq: AtomicU64::new(0) })
+        let fail =
+            |e: io::Error| AggError::SpillFailed { message: format!("{}: {e}", dir.display()) };
+        fs::create_dir_all(&dir).map_err(fail)?;
+        let pid = std::process::id();
+        // The lock file marks this process as live so concurrent sweeps
+        // by sibling processes leave our scratch alone. Removed on drop;
+        // a crash leaves it behind, and the next sweep pairs it with a
+        // liveness check before reclaiming.
+        fs::write(dir.join(lock_name(pid)), pid.to_string()).map_err(fail)?;
+        let t0 = Instant::now();
+        let (reclaimed_files, reclaimed_bytes) = sweep_orphans(&dir, pid);
+        Ok(Self {
+            dir,
+            pid,
+            seq: AtomicU64::new(0),
+            faults,
+            disk,
+            retry: RetryPolicy::default(),
+            spill_retries: AtomicU64::new(0),
+            restore_retries: AtomicU64::new(0),
+            io_abandons: AtomicU64::new(0),
+            reclaimed_files,
+            reclaimed_bytes,
+            reclaim_nanos: t0.elapsed().as_nanos() as u64,
+        })
     }
 
     /// The directory spill files are written to.
@@ -69,16 +176,107 @@ impl FileStore {
         &self.dir
     }
 
+    /// This store's I/O robustness counters (retries, abandons, orphan
+    /// reclamation). Monotonic over the store's lifetime.
+    pub fn io_stats(&self) -> StoreIoStats {
+        StoreIoStats {
+            // ORDERING: Relaxed — monotonic statistics counters read after
+            // the operations they count; nothing is published through them.
+            spill_retries: self.spill_retries.load(Ordering::Relaxed),
+            restore_retries: self.restore_retries.load(Ordering::Relaxed),
+            io_abandons: self.io_abandons.load(Ordering::Relaxed),
+            reclaimed_files: self.reclaimed_files,
+            reclaimed_bytes: self.reclaimed_bytes,
+            reclaim_nanos: self.reclaim_nanos,
+        }
+    }
+
+    /// The disk budget spill writes reserve against.
+    pub fn disk_budget(&self) -> &DiskBudget {
+        &self.disk
+    }
+
+    /// Exact on-disk size of `run`'s spill file, in bytes.
+    fn file_size(run: &Run) -> u64 {
+        let rows = run.len() as u64;
+        let columns = 1 + run.n_cols() as u64;
+        let extents_per_col = rows.div_ceil(EXTENT_WORDS as u64);
+        HEADER_BYTES + columns * rows * 8 + columns * extents_per_col * 8 + FOOTER_BYTES
+    }
+
     /// Write a run to a fresh spill file and return the handle metadata.
     ///
-    /// The write is a single sequential pass: header, key extents, then
-    /// each state column's extents. The returned [`SpilledRun`] owns the
-    /// file and deletes it on drop.
-    pub fn write(&self, run: &Run) -> io::Result<SpilledRun> {
+    /// The write reserves the file's exact size against the disk budget,
+    /// then performs a single sequential pass: header, key extents, state
+    /// column extents, footer. Transient I/O errors are retried from
+    /// scratch (bounded, clockless backoff); the partial file is unlinked
+    /// on *every* failure path, so an erroring write never leaks scratch.
+    /// The returned [`SpilledRun`] owns the file and its disk
+    /// reservation; dropping it deletes the file and releases the bytes.
+    pub fn write(&self, run: &Run) -> Result<SpilledRun, AggError> {
+        let total = Self::file_size(run);
+        let reservation = self.disk.try_reserve(total)?;
+        // ORDERING: Relaxed — the RMW's atomicity alone makes sequence
+        // numbers unique; no other memory rides on the counter.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let path = self.dir.join(format!("run-{seq:08}.bin"));
-        let file = File::create(&path)?;
-        let mut w = BufWriter::new(file);
+        let path = self.dir.join(format!("{SPILL_PREFIX}{}-{seq:08}.bin", self.pid));
+        // One storage-level fault ordinal per logical write operation:
+        // the injected misbehaviour hits the first attempt only, so a
+        // transient flavor exercises exactly one retry.
+        let injected = self.faults.spill_write_fault();
+        let mut attempt = 0u32;
+        loop {
+            let inject = if attempt == 0 { injected } else { None };
+            match self.write_attempt(&path, run, total, inject) {
+                Ok(()) => {
+                    return Ok(SpilledRun {
+                        path,
+                        rows: run.len(),
+                        n_cols: run.n_cols(),
+                        aggregated: run.aggregated,
+                        source_rows: run.source_rows,
+                        level: run.level,
+                        bytes: total,
+                        _reservation: reservation,
+                    });
+                }
+                Err(e) => {
+                    // A failed attempt must not leave a torn file behind.
+                    let _ = fs::remove_file(&path);
+                    if self.retry.should_retry(attempt, &e) {
+                        // ORDERING: Relaxed — statistics counter.
+                        self.spill_retries.fetch_add(1, Ordering::Relaxed);
+                        self.retry.backoff(attempt);
+                        attempt += 1;
+                    } else {
+                        // ORDERING: Relaxed — statistics counter.
+                        self.io_abandons.fetch_add(1, Ordering::Relaxed);
+                        return Err(AggError::SpillFailed {
+                            message: format!("{}: {e}", path.display()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// One full-file write attempt. `inject` simulates the requested
+    /// storage fault partway through the byte stream.
+    fn write_attempt(
+        &self,
+        path: &Path,
+        run: &Run,
+        total: u64,
+        inject: Option<SpillFaultKind>,
+    ) -> io::Result<()> {
+        let file = File::create(path)?;
+        let mut w = SpillWriter {
+            inner: BufWriter::new(file),
+            crc: Crc32c::new(),
+            bytes: 0,
+            // Fail mid-stream so partial-file handling is exercised.
+            fail: inject.map(|k| (total / 2, k)),
+        };
         let header = [
             MAGIC,
             run.len() as u64,
@@ -87,49 +285,133 @@ impl FileStore {
             run.source_rows,
             run.level as u64,
         ];
-        let mut bytes = 0u64;
         for word in header {
-            w.write_all(&word.to_le_bytes())?;
-            bytes += 8;
+            w.write_word(word)?;
         }
-        bytes += write_column(&mut w, &run.keys)?;
+        let mut extents = write_column(&mut w, &run.keys)?;
         for col in &run.cols {
-            bytes += write_column(&mut w, col)?;
+            extents += write_column(&mut w, col)?;
         }
-        w.flush()?;
-        Ok(SpilledRun {
-            path,
-            rows: run.len(),
-            n_cols: run.n_cols(),
-            aggregated: run.aggregated,
-            source_rows: run.source_rows,
-            level: run.level,
-            bytes,
-        })
+        let body_bytes = w.bytes;
+        let file_crc = w.crc.finalize() as u64;
+        w.write_word(extents)?;
+        w.write_word(body_bytes)?;
+        w.write_word(file_crc)?;
+        w.write_word(MAGIC)?;
+        debug_assert_eq!(w.bytes, total, "file size formula out of sync with writer");
+        w.inner.flush()
     }
 
-    /// Read a spilled run back into memory (sequential, extent by extent).
-    fn read(&self, spilled: &SpilledRun) -> io::Result<Run> {
-        let file = File::open(&spilled.path)?;
-        let mut r = BufReader::new(file);
+    /// Read a spilled run back into memory (sequential, extent by
+    /// extent), verifying magic, shape, every extent's CRC, and the
+    /// footer. Transient I/O errors retry; verification failures are
+    /// permanent and surface as [`AggError::SpillCorrupt`].
+    fn read(&self, spilled: &SpilledRun) -> Result<Run, AggError> {
+        // One fault ordinal per logical restore; first attempt only.
+        let injected = self.faults.spill_read_fault();
+        if injected == Some(SpillFaultKind::ReadTruncate) {
+            truncate_in_place(&spilled.path);
+        }
+        let mut attempt = 0u32;
+        loop {
+            let inject = if attempt == 0 { injected } else { None };
+            match self.read_attempt(spilled, inject) {
+                Ok(run) => return Ok(run),
+                Err(ReadError::Corrupt { extent, expected, actual, what }) => {
+                    // ORDERING: Relaxed — statistics counter.
+                    self.io_abandons.fetch_add(1, Ordering::Relaxed);
+                    return Err(AggError::SpillCorrupt {
+                        path: spilled.path.display().to_string(),
+                        extent,
+                        expected,
+                        actual,
+                        what: what.to_string(),
+                    });
+                }
+                Err(ReadError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    // ORDERING: Relaxed — statistics counter.
+                    self.io_abandons.fetch_add(1, Ordering::Relaxed);
+                    let actual = fs::metadata(&spilled.path).map(|m| m.len()).unwrap_or(0);
+                    return Err(AggError::SpillCorrupt {
+                        path: spilled.path.display().to_string(),
+                        extent: u64::MAX,
+                        expected: spilled.bytes,
+                        actual,
+                        what: "truncated".to_string(),
+                    });
+                }
+                Err(ReadError::Io(e)) => {
+                    if self.retry.should_retry(attempt, &e) {
+                        // ORDERING: Relaxed — statistics counter.
+                        self.restore_retries.fetch_add(1, Ordering::Relaxed);
+                        self.retry.backoff(attempt);
+                        attempt += 1;
+                    } else {
+                        // ORDERING: Relaxed — statistics counter.
+                        self.io_abandons.fetch_add(1, Ordering::Relaxed);
+                        return Err(AggError::SpillFailed {
+                            message: format!("{}: {e}", spilled.path.display()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// One full-file verified read attempt.
+    fn read_attempt(
+        &self,
+        spilled: &SpilledRun,
+        inject: Option<SpillFaultKind>,
+    ) -> Result<Run, ReadError> {
+        if inject == Some(SpillFaultKind::ReadEio) {
+            return Err(ReadError::Io(io::Error::from_raw_os_error(5)));
+        }
+        let mut flip_pending = inject == Some(SpillFaultKind::ReadBitFlip);
+        let file = File::open(&spilled.path).map_err(ReadError::Io)?;
+        let mut r = SpillReader { inner: BufReader::new(file), crc: Crc32c::new(), bytes: 0 };
         let mut header = [0u64; 6];
         for word in header.iter_mut() {
-            let mut buf = [0u8; 8];
-            r.read_exact(&mut buf)?;
-            *word = u64::from_le_bytes(buf);
+            *word = r.read_word()?;
         }
         if header[0] != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad spill file magic"));
+            return Err(corrupt(u64::MAX, MAGIC, header[0], "magic"));
         }
         let rows = header[1] as usize;
         let n_cols = header[2] as usize;
-        if rows != spilled.rows || n_cols != spilled.n_cols {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "spill file shape mismatch"));
+        if rows != spilled.rows {
+            return Err(corrupt(u64::MAX, spilled.rows as u64, rows as u64, "shape"));
         }
-        let keys = read_column(&mut r, rows)?;
+        if n_cols != spilled.n_cols {
+            return Err(corrupt(u64::MAX, spilled.n_cols as u64, n_cols as u64, "shape"));
+        }
+        let mut extent = 0u64;
+        let keys = read_column(&mut r, rows, &mut extent, &mut flip_pending)?;
         let mut cols = Vec::with_capacity(n_cols);
         for _ in 0..n_cols {
-            cols.push(read_column(&mut r, rows)?);
+            cols.push(read_column(&mut r, rows, &mut extent, &mut flip_pending)?);
+        }
+        let body_bytes = r.bytes;
+        let mut file_crc = r.crc.finalize() as u64;
+        if flip_pending {
+            // A zero-extent file gave the injected bit flip no payload to
+            // land in; corrupt the whole-file checksum instead so the
+            // injection still proves the footer check fires.
+            file_crc ^= 1;
+        }
+        let footer =
+            [r.read_raw_word()?, r.read_raw_word()?, r.read_raw_word()?, r.read_raw_word()?];
+        if footer[3] != MAGIC {
+            return Err(corrupt(u64::MAX, MAGIC, footer[3], "footer magic"));
+        }
+        if footer[0] != extent {
+            return Err(corrupt(u64::MAX, footer[0], extent, "extent count"));
+        }
+        if footer[1] != body_bytes {
+            return Err(corrupt(u64::MAX, footer[1], body_bytes, "byte count"));
+        }
+        if footer[2] != file_crc {
+            return Err(corrupt(u64::MAX, footer[2], file_crc, "file crc"));
         }
         Ok(Run {
             keys,
@@ -141,23 +423,236 @@ impl FileStore {
     }
 }
 
-fn write_column(w: &mut impl Write, col: &ChunkedVec<u64>) -> io::Result<u64> {
-    let mut buf = Vec::with_capacity(EXTENT_WORDS.min(col.len()).max(1) * 8);
-    let mut bytes = 0u64;
-    for chunk in col.chunks() {
-        for extent in chunk.chunks(EXTENT_WORDS) {
-            buf.clear();
-            for v in extent {
-                buf.extend_from_slice(&v.to_le_bytes());
-            }
-            w.write_all(&buf)?;
-            bytes += buf.len() as u64;
-        }
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        // A clean shutdown retires this process's liveness marker so a
+        // later sweep can reclaim anything it failed to delete. Crashes
+        // skip this — that is exactly the case the sweep's pid liveness
+        // check covers.
+        let _ = fs::remove_file(self.dir.join(lock_name(self.pid)));
     }
-    Ok(bytes)
 }
 
-fn read_column(r: &mut impl Read, rows: usize) -> io::Result<ChunkedVec<u64>> {
+fn lock_name(pid: u32) -> String {
+    format!("{SPILL_PREFIX}{pid}.lock")
+}
+
+/// Parse `hsarun-<pid>-<seq>.bin` / `hsarun-<pid>.lock` names into
+/// `(pid, is_lock)`.
+fn parse_spill_name(name: &str) -> Option<(u32, bool)> {
+    let rest = name.strip_prefix(SPILL_PREFIX)?;
+    if let Some(pid) = rest.strip_suffix(".lock") {
+        return pid.parse().ok().map(|p| (p, true));
+    }
+    let stem = rest.strip_suffix(".bin")?;
+    let (pid, _seq) = stem.split_once('-')?;
+    pid.parse().ok().map(|p| (p, false))
+}
+
+/// Whether `pid` belongs to a live process. The lock file is the primary
+/// signal; on Linux `/proc` breaks the tie for locks a crashed process
+/// left behind. Elsewhere a present lock is trusted (conservative: a
+/// crash that kept its lock leaks until a Linux sweep or manual cleanup).
+fn pid_alive(dir: &Path, pid: u32) -> bool {
+    if !dir.join(lock_name(pid)).exists() {
+        return false;
+    }
+    if cfg!(target_os = "linux") {
+        return Path::new(&format!("/proc/{pid}")).exists();
+    }
+    true
+}
+
+/// Remove spill files (and stale locks) of dead processes. Returns
+/// `(files, bytes)` reclaimed; best-effort — an unreadable directory
+/// reclaims nothing rather than failing the query.
+fn sweep_orphans(dir: &Path, self_pid: u32) -> (u64, u64) {
+    let Ok(entries) = fs::read_dir(dir) else { return (0, 0) };
+    let mut files = 0u64;
+    let mut bytes = 0u64;
+    let mut stale_locks = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some((pid, is_lock)) = parse_spill_name(name) else { continue };
+        if pid == self_pid || pid_alive(dir, pid) {
+            continue;
+        }
+        if is_lock {
+            // Locks go last: removing one mid-sweep would flip the
+            // liveness verdict for that pid's remaining files.
+            stale_locks.push(entry.path());
+        } else {
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            if fs::remove_file(entry.path()).is_ok() {
+                files += 1;
+                bytes += len;
+            }
+        }
+    }
+    for lock in stale_locks {
+        let _ = fs::remove_file(lock);
+    }
+    (files, bytes)
+}
+
+/// Truncate `path` to half its length in place (the `ReadTruncate`
+/// injection: simulates a torn write discovered at restore time).
+fn truncate_in_place(path: &Path) {
+    if let Ok(meta) = fs::metadata(path) {
+        if let Ok(file) = fs::OpenOptions::new().write(true).open(path) {
+            let _ = file.set_len(meta.len() / 2);
+        }
+    }
+}
+
+fn corrupt(extent: u64, expected: u64, actual: u64, what: &'static str) -> ReadError {
+    ReadError::Corrupt { extent, expected, actual, what }
+}
+
+/// Why a read attempt failed: plain I/O (maybe transient, retried) or a
+/// verification mismatch (permanent).
+enum ReadError {
+    Io(io::Error),
+    Corrupt { extent: u64, expected: u64, actual: u64, what: &'static str },
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Byte sink that maintains the rolling whole-file CRC and byte count,
+/// and can simulate an injected failure partway through the stream.
+struct SpillWriter<W: Write> {
+    inner: W,
+    crc: Crc32c,
+    bytes: u64,
+    /// Injected fault: once the stream reaches this byte offset, write
+    /// only up to it and fail with the kind's error.
+    fail: Option<(u64, SpillFaultKind)>,
+}
+
+impl<W: Write> SpillWriter<W> {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        if let Some((cap, kind)) = self.fail {
+            if self.bytes + buf.len() as u64 > cap {
+                // Torn write: a prefix reaches the file, then the error.
+                let keep = (cap.saturating_sub(self.bytes)) as usize;
+                let _ = self.inner.write_all(&buf[..keep]);
+                let _ = self.inner.flush();
+                self.bytes += keep as u64;
+                return Err(injected_io_error(kind));
+            }
+        }
+        self.inner.write_all(buf)?;
+        self.crc.update(buf);
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_word(&mut self, word: u64) -> io::Result<()> {
+        self.write_all(&word.to_le_bytes())
+    }
+}
+
+fn injected_io_error(kind: SpillFaultKind) -> io::Error {
+    match kind {
+        // EIO by raw code so the taxonomy classifies it transient.
+        SpillFaultKind::WriteEio | SpillFaultKind::ReadEio => io::Error::from_raw_os_error(5),
+        SpillFaultKind::WriteShort => {
+            io::Error::new(io::ErrorKind::Interrupted, "injected fault: short write")
+        }
+        // ENOSPC by raw code: permanent.
+        SpillFaultKind::WriteEnospc => io::Error::from_raw_os_error(28),
+        SpillFaultKind::ReadBitFlip | SpillFaultKind::ReadTruncate => {
+            io::Error::new(io::ErrorKind::InvalidData, "injected fault: corruption")
+        }
+    }
+}
+
+/// Byte source mirroring [`SpillWriter`]: rolling CRC + byte count over
+/// everything read through it (the footer bypasses via `read_raw_word`).
+struct SpillReader<R: Read> {
+    inner: R,
+    crc: Crc32c,
+    bytes: u64,
+}
+
+impl<R: Read> SpillReader<R> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)?;
+        self.crc.update(buf);
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    fn read_word(&mut self) -> io::Result<u64> {
+        let mut buf = [0u8; 8];
+        self.read_exact(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Read a word without feeding the rolling checksum (footer words —
+    /// the file CRC cannot cover itself).
+    fn read_raw_word(&mut self) -> io::Result<u64> {
+        let mut buf = [0u8; 8];
+        self.inner.read_exact(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+}
+
+/// Write one column as fixed-size extents (the last may be short), each
+/// followed by its CRC/word-count trailer. Returns the extent count.
+fn write_column<W: Write>(w: &mut SpillWriter<W>, col: &ChunkedVec<u64>) -> io::Result<u64> {
+    let mut extents = 0u64;
+    let mut buf: Vec<u8> = Vec::with_capacity(EXTENT_WORDS.min(col.len()).max(1) * 8);
+    // Extent boundaries are fixed at EXTENT_WORDS regardless of the
+    // ChunkedVec's internal chunk boundaries: writer and reader must
+    // agree on them for the per-extent CRCs to line up.
+    for chunk in col.chunks() {
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let room = EXTENT_WORDS - buf.len() / 8;
+            let take = room.min(rest.len());
+            for v in &rest[..take] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            rest = &rest[take..];
+            if buf.len() == EXTENT_WORDS * 8 {
+                flush_extent(w, &mut buf, &mut extents)?;
+            }
+        }
+    }
+    if !buf.is_empty() {
+        flush_extent(w, &mut buf, &mut extents)?;
+    }
+    Ok(extents)
+}
+
+fn flush_extent<W: Write>(
+    w: &mut SpillWriter<W>,
+    buf: &mut Vec<u8>,
+    extents: &mut u64,
+) -> io::Result<()> {
+    let trailer = crc32c(buf) as u64 | (((buf.len() / 8) as u64) << 32);
+    w.write_all(buf)?;
+    w.write_word(trailer)?;
+    buf.clear();
+    *extents += 1;
+    Ok(())
+}
+
+/// Read one column back, verifying each extent's CRC and word count.
+/// `extent` is the running global extent ordinal (for error reports);
+/// `flip_pending` injects a single payload bit flip when set.
+fn read_column<R: Read>(
+    r: &mut SpillReader<R>,
+    rows: usize,
+    extent: &mut u64,
+    flip_pending: &mut bool,
+) -> Result<ChunkedVec<u64>, ReadError> {
     let mut out = ChunkedVec::new();
     let mut remaining = rows;
     let mut buf = vec![0u8; EXTENT_WORDS.min(rows.max(1)) * 8];
@@ -165,11 +660,31 @@ fn read_column(r: &mut impl Read, rows: usize) -> io::Result<ChunkedVec<u64>> {
     while remaining > 0 {
         let n = remaining.min(EXTENT_WORDS);
         r.read_exact(&mut buf[..n * 8])?;
+        if *flip_pending {
+            // The rolling file CRC already consumed the true bytes; the
+            // flip lands in the payload about to be CRC-checked, proving
+            // the extent checksum is what catches it.
+            buf[0] ^= 1;
+            *flip_pending = false;
+        }
+        let trailer = r.read_word()?;
+        let stored_crc = trailer & 0xffff_ffff;
+        let stored_words = trailer >> 32;
+        if stored_words != n as u64 {
+            return Err(corrupt(*extent, stored_words, n as u64, "extent words"));
+        }
+        let actual_crc = crc32c(&buf[..n * 8]) as u64;
+        if stored_crc != actual_crc {
+            return Err(corrupt(*extent, stored_crc, actual_crc, "extent crc"));
+        }
         for (i, w) in words[..n].iter_mut().enumerate() {
-            *w = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+            let mut le = [0u8; 8];
+            le.copy_from_slice(&buf[i * 8..i * 8 + 8]);
+            *w = u64::from_le_bytes(le);
         }
         out.extend_from_slice(&words[..n]);
         remaining -= n;
+        *extent += 1;
     }
     Ok(out)
 }
@@ -177,8 +692,10 @@ fn read_column(r: &mut impl Read, rows: usize) -> io::Result<ChunkedVec<u64>> {
 /// A run that lives in a spill file rather than in memory.
 ///
 /// Carries the metadata the driver needs to schedule the run without
-/// touching disk (row count, level, aggregation flag). Owns its file:
-/// dropping the handle deletes the scratch file.
+/// touching disk (row count, level, aggregation flag). Owns its file
+/// *and* its disk-budget reservation: dropping the handle deletes the
+/// scratch file and releases the reserved bytes — exactly once, on every
+/// path, including a restore that errored mid-read.
 #[derive(Debug)]
 pub struct SpilledRun {
     path: PathBuf,
@@ -188,10 +705,13 @@ pub struct SpilledRun {
     source_rows: u64,
     level: u32,
     bytes: u64,
+    /// RAII only (hence the underscore): dropped with the run, releasing
+    /// the reserved disk bytes back to the budget.
+    _reservation: DiskReservation,
 }
 
 impl SpilledRun {
-    /// Bytes written to the spill file (header + payload).
+    /// Bytes written to the spill file (header + payload + footer).
     pub fn bytes(&self) -> u64 {
         self.bytes
     }
@@ -205,7 +725,9 @@ impl SpilledRun {
 impl Drop for SpilledRun {
     fn drop(&mut self) {
         // Scratch cleanup is best-effort; a leaked file in a temp spill
-        // dir must not turn a successful query into a panic.
+        // dir must not turn a successful query into a panic. The disk
+        // reservation (a field) releases right after this, so file and
+        // bytes retire together.
         let _ = fs::remove_file(&self.path);
     }
 }
@@ -281,8 +803,13 @@ impl RunHandle {
     /// Materialize the run, reading it back from disk if it was spilled.
     ///
     /// Consumes the handle; for spilled runs the scratch file is deleted
-    /// once the returned [`Run`] is built.
-    pub fn into_run(self) -> io::Result<Run> {
+    /// once the returned [`Run`] is built — or once the restore has
+    /// failed (the handle's drop deletes it exactly once either way).
+    ///
+    /// # Errors
+    /// [`AggError::SpillCorrupt`] when verification failed,
+    /// [`AggError::SpillFailed`] for unrecoverable plain I/O trouble.
+    pub fn into_run(self) -> Result<Run, AggError> {
         match self {
             RunHandle::Mem(run) => Ok(run),
             RunHandle::Spilled(store, spilled) => store.read(&spilled),
@@ -307,9 +834,21 @@ impl RunStore {
         Self { file: None }
     }
 
-    /// Storage backed by a spill directory (created if missing).
-    pub fn spilling_to(dir: impl Into<PathBuf>) -> io::Result<Self> {
+    /// Storage backed by a spill directory (created if missing), with no
+    /// fault injection and no disk limit.
+    pub fn spilling_to(dir: impl Into<PathBuf>) -> Result<Self, AggError> {
         Ok(Self { file: Some(Arc::new(FileStore::new(dir)?)) })
+    }
+
+    /// Storage backed by a spill directory wired to an execution
+    /// environment (fault injector + disk budget); see
+    /// [`FileStore::with_env`].
+    pub fn spilling_with(
+        dir: impl Into<PathBuf>,
+        faults: FaultInjector,
+        disk: DiskBudget,
+    ) -> Result<Self, AggError> {
+        Ok(Self { file: Some(Arc::new(FileStore::with_env(dir, faults, disk)?)) })
     }
 
     /// True if a spill directory is configured.
@@ -322,17 +861,22 @@ impl RunStore {
         self.file.as_ref()
     }
 
+    /// The backing store's I/O robustness counters, if any.
+    pub fn io_stats(&self) -> Option<StoreIoStats> {
+        self.file.as_ref().map(|s| s.io_stats())
+    }
+
     /// Flush a run to the spill directory and return its handle.
     ///
     /// # Errors
-    /// I/O errors from the write, or `Unsupported` if this is a
-    /// memory-only store.
-    pub fn spill(&self, run: &Run) -> io::Result<RunHandle> {
+    /// [`AggError::DiskBudgetExceeded`] when the spill budget denies the
+    /// file's bytes, [`AggError::SpillFailed`] for unrecoverable I/O
+    /// (including a memory-only store, which cannot spill at all).
+    pub fn spill(&self, run: &Run) -> Result<RunHandle, AggError> {
         let Some(store) = &self.file else {
-            return Err(io::Error::new(
-                io::ErrorKind::Unsupported,
-                "no spill directory configured",
-            ));
+            return Err(AggError::SpillFailed {
+                message: "no spill directory configured".to_string(),
+            });
         };
         let spilled = store.write(run)?;
         Ok(RunHandle::Spilled(Arc::clone(store), spilled))
@@ -342,6 +886,7 @@ impl RunStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hsa_fault::{FaultPlan, SpillFault};
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("hsa-store-test-{tag}-{}", std::process::id()));
@@ -360,6 +905,13 @@ mod tests {
         run
     }
 
+    fn injected(kind: SpillFaultKind, nth: u64) -> FaultInjector {
+        FaultInjector::new(FaultPlan {
+            spill_io: Some(SpillFault { nth, kind }),
+            ..FaultPlan::none()
+        })
+    }
+
     #[test]
     fn spill_round_trip_preserves_rows_and_meta() {
         let dir = temp_dir("roundtrip");
@@ -372,8 +924,10 @@ mod tests {
         assert_eq!(handle.source_rows(), run.source_rows);
         assert!(handle.spilled_bytes() >= (run.len() as u64) * 8 * 3);
         let back = handle.into_run().unwrap();
-        assert_eq!(back.keys, run.keys);
-        assert_eq!(back.cols, run.cols);
+        assert_eq!(back.keys.to_vec(), run.keys.to_vec());
+        for (b, r) in back.cols.iter().zip(&run.cols) {
+            assert_eq!(b.to_vec(), r.to_vec());
+        }
         assert_eq!(back.aggregated, run.aggregated);
         assert_eq!(back.source_rows, run.source_rows);
         assert_eq!(back.level, run.level);
@@ -414,7 +968,7 @@ mod tests {
         let store = RunStore::in_memory();
         assert!(!store.can_spill());
         let err = store.spill(&sample_run()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        assert!(matches!(err, AggError::SpillFailed { .. }), "{err:?}");
     }
 
     #[test]
@@ -427,5 +981,227 @@ mod tests {
         assert_eq!(handle.len(), len);
         assert_eq!(handle.level(), level);
         assert_eq!(handle.into_run().unwrap().len(), len);
+    }
+
+    #[test]
+    fn file_size_formula_matches_reality() {
+        let dir = temp_dir("sizes");
+        let store = RunStore::spilling_to(&dir).unwrap();
+        for rows in [0usize, 1, EXTENT_WORDS - 1, EXTENT_WORDS, EXTENT_WORDS + 1, 3 * EXTENT_WORDS]
+        {
+            let mut run = Run::empty(0, 1, false);
+            for i in 0..rows as u64 {
+                run.keys.push(i);
+                run.cols[0].push(i * 3);
+            }
+            let handle = store.spill(&run).unwrap();
+            let path = match &handle {
+                RunHandle::Spilled(_, s) => s.path().to_path_buf(),
+                RunHandle::Mem(_) => unreachable!(),
+            };
+            let on_disk = fs::metadata(&path).unwrap().len();
+            assert_eq!(on_disk, handle.spilled_bytes(), "rows {rows}");
+            let back = handle.into_run().unwrap();
+            assert_eq!(back.len(), rows);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_budget_reserves_and_releases_with_the_run() {
+        let dir = temp_dir("diskbudget");
+        let disk = DiskBudget::limited(1 << 20);
+        let store = RunStore::spilling_with(&dir, FaultInjector::none(), disk.clone()).unwrap();
+        let handle = store.spill(&sample_run()).unwrap();
+        assert_eq!(disk.outstanding(), handle.spilled_bytes());
+        let run = handle.into_run().unwrap();
+        assert_eq!(disk.outstanding(), 0, "restore consumed the handle and released the bytes");
+        drop(run);
+        assert!(disk.high_water() > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_budget_denial_is_typed_and_leaves_no_file() {
+        let dir = temp_dir("diskdenied");
+        let disk = DiskBudget::limited(64);
+        let store = RunStore::spilling_with(&dir, FaultInjector::none(), disk.clone()).unwrap();
+        let err = store.spill(&sample_run()).unwrap_err();
+        assert!(matches!(err, AggError::DiskBudgetExceeded { .. }), "{err:?}");
+        assert_eq!(disk.outstanding(), 0);
+        assert_eq!(spill_files_in(&dir), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn spill_files_in(dir: &Path) -> usize {
+        fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.file_name().to_str().is_some_and(|n| n.ends_with(".bin")))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn transient_write_faults_retry_to_success() {
+        for kind in [SpillFaultKind::WriteEio, SpillFaultKind::WriteShort] {
+            let dir = temp_dir(&format!("retry-{kind:?}"));
+            let store =
+                RunStore::spilling_with(&dir, injected(kind, 1), DiskBudget::unlimited()).unwrap();
+            let run = sample_run();
+            let back = store.spill(&run).unwrap().into_run().unwrap();
+            assert_eq!(back.keys.to_vec(), run.keys.to_vec(), "{kind:?}");
+            assert_eq!(back.cols[1].to_vec(), run.cols[1].to_vec(), "{kind:?}");
+            let stats = store.io_stats().unwrap();
+            assert_eq!(stats.spill_retries, 1, "{kind:?}");
+            assert_eq!(stats.io_abandons, 0, "{kind:?}");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn enospc_write_fault_is_permanent_and_unlinks_the_partial_file() {
+        let dir = temp_dir("enospc");
+        let disk = DiskBudget::limited(1 << 20);
+        let store =
+            RunStore::spilling_with(&dir, injected(SpillFaultKind::WriteEnospc, 1), disk.clone())
+                .unwrap();
+        let err = store.spill(&sample_run()).unwrap_err();
+        assert!(matches!(err, AggError::SpillFailed { .. }), "{err:?}");
+        assert!(err.to_string().contains("os error 28"), "{err}");
+        assert_eq!(spill_files_in(&dir), 0, "partial file must be unlinked");
+        assert_eq!(disk.outstanding(), 0, "reservation released on abandon");
+        let stats = store.io_stats().unwrap();
+        assert_eq!(stats.io_abandons, 1);
+        assert_eq!(stats.spill_retries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn transient_read_fault_retries_to_success() {
+        let dir = temp_dir("readretry");
+        let store = RunStore::spilling_with(
+            &dir,
+            injected(SpillFaultKind::ReadEio, 1),
+            DiskBudget::unlimited(),
+        )
+        .unwrap();
+        let run = sample_run();
+        let back = store.spill(&run).unwrap().into_run().unwrap();
+        assert_eq!(back.keys.to_vec(), run.keys.to_vec());
+        let stats = store.io_stats().unwrap();
+        assert_eq!(stats.restore_retries, 1);
+        assert_eq!(stats.io_abandons, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn bit_flip_on_read_surfaces_as_extent_crc_corruption() {
+        let dir = temp_dir("bitflip");
+        let store = RunStore::spilling_with(
+            &dir,
+            injected(SpillFaultKind::ReadBitFlip, 1),
+            DiskBudget::unlimited(),
+        )
+        .unwrap();
+        let err = store.spill(&sample_run()).unwrap().into_run().unwrap_err();
+        match err {
+            AggError::SpillCorrupt { what, extent, .. } => {
+                assert_eq!(what, "extent crc");
+                assert_eq!(extent, 0, "the flip lands in the first extent");
+            }
+            other => panic!("expected SpillCorrupt, got {other:?}"),
+        }
+        assert_eq!(spill_files_in(&dir), 0, "failed restore still deletes the file");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn truncate_on_read_surfaces_as_corruption() {
+        let dir = temp_dir("truncate");
+        let store = RunStore::spilling_with(
+            &dir,
+            injected(SpillFaultKind::ReadTruncate, 1),
+            DiskBudget::unlimited(),
+        )
+        .unwrap();
+        let err = store.spill(&sample_run()).unwrap().into_run().unwrap_err();
+        match err {
+            AggError::SpillCorrupt { what, .. } => assert_eq!(what, "truncated"),
+            other => panic!("expected SpillCorrupt, got {other:?}"),
+        }
+        assert_eq!(spill_files_in(&dir), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn orphan_sweep_reclaims_files_of_dead_pids_and_spares_the_living() {
+        let dir = temp_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        // A dead process: spill file present, no lock file (or, on Linux,
+        // a lock whose pid does not exist — covered below).
+        let dead = dir.join("hsarun-999999999-00000001.bin");
+        fs::write(&dead, vec![0u8; 256]).unwrap();
+        // Our own files are never swept, lock or not.
+        let mine = dir.join(format!("hsarun-{}-99999999.bin", std::process::id()));
+        fs::write(&mine, b"mine").unwrap();
+        // Unrelated names are left alone.
+        let other = dir.join("run-00000000.bin");
+        fs::write(&other, b"legacy").unwrap();
+
+        let store = FileStore::new(&dir).unwrap();
+        let stats = store.io_stats();
+        assert_eq!(stats.reclaimed_files, 1, "exactly the dead pid's file");
+        assert_eq!(stats.reclaimed_bytes, 256);
+        assert!(!dead.exists());
+        assert!(mine.exists());
+        assert!(other.exists());
+        drop(store);
+        assert!(
+            !dir.join(lock_name(std::process::id())).exists(),
+            "clean drop retires the lock file"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(all(not(miri), target_os = "linux"))]
+    #[test]
+    fn orphan_sweep_uses_proc_liveness_to_break_lock_ties() {
+        let dir = temp_dir("sweep-proc");
+        fs::create_dir_all(&dir).unwrap();
+        // A crashed process left both its lock and a spill file; the pid
+        // is not alive, so both must go.
+        let pid = 999_999_998u32;
+        fs::write(dir.join(lock_name(pid)), pid.to_string()).unwrap();
+        let stale = dir.join(format!("hsarun-{pid}-00000003.bin"));
+        fs::write(&stale, vec![1u8; 64]).unwrap();
+        // Pid 1 is always alive on Linux: lock + file survive.
+        fs::write(dir.join(lock_name(1)), "1").unwrap();
+        let live = dir.join("hsarun-1-00000000.bin");
+        fs::write(&live, b"live").unwrap();
+
+        let store = FileStore::new(&dir).unwrap();
+        assert_eq!(store.io_stats().reclaimed_files, 1);
+        assert!(!stale.exists());
+        assert!(!dir.join(lock_name(pid)).exists(), "stale lock swept too");
+        assert!(live.exists(), "files of live processes are spared");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_name_parsing() {
+        assert_eq!(parse_spill_name("hsarun-123-00000007.bin"), Some((123, false)));
+        assert_eq!(parse_spill_name("hsarun-123.lock"), Some((123, true)));
+        assert_eq!(parse_spill_name("run-00000007.bin"), None);
+        assert_eq!(parse_spill_name("hsarun-x-00000007.bin"), None);
+        assert_eq!(parse_spill_name("hsarun-123-7.tmp"), None);
     }
 }

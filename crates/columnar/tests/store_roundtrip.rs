@@ -98,9 +98,19 @@ fn every_accepted_run_shape_round_trips() {
         }
     }
 
-    // Restores consume the scratch files; nothing may be left behind.
-    let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    // Restores consume the scratch files; nothing may be left behind
+    // except the store's own liveness lock (retired when it drops).
+    let leftover = std::fs::read_dir(&dir)
+        .map(|d| {
+            d.flatten()
+                .filter(|e| e.file_name().to_str().is_none_or(|n| !n.ends_with(".lock")))
+                .count()
+        })
+        .unwrap_or(0);
     assert_eq!(leftover, 0, "all spill files must be deleted after restore");
+    drop(store);
+    let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(leftover, 0, "dropping the store retires its lock file");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

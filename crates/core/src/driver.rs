@@ -619,9 +619,11 @@ pub(crate) fn contain_panics(
 /// [`AggError::SpillFailed`] before any row is processed.
 pub(crate) fn store_for(env: &ExecEnv) -> Result<RunStore, AggError> {
     match &env.spill_dir {
-        Some(dir) => {
-            RunStore::spilling_to(dir).map_err(|e| AggError::SpillFailed { message: e.to_string() })
-        }
+        // The store inherits the environment's fault injector and disk
+        // budget: storage-level faults (Nth-write EIO, bit flips, …) fire
+        // inside the store, and every spill write reserves its file size
+        // against `env.disk` first.
+        Some(dir) => RunStore::spilling_with(dir, env.faults.clone(), env.disk.clone()),
         None => Ok(RunStore::in_memory()),
     }
 }

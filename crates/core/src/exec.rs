@@ -4,7 +4,7 @@
 use crate::obs::Obs;
 use crate::stats::AtomicStats;
 use hsa_columnar::{Run, RunHandle, RunStore};
-use hsa_fault::{AggError, CancelToken, FaultInjector, MemoryBudget, Reservation};
+use hsa_fault::{AggError, CancelToken, DiskBudget, FaultInjector, MemoryBudget, Reservation};
 use hsa_obs::{Counter, Hist, Phase};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -26,6 +26,11 @@ pub struct ExecEnv {
     /// instead of failing the query; when `None`, budget exhaustion at
     /// those sites remains a hard `AggError::BudgetExceeded`.
     pub spill_dir: Option<PathBuf>,
+    /// Byte cap for the spill directory (`--spill-limit`). Spill writes
+    /// reserve their exact file size against this budget; a denial is the
+    /// end of the degradation ladder and surfaces as a typed
+    /// `AggError::DiskBudgetExceeded`. Unlimited by default.
+    pub disk: DiskBudget,
 }
 
 impl ExecEnv {
@@ -55,6 +60,12 @@ impl ExecEnv {
     /// Enable spilling to the given directory (created on first use).
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Replace the spill-space budget.
+    pub fn with_disk_budget(mut self, disk: DiskBudget) -> Self {
+        self.disk = disk;
         self
     }
 }
@@ -100,8 +111,9 @@ impl Gate<'_> {
         }
         let pt = obs.phase_start(run.level, Phase::Spill);
         let t0 = Instant::now();
-        let handle =
-            self.store.spill(run).map_err(|e| AggError::SpillFailed { message: e.to_string() })?;
+        // Store errors are already typed (`SpillFailed`, `SpillCorrupt`,
+        // `DiskBudgetExceeded`) — pass them through unwrapped.
+        let handle = self.store.spill(run)?;
         let bytes = handle.spilled_bytes();
         self.stats.count_spilled_run(run.level, bytes);
         obs.recorder.add(obs.worker, Counter::SpilledRuns, 1);
@@ -121,13 +133,12 @@ impl Gate<'_> {
     /// bounded sub-runs).
     pub(crate) fn restore(&self, handle: RunHandle, obs: &Obs) -> Result<Run, AggError> {
         if !handle.is_spilled() {
-            return handle.into_run().map_err(|e| AggError::SpillFailed { message: e.to_string() });
+            return handle.into_run();
         }
         let bytes = handle.spilled_bytes();
         let pt = obs.phase_start(handle.level(), Phase::Restore);
         let t0 = Instant::now();
-        let run =
-            handle.into_run().map_err(|e| AggError::SpillFailed { message: e.to_string() })?;
+        let run = handle.into_run()?;
         self.stats.count_restored_run(bytes);
         obs.recorder.add(obs.worker, Counter::RestoredRuns, 1);
         obs.recorder.add(obs.worker, Counter::RestoredBytes, bytes);
@@ -160,12 +171,15 @@ mod tests {
             .with_budget(MemoryBudget::limited(1024))
             .with_cancel(CancelToken::new())
             .with_faults(FaultInjector::new(FaultPlan { fail_alloc: Some(1), ..FaultPlan::none() }))
-            .with_spill_dir("/tmp/hsa-spill-test");
+            .with_spill_dir("/tmp/hsa-spill-test")
+            .with_disk_budget(DiskBudget::limited(4096));
         assert_eq!(env.budget.limit(), Some(1024));
         assert!(env.cancel.check().is_ok());
         assert!(env.faults.should_fail_alloc());
         assert_eq!(env.spill_dir.as_deref(), Some(std::path::Path::new("/tmp/hsa-spill-test")));
+        assert_eq!(env.disk.limit(), Some(4096));
         assert!(ExecEnv::default().spill_dir.is_none());
+        assert!(!ExecEnv::default().disk.is_limited());
     }
 
     #[test]

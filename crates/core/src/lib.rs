@@ -67,7 +67,8 @@ pub use hsa_kernels::{KernelKind, KernelPref};
 
 pub use hsa_columnar::{RunHandle, RunStore, SpilledRun};
 pub use hsa_fault::{
-    AggError, CancelReason, CancelToken, FaultInjector, FaultPlan, MemoryBudget, Reservation,
+    AggError, CancelReason, CancelToken, DiskBudget, DiskReservation, FaultInjector, FaultPlan,
+    MemoryBudget, Reservation, SpillFault, SpillFaultKind,
 };
 pub use hsa_obs::ProfileTree;
 pub use output::GroupByOutput;

@@ -191,6 +191,27 @@ impl RunReport {
                 st.restored_bytes
             );
         }
+        if st.spill_retries + st.restore_retries + st.spill_io_abandons + st.spill_reclaimed_files
+            > 0
+        {
+            let _ = writeln!(
+                s,
+                "spill i/o          retries {}+{}   abandons {}   reclaimed {} ({} B)",
+                st.spill_retries,
+                st.restore_retries,
+                st.spill_io_abandons,
+                st.spill_reclaimed_files,
+                st.spill_reclaimed_bytes
+            );
+        }
+        if st.disk_high_water_bytes > 0 || st.disk_budget_denials > 0 {
+            let _ = writeln!(
+                s,
+                "disk high-water    {:.2} MiB   denials {}",
+                st.disk_high_water_bytes as f64 / (1024.0 * 1024.0),
+                st.disk_budget_denials
+            );
+        }
         if let Some(pool) = &self.pool {
             let t = pool.totals();
             let _ = writeln!(
@@ -274,6 +295,13 @@ pub fn stats_json(stats: &OpStats) -> JsonValue {
         ("spilled_bytes", JsonValue::U64(stats.spilled_bytes)),
         ("restored_runs", JsonValue::U64(stats.restored_runs)),
         ("restored_bytes", JsonValue::U64(stats.restored_bytes)),
+        ("spill_retries", JsonValue::U64(stats.spill_retries)),
+        ("restore_retries", JsonValue::U64(stats.restore_retries)),
+        ("spill_io_abandons", JsonValue::U64(stats.spill_io_abandons)),
+        ("spill_reclaimed_files", JsonValue::U64(stats.spill_reclaimed_files)),
+        ("spill_reclaimed_bytes", JsonValue::U64(stats.spill_reclaimed_bytes)),
+        ("disk_budget_denials", JsonValue::U64(stats.disk_budget_denials)),
+        ("disk_high_water_bytes", JsonValue::U64(stats.disk_high_water_bytes)),
     ])
 }
 

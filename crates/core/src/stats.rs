@@ -110,9 +110,16 @@ impl AtomicStats {
             spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
             restored_runs: self.restored_runs.load(Ordering::Relaxed),
             restored_bytes: self.restored_bytes.load(Ordering::Relaxed),
-            // Owned by the budget, not these cells: the driver copies the
-            // budget's mark in after snapshotting.
+            // Owned by the budget / run store, not these cells: the driver
+            // copies their marks in after snapshotting.
             budget_high_water_bytes: 0,
+            spill_retries: 0,
+            restore_retries: 0,
+            spill_io_abandons: 0,
+            spill_reclaimed_files: 0,
+            spill_reclaimed_bytes: 0,
+            disk_budget_denials: 0,
+            disk_high_water_bytes: 0,
         }
     }
 }
@@ -167,6 +174,23 @@ pub struct OpStats {
     /// Peak concurrently reserved bytes the memory budget saw during the
     /// invocation (0 when the budget is unlimited).
     pub budget_high_water_bytes: u64,
+    /// Spill writes re-attempted after a transient I/O error.
+    pub spill_retries: u64,
+    /// Spill restores re-attempted after a transient I/O error.
+    pub restore_retries: u64,
+    /// Spill operations abandoned: a permanent I/O error, detected
+    /// corruption, or retries exhausted.
+    pub spill_io_abandons: u64,
+    /// Orphaned spill files (from dead processes) reclaimed when the
+    /// spill directory was opened.
+    pub spill_reclaimed_files: u64,
+    /// Bytes those reclaimed files occupied.
+    pub spill_reclaimed_bytes: u64,
+    /// Spill-space reservations denied by the disk budget.
+    pub disk_budget_denials: u64,
+    /// Peak concurrently reserved spill bytes the disk budget saw (0 when
+    /// unlimited or spilling is off).
+    pub disk_high_water_bytes: u64,
 }
 
 impl OpStats {
@@ -219,9 +243,16 @@ impl OpStats {
         self.spilled_bytes += other.spilled_bytes;
         self.restored_runs += other.restored_runs;
         self.restored_bytes += other.restored_bytes;
+        self.spill_retries += other.spill_retries;
+        self.restore_retries += other.restore_retries;
+        self.spill_io_abandons += other.spill_io_abandons;
+        self.spill_reclaimed_files += other.spill_reclaimed_files;
+        self.spill_reclaimed_bytes += other.spill_reclaimed_bytes;
+        self.disk_budget_denials += other.disk_budget_denials;
         // Peaks don't add: merged invocations report the highest mark.
         self.budget_high_water_bytes =
             self.budget_high_water_bytes.max(other.budget_high_water_bytes);
+        self.disk_high_water_bytes = self.disk_high_water_bytes.max(other.disk_high_water_bytes);
     }
 }
 

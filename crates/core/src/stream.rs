@@ -326,8 +326,12 @@ impl AggStream {
         // lowering so no line interleaves with the caller's own output.
         drop(sampler);
         // The budget owns its peak, not the stats cells; read it before
-        // the context is torn apart below.
+        // the context is torn apart below. Same for the disk budget and
+        // the run store's I/O robustness counters.
         let high_water = ctx.env.budget.high_water();
+        let disk_high_water = ctx.env.disk.high_water();
+        let disk_denials = ctx.env.disk.denials();
+        let store_io = ctx.store.io_stats().unwrap_or_default();
 
         let kind = ctx.kind;
         let Ctx { collector, stats, recorder, tracer, .. } = ctx;
@@ -349,6 +353,20 @@ impl AggStream {
         );
         let mut stats = stats.snapshot();
         stats.budget_high_water_bytes = high_water;
+        stats.disk_high_water_bytes = disk_high_water;
+        stats.disk_budget_denials = disk_denials;
+        stats.spill_retries = store_io.spill_retries;
+        stats.restore_retries = store_io.restore_retries;
+        stats.spill_io_abandons = store_io.io_abandons;
+        stats.spill_reclaimed_files = store_io.reclaimed_files;
+        stats.spill_reclaimed_bytes = store_io.reclaimed_bytes;
+        // Store-level counters live outside the per-worker recorder;
+        // post-quiescence, recording them into shard 0 is race-free.
+        recorder.add(0, Counter::SpillRetries, store_io.spill_retries);
+        recorder.add(0, Counter::RestoreRetries, store_io.restore_retries);
+        recorder.add(0, Counter::SpillAbandons, store_io.io_abandons);
+        recorder.add(0, Counter::SpillReclaimedFiles, store_io.reclaimed_files);
+        recorder.add(0, Counter::DiskBudgetDenials, disk_denials);
         let wall_nanos = wall0.elapsed().as_nanos() as u64;
         let metrics = observed.then(|| recorder.snapshot());
         let profile =

@@ -1,0 +1,263 @@
+//! Shared atomic spill-disk accounting with RAII release.
+//!
+//! The disk mirror of [`crate::MemoryBudget`]: spill writes reserve their
+//! file's bytes here *before* touching the filesystem, so a bounded spill
+//! directory degrades exactly like a bounded heap — with a typed
+//! [`AggError::DiskBudgetExceeded`] instead of a mid-write `ENOSPC`
+//! panic — and the reservation rides the spilled run, releasing when the
+//! scratch file is deleted.
+
+use crate::error::AggError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct DiskInner {
+    /// Hard limit in bytes.
+    limit: u64,
+    /// Bytes currently reserved.
+    reserved: AtomicU64,
+    /// Reservations denied over the budget's lifetime.
+    denials: AtomicU64,
+    /// Highest value `reserved` ever reached (monotonic).
+    high_water: AtomicU64,
+}
+
+/// A shared spill-disk budget. Cloning shares the account; the unlimited
+/// budget is a `None` and costs a null check per spill.
+///
+/// Accounting covers the exact on-disk size of each spill file (the
+/// writer computes it up front), so `outstanding()` is the live spill
+/// footprint in bytes. The balance invariant matches the memory budget:
+/// whatever an operator invocation reserves is released by the time its
+/// runs are dropped, on every path including errors.
+#[derive(Clone, Default)]
+pub struct DiskBudget {
+    inner: Option<Arc<DiskInner>>,
+}
+
+impl DiskBudget {
+    /// No limit; all accounting is skipped.
+    pub fn unlimited() -> Self {
+        Self { inner: None }
+    }
+
+    /// A budget of `limit_bytes` of spill space shared by all clones.
+    pub fn limited(limit_bytes: u64) -> Self {
+        Self {
+            inner: Some(Arc::new(DiskInner {
+                limit: limit_bytes,
+                reserved: AtomicU64::new(0),
+                denials: AtomicU64::new(0),
+                high_water: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether this budget enforces a limit.
+    pub fn is_limited(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The limit in bytes (`None` when unlimited).
+    pub fn limit(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.limit)
+    }
+
+    /// Bytes currently reserved (0 when unlimited). Balanced back to its
+    /// pre-invocation value once every spilled run is dropped; the chaos
+    /// suite asserts it.
+    pub fn outstanding(&self) -> u64 {
+        // ORDERING: Acquire pairs with the AcqRel reserve/release RMWs so
+        // a balance observed after an operator returns reflects every
+        // reservation that operator made and dropped.
+        self.inner.as_ref().map_or(0, |i| i.reserved.load(Ordering::Acquire))
+    }
+
+    /// Highest concurrently reserved byte count this budget ever saw
+    /// (0 when unlimited). Monotonic: the peak on-disk spill footprint.
+    pub fn high_water(&self) -> u64 {
+        // ORDERING: Relaxed — a monotonic statistic read after the fact;
+        // no other memory is published through it.
+        self.inner.as_ref().map_or(0, |i| i.high_water.load(Ordering::Relaxed))
+    }
+
+    /// Reservations denied so far (0 when unlimited).
+    pub fn denials(&self) -> u64 {
+        // ORDERING: Relaxed — a monotonic statistics counter; no other
+        // memory is published through it.
+        self.inner.as_ref().map_or(0, |i| i.denials.load(Ordering::Relaxed))
+    }
+
+    /// Reserve `bytes` of spill space, failing with
+    /// [`AggError::DiskBudgetExceeded`] if the limit would be crossed.
+    /// The returned [`DiskReservation`] releases the bytes when dropped.
+    pub fn try_reserve(&self, bytes: u64) -> Result<DiskReservation, AggError> {
+        let Some(inner) = &self.inner else {
+            return Ok(DiskReservation { budget: None, bytes });
+        };
+        // ORDERING: Relaxed — only a hint seeding the CAS loop; the
+        // compare_exchange below revalidates against the real value.
+        let mut current = inner.reserved.load(Ordering::Relaxed);
+        loop {
+            let new = current.saturating_add(bytes);
+            if new > inner.limit {
+                // ORDERING: Relaxed — statistics counter (see `denials`).
+                inner.denials.fetch_add(1, Ordering::Relaxed);
+                return Err(AggError::DiskBudgetExceeded {
+                    requested: bytes,
+                    limit: inner.limit,
+                    reserved: current,
+                });
+            }
+            // ORDERING: AcqRel on success chains reserve/release RMWs into
+            // a single modification order the Acquire readers observe;
+            // Relaxed on failure — the value is only retried, not acted on.
+            match inner.reserved.compare_exchange_weak(
+                current,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    // ORDERING: Relaxed max-CAS — the high-water mark is a
+                    // monotonic statistic; it publishes no other memory and
+                    // is read only after the fact.
+                    let mut hw = inner.high_water.load(Ordering::Relaxed);
+                    while new > hw {
+                        match inner.high_water.compare_exchange_weak(
+                            hw,
+                            new,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break,
+                            Err(observed) => hw = observed,
+                        }
+                    }
+                    return Ok(DiskReservation { budget: Some(Arc::clone(inner)), bytes });
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for DiskBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "DiskBudget::unlimited"),
+            Some(i) => f
+                .debug_struct("DiskBudget")
+                .field("limit", &i.limit)
+                // ORDERING: Relaxed — debug snapshot, no synchronization.
+                .field("reserved", &i.reserved.load(Ordering::Relaxed))
+                .finish(),
+        }
+    }
+}
+
+/// A granted spill-space reservation. Releases its bytes on drop —
+/// attach it to the spilled run whose file it covers so deleting the
+/// scratch file and returning the disk space are the same event.
+#[derive(Debug, Default)]
+pub struct DiskReservation {
+    budget: Option<Arc<DiskInner>>,
+    bytes: u64,
+}
+
+impl DiskReservation {
+    /// A zero-byte reservation against no budget.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Bytes this reservation covers.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for DiskReservation {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.budget {
+            // ORDERING: AcqRel — the release side of the reserve CAS; an
+            // Acquire read of the balance afterwards sees the bytes
+            // returned (outstanding() == 0 after drops is asserted by the
+            // chaos suite).
+            inner.reserved.fetch_sub(self.bytes, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_grants() {
+        let b = DiskBudget::unlimited();
+        assert!(!b.is_limited());
+        let r = b.try_reserve(u64::MAX).unwrap();
+        assert_eq!(r.bytes(), u64::MAX);
+        assert_eq!(b.outstanding(), 0);
+        assert_eq!(b.high_water(), 0);
+    }
+
+    #[test]
+    fn limited_budget_grants_denies_and_releases() {
+        let b = DiskBudget::limited(100);
+        let r1 = b.try_reserve(60).unwrap();
+        assert_eq!(b.outstanding(), 60);
+        let denied = b.try_reserve(50);
+        assert_eq!(
+            denied.unwrap_err(),
+            AggError::DiskBudgetExceeded { requested: 50, limit: 100, reserved: 60 }
+        );
+        assert_eq!(b.denials(), 1);
+        drop(r1);
+        assert_eq!(b.outstanding(), 0);
+        assert_eq!(b.high_water(), 60);
+    }
+
+    #[test]
+    fn clones_share_the_account() {
+        let b = DiskBudget::limited(10);
+        let b2 = b.clone();
+        let _r = b.try_reserve(8).unwrap();
+        assert_eq!(b2.outstanding(), 8);
+        assert!(b2.try_reserve(4).is_err());
+    }
+
+    #[test]
+    fn release_happens_on_unwind() {
+        let b = DiskBudget::limited(100);
+        let b2 = b.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _r = b2.try_reserve(70).unwrap();
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(b.outstanding(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_stay_within_limit() {
+        let b = DiskBudget::limited(1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if let Ok(r) = b.try_reserve(7) {
+                            assert!(b.outstanding() <= 1000);
+                            drop(r);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(b.outstanding(), 0);
+        assert!(b.high_water() <= 1000);
+    }
+}

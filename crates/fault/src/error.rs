@@ -58,6 +58,38 @@ pub enum AggError {
         /// The underlying I/O error, rendered (keeps the enum `Eq`).
         message: String,
     },
+    /// A spilled run failed verification on restore: a checksum, count,
+    /// or magic mismatch that proves the bytes read back are not the
+    /// bytes written. Detected corruption is always surfaced — never
+    /// silently wrong rows — and is permanent: retrying the read cannot
+    /// un-corrupt the file.
+    SpillCorrupt {
+        /// The spill file, rendered (keeps the enum `Eq`).
+        path: String,
+        /// 0-based ordinal of the failing extent, or `u64::MAX` when the
+        /// failure is not tied to one extent (header, footer, truncation).
+        extent: u64,
+        /// The value the verifier expected (checksum, count, or magic).
+        expected: u64,
+        /// The value actually found in the file.
+        actual: u64,
+        /// What mismatched: `"magic"`, `"shape"`, `"extent crc"`,
+        /// `"extent words"`, `"file crc"`, `"extent count"`,
+        /// `"byte count"`, `"footer magic"`, or `"truncated"`.
+        what: String,
+    },
+    /// A spill-space reservation was denied by the disk budget: the spill
+    /// directory's byte cap (`--spill-limit`) would be crossed. The disk
+    /// rung is the last one on the degradation ladder, so this surfaces
+    /// as a hard typed error, mirroring `BudgetExceeded` for memory.
+    DiskBudgetExceeded {
+        /// Bytes the denied spill asked for.
+        requested: u64,
+        /// The spill budget's limit in bytes.
+        limit: u64,
+        /// Bytes already reserved when the request was denied.
+        reserved: u64,
+    },
     /// The operator was cancelled cooperatively.
     Cancelled(CancelReason),
     /// A worker task panicked; the scope was drained and the payload
@@ -92,6 +124,17 @@ impl fmt::Display for AggError {
                 "memory budget exceeded: requested {requested} B with {reserved} of {limit} B reserved"
             ),
             AggError::SpillFailed { message } => write!(f, "spill I/O failed: {message}"),
+            AggError::SpillCorrupt { path, extent, expected, actual, what } => {
+                write!(f, "spill file corrupt: {path}: {what} mismatch")?;
+                if *extent != u64::MAX {
+                    write!(f, " in extent {extent}")?;
+                }
+                write!(f, " (expected {expected:#x}, found {actual:#x})")
+            }
+            AggError::DiskBudgetExceeded { requested, limit, reserved } => write!(
+                f,
+                "spill disk budget exceeded: requested {requested} B with {reserved} of {limit} B reserved"
+            ),
             AggError::Cancelled(reason) => write!(f, "operator cancelled: {reason}"),
             AggError::WorkerPanic { message } => write!(f, "worker task panicked: {message}"),
         }
@@ -125,6 +168,27 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e = AggError::SpillFailed { message: "disk full".into() };
         assert!(e.to_string().contains("spill I/O failed: disk full"));
+        let e = AggError::SpillCorrupt {
+            path: "/tmp/run.bin".into(),
+            extent: 3,
+            expected: 0xdead,
+            actual: 0xbeef,
+            what: "extent crc".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("spill file corrupt"), "{msg}");
+        assert!(msg.contains("extent 3"), "{msg}");
+        assert!(msg.contains("0xdead") && msg.contains("0xbeef"), "{msg}");
+        let e = AggError::SpillCorrupt {
+            path: "p".into(),
+            extent: u64::MAX,
+            expected: 1,
+            actual: 2,
+            what: "truncated".into(),
+        };
+        assert!(!e.to_string().contains("extent 18446"), "{e}");
+        let e = AggError::DiskBudgetExceeded { requested: 64, limit: 128, reserved: 100 };
+        assert!(e.to_string().contains("spill disk budget exceeded"));
         assert!(AggError::UnknownColumn("x".into()).to_string().contains("no column named \"x\""));
     }
 

@@ -22,8 +22,14 @@ pub struct FaultPlan {
     pub panic_in_task: Option<u64>,
     /// Trip the cancellation token once K input rows have been processed.
     pub cancel_after_rows: Option<u64>,
-    /// Fail the Nth spill-file write with an I/O error.
+    /// Fail the Nth spill-file write with an I/O error *above* the store
+    /// (at the driver's spill gate, before any file is created). The
+    /// store-level faults below exercise the paths underneath.
     pub fail_spill: Option<u64>,
+    /// Inject one storage-level I/O fault inside the spill file store:
+    /// the Nth write or read operation (counted by kind) misbehaves as
+    /// [`SpillFault::kind`] says. `None` disables the point.
+    pub spill_io: Option<SpillFault>,
 }
 
 impl FaultPlan {
@@ -33,12 +39,70 @@ impl FaultPlan {
     }
 }
 
+/// One storage-level spill I/O fault: which operation ordinal fires and
+/// how it misbehaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpillFault {
+    /// 1-based ordinal among operations of the kind's direction: write
+    /// kinds count spill-file writes, read kinds count restores.
+    pub nth: u64,
+    /// How the selected operation misbehaves.
+    pub kind: SpillFaultKind,
+}
+
+/// The flavor of an injected storage-level spill fault.
+///
+/// Transient flavors (`WriteEio`, `WriteShort`, `ReadEio`) must be healed
+/// by the store's bounded retry — the query completes bit-identically.
+/// Permanent flavors (`WriteEnospc`, `ReadBitFlip`, `ReadTruncate`) must
+/// surface as a typed error, never as wrong rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillFaultKind {
+    /// The Nth spill write fails with `EIO` after a partial write
+    /// (transient: the retry rewrites the file from scratch).
+    WriteEio,
+    /// The Nth spill write is torn: only a prefix reaches the file before
+    /// an `Interrupted` error (transient: classic short-write semantics).
+    WriteShort,
+    /// The Nth spill write hits `ENOSPC` after a partial write
+    /// (permanent: the partial file is unlinked and the error surfaces).
+    WriteEnospc,
+    /// The Nth restore fails with `EIO` before reading (transient).
+    ReadEio,
+    /// The Nth restore sees one payload bit flipped after the bytes leave
+    /// the file (permanent: the extent CRC must catch it).
+    ReadBitFlip,
+    /// The file is truncated to half its length before the Nth restore
+    /// (permanent: footer/extent verification must catch it).
+    ReadTruncate,
+}
+
+impl SpillFaultKind {
+    /// Whether this fault fires on the write path.
+    pub fn is_write(self) -> bool {
+        matches!(self, Self::WriteEio | Self::WriteShort | Self::WriteEnospc)
+    }
+
+    /// Whether this fault fires on the read (restore) path.
+    pub fn is_read(self) -> bool {
+        !self.is_write()
+    }
+
+    /// Whether the store's bounded retry is expected to heal this fault.
+    pub fn is_transient(self) -> bool {
+        matches!(self, Self::WriteEio | Self::WriteShort | Self::ReadEio)
+    }
+}
+
 struct InjectState {
     plan: FaultPlan,
     allocs: AtomicU64,
     tasks: AtomicU64,
     rows: AtomicU64,
     spills: AtomicU64,
+    spill_writes: AtomicU64,
+    spill_reads: AtomicU64,
+    spill_io_fired: AtomicU64,
 }
 
 /// Shared counters applying a [`FaultPlan`]. Cloning shares the counters,
@@ -68,6 +132,9 @@ impl FaultInjector {
                 tasks: AtomicU64::new(0),
                 rows: AtomicU64::new(0),
                 spills: AtomicU64::new(0),
+                spill_writes: AtomicU64::new(0),
+                spill_reads: AtomicU64::new(0),
+                spill_io_fired: AtomicU64::new(0),
             })),
         }
     }
@@ -114,6 +181,47 @@ impl FaultInjector {
     /// makes sure a cancellable token exists).
     pub fn plans_cancellation(&self) -> bool {
         self.inner.as_ref().is_some_and(|s| s.plan.cancel_after_rows.is_some())
+    }
+
+    /// Count one spill-file write operation; `Some(kind)` means this is
+    /// the write the plan says must misbehave. Plans whose fault is a
+    /// read kind do not consume write ordinals (and vice versa), so a
+    /// sweep over `nth` visits exactly the operations of one direction.
+    pub fn spill_write_fault(&self) -> Option<SpillFaultKind> {
+        let s = self.inner.as_ref()?;
+        let f = s.plan.spill_io.filter(|f| f.kind.is_write())?;
+        // ORDERING: Relaxed — the RMW's atomicity alone makes exactly one
+        // caller see the trigger count; no other memory rides on it.
+        if s.spill_writes.fetch_add(1, Ordering::Relaxed) + 1 == f.nth {
+            // ORDERING: Relaxed — statistics counter read after the run.
+            s.spill_io_fired.fetch_add(1, Ordering::Relaxed);
+            Some(f.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Count one spill-file read (restore) operation; `Some(kind)` means
+    /// this restore must misbehave. See [`Self::spill_write_fault`].
+    pub fn spill_read_fault(&self) -> Option<SpillFaultKind> {
+        let s = self.inner.as_ref()?;
+        let f = s.plan.spill_io.filter(|f| f.kind.is_read())?;
+        // ORDERING: Relaxed — same single-winner argument as the writes.
+        if s.spill_reads.fetch_add(1, Ordering::Relaxed) + 1 == f.nth {
+            // ORDERING: Relaxed — statistics counter read after the run.
+            s.spill_io_fired.fetch_add(1, Ordering::Relaxed);
+            Some(f.kind)
+        } else {
+            None
+        }
+    }
+
+    /// How many storage-level spill faults actually fired. Ordinal sweeps
+    /// use this to detect that `nth` ran past the last injectable
+    /// operation of the workload.
+    pub fn spill_io_fired(&self) -> u64 {
+        // ORDERING: Relaxed — statistics counter read after the run.
+        self.inner.as_ref().map_or(0, |s| s.spill_io_fired.load(Ordering::Relaxed))
     }
 }
 
@@ -170,6 +278,51 @@ mod tests {
         let fired: Vec<bool> = (0..4).map(|_| f.should_fail_spill()).collect();
         assert_eq!(fired, vec![false, true, false, false]);
         assert!(!FaultInjector::none().should_fail_spill());
+    }
+
+    #[test]
+    fn spill_io_write_faults_fire_on_the_nth_write_only() {
+        let f = FaultInjector::new(FaultPlan {
+            spill_io: Some(SpillFault { nth: 2, kind: SpillFaultKind::WriteEio }),
+            ..FaultPlan::none()
+        });
+        assert_eq!(f.spill_write_fault(), None);
+        assert_eq!(f.spill_write_fault(), Some(SpillFaultKind::WriteEio));
+        assert_eq!(f.spill_write_fault(), None);
+        // A write-kind plan never consumes read ordinals.
+        assert_eq!(f.spill_read_fault(), None);
+        assert_eq!(f.spill_io_fired(), 1);
+    }
+
+    #[test]
+    fn spill_io_read_faults_do_not_consume_write_ordinals() {
+        let f = FaultInjector::new(FaultPlan {
+            spill_io: Some(SpillFault { nth: 1, kind: SpillFaultKind::ReadBitFlip }),
+            ..FaultPlan::none()
+        });
+        assert_eq!(f.spill_write_fault(), None);
+        assert_eq!(f.spill_read_fault(), Some(SpillFaultKind::ReadBitFlip));
+        assert_eq!(f.spill_read_fault(), None);
+        assert_eq!(f.spill_io_fired(), 1);
+        assert_eq!(FaultInjector::none().spill_write_fault(), None);
+        assert_eq!(FaultInjector::none().spill_io_fired(), 0);
+    }
+
+    #[test]
+    fn spill_fault_kinds_classify() {
+        use SpillFaultKind::*;
+        for k in [WriteEio, WriteShort, WriteEnospc] {
+            assert!(k.is_write() && !k.is_read(), "{k:?}");
+        }
+        for k in [ReadEio, ReadBitFlip, ReadTruncate] {
+            assert!(k.is_read() && !k.is_write(), "{k:?}");
+        }
+        for k in [WriteEio, WriteShort, ReadEio] {
+            assert!(k.is_transient(), "{k:?}");
+        }
+        for k in [WriteEnospc, ReadBitFlip, ReadTruncate] {
+            assert!(!k.is_transient(), "{k:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! I/O error taxonomy and deterministic bounded retry for the spill path.
+//!
+//! Spill files are scratch the operator wrote itself, so the sensible
+//! reaction to an I/O error depends only on *what kind* of error it is:
+//! a transient hiccup (`EINTR`, `EAGAIN`, a device-level `EIO` blip) is
+//! worth retrying from scratch — spill writes are idempotent whole-file
+//! operations — while a permanent condition (`ENOSPC`, a missing file,
+//! detected corruption) never heals by itself and must surface
+//! immediately as a typed error.
+//!
+//! The retry policy is deliberately clockless: the decision to retry
+//! depends only on the attempt counter, never on wall time, so fault
+//! sweeps and Miri runs replay bit-identically. The backoff between
+//! attempts is a bounded `yield_now` loop — enough to let a competing
+//! writer drain, with no timer in the decision path.
+
+use std::io;
+
+/// Classification of an `io::Error` on the spill path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoClass {
+    /// Worth retrying: the same operation may succeed on the next
+    /// attempt (`Interrupted`, `WouldBlock`, `TimedOut`, raw `EINTR`/
+    /// `EAGAIN`/`EIO`).
+    Transient,
+    /// Retrying cannot help: full disk, missing file, invalid data,
+    /// permission trouble, or detected corruption.
+    Permanent,
+}
+
+/// Classify an I/O error into [`IoClass::Transient`] vs
+/// [`IoClass::Permanent`].
+///
+/// The transient set is deliberately narrow: only conditions that are
+/// plausibly momentary. `ENOSPC` in particular is permanent — retrying a
+/// spill against a full disk busy-loops without freeing a byte; the
+/// caller must degrade (disk budget error) instead.
+pub fn classify_io(e: &io::Error) -> IoClass {
+    match e.kind() {
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            IoClass::Transient
+        }
+        // EINTR(4) / EIO(5) / EAGAIN(11): raw codes std maps to
+        // `Uncategorized` on some platforms; classify them by number so
+        // an injected or kernel-raised EIO retries either way.
+        _ => match e.raw_os_error() {
+            Some(4 | 5 | 11) => IoClass::Transient,
+            _ => IoClass::Permanent,
+        },
+    }
+}
+
+/// Shorthand for `classify_io(e) == IoClass::Transient`.
+pub fn is_transient_io(e: &io::Error) -> bool {
+    classify_io(e) == IoClass::Transient
+}
+
+/// Bounded, deterministic retry for idempotent spill I/O.
+///
+/// `max_retries` counts *re*-attempts: a policy of 3 permits at most 4
+/// total attempts. The backoff is attempt-counter based (capped
+/// exponential `yield_now` loop) so no wall-clock reading ever decides
+/// whether or when to retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the first attempt.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every error is final.
+    pub fn none() -> Self {
+        Self { max_retries: 0 }
+    }
+
+    /// Whether a failed attempt number `attempt` (0-based) of an
+    /// operation that hit `e` should be retried.
+    pub fn should_retry(&self, attempt: u32, e: &io::Error) -> bool {
+        attempt < self.max_retries && is_transient_io(e)
+    }
+
+    /// Deterministic capped backoff before retry number `attempt + 1`:
+    /// yields the scheduler `2^attempt` times (capped at 8). Not a timer
+    /// — behaviour does not depend on wall time.
+    pub fn backoff(&self, attempt: u32) {
+        for _ in 0..(1u32 << attempt.min(3)) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify_as_documented() {
+        for kind in [io::ErrorKind::Interrupted, io::ErrorKind::WouldBlock, io::ErrorKind::TimedOut]
+        {
+            assert_eq!(classify_io(&io::Error::new(kind, "x")), IoClass::Transient, "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::InvalidData,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::Unsupported,
+        ] {
+            assert_eq!(classify_io(&io::Error::new(kind, "x")), IoClass::Permanent, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn raw_codes_classify_as_documented() {
+        assert!(is_transient_io(&io::Error::from_raw_os_error(5)), "EIO is transient");
+        assert!(is_transient_io(&io::Error::from_raw_os_error(4)), "EINTR is transient");
+        assert!(is_transient_io(&io::Error::from_raw_os_error(11)), "EAGAIN is transient");
+        assert!(!is_transient_io(&io::Error::from_raw_os_error(28)), "ENOSPC is permanent");
+        assert!(!is_transient_io(&io::Error::from_raw_os_error(2)), "ENOENT is permanent");
+    }
+
+    #[test]
+    fn retry_policy_bounds_attempts() {
+        let p = RetryPolicy::default();
+        let transient = io::Error::new(io::ErrorKind::Interrupted, "blip");
+        assert!(p.should_retry(0, &transient));
+        assert!(p.should_retry(2, &transient));
+        assert!(!p.should_retry(3, &transient), "3 retries max by default");
+        let permanent = io::Error::from_raw_os_error(28);
+        assert!(!p.should_retry(0, &permanent), "permanent errors never retry");
+        assert!(!RetryPolicy::none().should_retry(0, &transient));
+        // Backoff terminates regardless of attempt number.
+        p.backoff(0);
+        p.backoff(63);
+    }
+}

@@ -10,11 +10,19 @@
 //! * [`MemoryBudget`] / [`Reservation`] — shared atomic reserve/release
 //!   accounting with RAII release, so reservations cannot leak across
 //!   early returns, cancelled tasks, or contained panics.
+//! * [`DiskBudget`] / [`DiskReservation`] — the same accounting for spill
+//!   disk space, so a bounded spill directory degrades with a typed error
+//!   instead of a mid-write `ENOSPC`.
 //! * [`CancelToken`] — cooperative cancellation with an optional deadline,
 //!   checked at morsel and bucket-task granularity.
 //! * [`FaultPlan`] / [`FaultInjector`] — a deterministic fault-injection
 //!   harness (fail the Nth allocation, panic in the Nth task, cancel after
-//!   K rows) for exercising every error path without mocking allocators.
+//!   K rows, misbehave on the Nth spill write/read) for exercising every
+//!   error path without mocking allocators or filesystems.
+//! * [`classify_io`] / [`RetryPolicy`] — the spill I/O error taxonomy
+//!   (transient vs permanent) and a clockless bounded-retry policy whose
+//!   decisions depend only on the attempt counter, keeping fault sweeps
+//!   and Miri runs deterministic.
 //!
 //! Everything here is dependency-free and costs a single null check when
 //! disabled: the unlimited budget, the never-cancelled token, and the
@@ -22,10 +30,14 @@
 
 mod budget;
 mod cancel;
+mod disk;
 mod error;
 mod inject;
+mod io;
 
 pub use budget::{MemoryBudget, Reservation};
 pub use cancel::{CancelReason, CancelToken};
+pub use disk::{DiskBudget, DiskReservation};
 pub use error::AggError;
-pub use inject::{FaultInjector, FaultPlan};
+pub use inject::{FaultInjector, FaultPlan, SpillFault, SpillFaultKind};
+pub use io::{classify_io, is_transient_io, IoClass, RetryPolicy};

@@ -98,6 +98,18 @@ metric_enum! {
         RestoredRuns => "restored_runs",
         /// Bytes read back from spill files.
         RestoredBytes => "restored_bytes",
+        /// Spill writes re-attempted after a transient I/O error.
+        SpillRetries => "spill_retries",
+        /// Spill restores re-attempted after a transient I/O error.
+        RestoreRetries => "restore_retries",
+        /// Spill operations abandoned (permanent error, corruption, or
+        /// retries exhausted).
+        SpillAbandons => "spill_abandons",
+        /// Orphaned spill files of dead processes reclaimed when the
+        /// spill directory was opened.
+        SpillReclaimedFiles => "spill_reclaimed_files",
+        /// Spill-space reservations denied by the disk budget.
+        DiskBudgetDenials => "disk_budget_denials",
     }
 }
 
