@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <fresh.json> [--tol <pct>] [--cols <c1,c2,...>]\
-//!            [--one-sided] [--structure-only]
+//!            [--one-sided] [--one-sided-above] [--structure-only]
 //! ```
 //!
 //! Exit code 0: within tolerance. 1: regression (mismatches printed, one
@@ -15,8 +15,9 @@
 use hsa_bench::diff::{diff_sidecars, DiffOptions};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: bench_diff <baseline.json> <fresh.json> \
-                     [--tol <pct>] [--cols <c1,c2,...>] [--one-sided] [--structure-only]";
+const USAGE: &str = "usage: bench_diff <baseline.json> <fresh.json> [--tol <pct>] \
+                     [--cols <c1,c2,...>] [--one-sided] [--one-sided-above] \
+                     [--structure-only]";
 
 fn parse_opts(argv: &[String]) -> Result<(String, String, DiffOptions), String> {
     let mut paths = Vec::new();
@@ -36,6 +37,7 @@ fn parse_opts(argv: &[String]) -> Result<(String, String, DiffOptions), String> 
                 opts.cols = Some(v.split(',').map(|c| c.trim().to_string()).collect());
             }
             "--one-sided" => opts.one_sided = true,
+            "--one-sided-above" => opts.one_sided_above = true,
             "--structure-only" => opts.structure_only = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),

@@ -10,9 +10,11 @@
 //! column lists) must match exactly.
 //!
 //! Absolute nanosecond columns are meaningless across machines, so CI
-//! compares the dimensionless ratio columns (`--cols "probe speedup,fold
-//! speedup"`) or, where no stable ratio exists, just the structure
-//! (`--structure-only`).
+//! compares the dimensionless ratio columns — bigger-is-better speedups
+//! with `--one-sided` (`--cols "probe speedup,fold speedup"`),
+//! smaller-is-better slowdowns with `--one-sided-above`
+//! (`--cols slowdown`) — or, where no stable ratio exists, just the
+//! structure (`--structure-only`).
 
 use hsa_obs::json::{self, JsonValue};
 
@@ -28,6 +30,12 @@ pub struct DiffOptions {
     /// like speedups): fresh fails when `fresh < base - tol`. Improvements
     /// beyond the tolerance pass.
     pub one_sided: bool,
+    /// Only flag values *above* the baseline (smaller-is-better columns
+    /// like slowdowns): fresh fails when `fresh > base + tol`.
+    /// Improvements beyond the tolerance pass. Setting this together with
+    /// [`DiffOptions::one_sided`] bounds both directions, which is the
+    /// two-sided default.
+    pub one_sided_above: bool,
     /// Check only the shape: bench name, table count, column lists, and
     /// that every fresh table has rows. No value comparison.
     pub structure_only: bool,
@@ -35,7 +43,13 @@ pub struct DiffOptions {
 
 impl Default for DiffOptions {
     fn default() -> Self {
-        DiffOptions { tol_pct: 50.0, cols: None, one_sided: false, structure_only: false }
+        DiffOptions {
+            tol_pct: 50.0,
+            cols: None,
+            one_sided: false,
+            one_sided_above: false,
+            structure_only: false,
+        }
     }
 }
 
@@ -171,9 +185,12 @@ pub fn diff_sidecars(
                 match (bc.as_f64(), fc.as_f64()) {
                     (Some(b), Some(f)) => {
                         let tol = opts.tol_pct / 100.0 * b.abs().max(1e-9);
-                        let fails = if opts.one_sided { f < b - tol } else { (f - b).abs() > tol };
+                        let (fails, sign) = match (opts.one_sided, opts.one_sided_above) {
+                            (true, false) => (f < b - tol, "-"),
+                            (false, true) => (f > b + tol, "+"),
+                            _ => ((f - b).abs() > tol, "±"),
+                        };
                         if fails {
-                            let sign = if opts.one_sided { "-" } else { "±" };
                             bad.push(format!(
                                 "table {ti} row {key}: {name} = {f} vs baseline {b} \
                                  (tolerance {sign}{:.0}%)",
@@ -251,6 +268,22 @@ mod tests {
         let bad = diff_sidecars(&base, &worse, &opts).unwrap();
         assert_eq!(bad.len(), 1, "{bad:?}");
         assert!(bad[0].contains("-50%"), "{bad:?}");
+    }
+
+    #[test]
+    fn one_sided_above_passes_improvements_but_flags_blowups() {
+        let base = sidecar("s", "\"n\", \"slowdown\"", "[12, 4.0]");
+        let better = sidecar("s", "\"n\", \"slowdown\"", "[12, 1.5]");
+        let worse = sidecar("s", "\"n\", \"slowdown\"", "[12, 6.5]");
+        let opts = DiffOptions { one_sided_above: true, ..DiffOptions::default() }; // +50%
+        assert!(diff_sidecars(&base, &better, &opts).unwrap().is_empty());
+        let bad = diff_sidecars(&base, &worse, &opts).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("+50%"), "{bad:?}");
+        // Both one-sided bounds together degenerate to the two-sided check:
+        // the improvement beyond tolerance now fails too.
+        let both = DiffOptions { one_sided: true, one_sided_above: true, ..opts };
+        assert!(!diff_sidecars(&base, &better, &both).unwrap().is_empty());
     }
 
     #[test]

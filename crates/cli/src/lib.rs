@@ -22,7 +22,7 @@ pub use error::{CliError, ErrorClass};
 pub use load::{load_table, LoadedTable};
 
 use hashing_is_sorting::{
-    CancelToken, DiskBudget, ExecEnv, MemoryBudget, ObsConfig, Query, RunReport,
+    CancelToken, DiskBudget, ExecEnv, MemoryBudget, ObsConfig, Query, RunReport, SpillConfig,
 };
 use std::time::Duration;
 
@@ -77,6 +77,13 @@ pub fn run_on_csv_text(text: &str, args: &CliArgs) -> Result<CliRun, CliError> {
     }
     if let Some(bytes) = args.spill_limit {
         env = env.with_disk_budget(DiskBudget::limited(bytes));
+    }
+    if args.spill_codec.is_some() || args.spill_io_threads.is_some() {
+        let defaults = SpillConfig::default();
+        env = env.with_spill_config(SpillConfig {
+            codec: args.spill_codec.unwrap_or(defaults.codec),
+            io_threads: args.spill_io_threads.unwrap_or(defaults.io_threads),
+        });
     }
     let mut q =
         Query::over(&loaded.table).with_config(args.config.clone()).with_obs(obs).with_env(env);

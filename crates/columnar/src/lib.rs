@@ -27,6 +27,7 @@
 //!   for a column-store relation.
 
 mod chunked;
+mod codec;
 mod crc;
 mod dictionary;
 mod mapping;
@@ -35,9 +36,12 @@ mod store;
 mod table;
 
 pub use chunked::{ChunkedVec, DEFAULT_CHUNK_LEN};
+pub use codec::SpillCodec;
 pub use crc::{crc32c, Crc32c};
 pub use dictionary::{encode_composite, Dictionary};
 pub use mapping::Mapping;
 pub use run::{Bucket, Run};
-pub use store::{FileStore, RunHandle, RunStore, SpilledRun, StoreIoStats, EXTENT_WORDS};
+pub use store::{
+    FileStore, RunHandle, RunStore, SpillConfig, SpilledRun, StoreIoStats, EXTENT_WORDS,
+};
 pub use table::{Column, Table, TableError};

@@ -319,7 +319,16 @@ fn grow_merge(ctx: &Ctx, bucket: Vec<RunHandle>, obs: &Obs) -> Result<(), AggErr
     let mut table = GrowTable::with_capacity(capacity, &ctx.ops);
     let n_cols = ctx.ops.len();
     let mut vals = vec![0u64; n_cols];
-    for handle in bucket {
+    // Pipeline the restores: ask the store's I/O worker to decode the
+    // next spilled run while this thread folds in the current one.
+    let mut handles = bucket.into_iter().peekable();
+    if let Some(first) = handles.peek() {
+        first.prefetch();
+    }
+    while let Some(handle) = handles.next() {
+        if let Some(next) = handles.peek() {
+            next.prefetch();
+        }
         let run = ctx.gate().restore(handle, obs)?;
         let aggregated = run.aggregated;
         let view = RunView::Owned(run);
@@ -414,7 +423,17 @@ pub(crate) fn process_bucket<'env>(
     let mut map8 = Vec::new();
     let mut local = LocalBuckets::new();
 
-    for handle in bucket {
+    // Restore prefetch: overlap the next run's disk read + decode with
+    // the hashing/partitioning of the current one (no-op for resident
+    // handles and synchronous stores).
+    let mut handles = bucket.into_iter().peekable();
+    if let Some(first) = handles.peek() {
+        first.prefetch();
+    }
+    while let Some(handle) = handles.next() {
+        if let Some(next) = handles.peek() {
+            next.prefetch();
+        }
         debug_assert_eq!(handle.level(), level, "run level out of sync with recursion");
         let run = match ctx.gate().restore(handle, &obs) {
             Ok(run) => run,
@@ -623,7 +642,9 @@ pub(crate) fn store_for(env: &ExecEnv) -> Result<RunStore, AggError> {
         // budget: storage-level faults (Nth-write EIO, bit flips, …) fire
         // inside the store, and every spill write reserves its file size
         // against `env.disk` first.
-        Some(dir) => RunStore::spilling_with(dir, env.faults.clone(), env.disk.clone()),
+        Some(dir) => {
+            RunStore::spilling_with_config(dir, env.faults.clone(), env.disk.clone(), env.spill)
+        }
         None => Ok(RunStore::in_memory()),
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::obs::Obs;
 use crate::stats::AtomicStats;
-use hsa_columnar::{Run, RunHandle, RunStore};
+use hsa_columnar::{Run, RunHandle, RunStore, SpillConfig};
 use hsa_fault::{AggError, CancelToken, DiskBudget, FaultInjector, MemoryBudget, Reservation};
 use hsa_obs::{Counter, Hist, Phase};
 use std::path::PathBuf;
@@ -31,6 +31,10 @@ pub struct ExecEnv {
     /// end of the degradation ladder and surfaces as a typed
     /// `AggError::DiskBudgetExceeded`. Unlimited by default.
     pub disk: DiskBudget,
+    /// Spill I/O shape: per-extent compression codec and the number of
+    /// background I/O worker threads (0 = fully synchronous writes and
+    /// restores). Defaults to `Auto` compression with one worker.
+    pub spill: SpillConfig,
 }
 
 impl ExecEnv {
@@ -68,6 +72,12 @@ impl ExecEnv {
         self.disk = disk;
         self
     }
+
+    /// Replace the spill I/O configuration (codec + worker threads).
+    pub fn with_spill_config(mut self, spill: SpillConfig) -> Self {
+        self.spill = spill;
+        self
+    }
 }
 
 /// The allocation gate the routines reserve memory through: budget +
@@ -103,28 +113,51 @@ impl Gate<'_> {
         is_degradable(e) && self.store.can_spill()
     }
 
-    /// Flush a run to the spill store and return its handle, applying
-    /// fault injection first and recording spill observability.
-    pub(crate) fn spill(&self, run: &Run, obs: &Obs) -> Result<RunHandle, AggError> {
+    /// Flush a batch of runs into **one** shared spill file, returning
+    /// their handles in order, applying fault injection first and
+    /// recording spill observability. The runs are consumed: with a
+    /// background I/O worker the store hands their columns to the writer
+    /// thread without copying them, and they are released only once the
+    /// file is on disk.
+    ///
+    /// Producers that flush many runs at one moment (a sealed table's
+    /// per-digit sub-runs) use this to pay one file creation per flush —
+    /// on filesystems where inode creation dominates small writes, that
+    /// is the difference between spilling being viable and not. One
+    /// injected-fault ordinal and one observability span cover the whole
+    /// batch (it is one logical write); per-run byte and count stats are
+    /// still recorded individually.
+    pub(crate) fn spill_batch(
+        &self,
+        runs: Vec<Run>,
+        obs: &Obs,
+    ) -> Result<Vec<RunHandle>, AggError> {
         if self.faults.should_fail_spill() {
             return Err(AggError::SpillFailed { message: "injected fault: spill write".into() });
         }
-        let pt = obs.phase_start(run.level, Phase::Spill);
+        let level = runs.first().map_or(0, |r| r.level);
+        let pt = obs.phase_start(level, Phase::Spill);
         let t0 = Instant::now();
-        // Store errors are already typed (`SpillFailed`, `SpillCorrupt`,
-        // `DiskBudgetExceeded`) — pass them through unwrapped.
-        let handle = self.store.spill(run)?;
-        let bytes = handle.spilled_bytes();
-        self.stats.count_spilled_run(run.level, bytes);
-        obs.recorder.add(obs.worker, Counter::SpilledRuns, 1);
-        obs.recorder.add(obs.worker, Counter::SpilledBytes, bytes);
+        let handles = self.store.spill_batch(runs)?;
+        let mut total = 0u64;
+        for handle in &handles {
+            let bytes = handle.spilled_bytes();
+            self.stats.count_spilled_run(level, bytes);
+            total += bytes;
+        }
+        obs.recorder.add(obs.worker, Counter::SpilledRuns, handles.len() as u64);
+        obs.recorder.add(obs.worker, Counter::SpilledBytes, total);
         obs.recorder.observe(obs.worker, Hist::SpillNanos, t0.elapsed().as_nanos() as u64);
-        obs.phase_end(pt, 0, 0, bytes);
-        Ok(handle)
+        obs.phase_end(pt, 0, 0, total);
+        Ok(handles)
     }
 
     /// Materialize a handle's rows, reading spilled runs back from disk
     /// (timed and counted). Resident handles pass through untouched.
+    /// When the handle was [`RunHandle::prefetch`]ed, the store's I/O
+    /// worker has already decoded the file and this only collects the
+    /// parked result — the recorded restore time is then the *wait*, not
+    /// the full decode.
     ///
     /// Restored rows are transient working-set memory of the consuming
     /// task and are not re-reserved against the budget: the run was
@@ -172,14 +205,17 @@ mod tests {
             .with_cancel(CancelToken::new())
             .with_faults(FaultInjector::new(FaultPlan { fail_alloc: Some(1), ..FaultPlan::none() }))
             .with_spill_dir("/tmp/hsa-spill-test")
-            .with_disk_budget(DiskBudget::limited(4096));
+            .with_disk_budget(DiskBudget::limited(4096))
+            .with_spill_config(SpillConfig { codec: hsa_columnar::SpillCodec::Off, io_threads: 0 });
         assert_eq!(env.budget.limit(), Some(1024));
         assert!(env.cancel.check().is_ok());
         assert!(env.faults.should_fail_alloc());
         assert_eq!(env.spill_dir.as_deref(), Some(std::path::Path::new("/tmp/hsa-spill-test")));
         assert_eq!(env.disk.limit(), Some(4096));
+        assert_eq!(env.spill.io_threads, 0);
         assert!(ExecEnv::default().spill_dir.is_none());
         assert!(!ExecEnv::default().disk.is_limited());
+        assert_eq!(ExecEnv::default().spill, SpillConfig::default());
     }
 
     #[test]
@@ -221,7 +257,7 @@ mod tests {
         assert!(gate.can_spill(&denied));
 
         let run = Run::from_rows(&[1, 2, 3], &[&[10, 20, 30]]);
-        let handle = gate.spill(&run, &obs).unwrap();
+        let handle = gate.spill_batch(vec![run.clone()], &obs).unwrap().pop().unwrap();
         assert!(handle.is_spilled());
         let back = gate.restore(handle, &obs).unwrap();
         assert_eq!(back.keys, run.keys);
@@ -247,10 +283,10 @@ mod tests {
         let obs = Obs::disabled();
 
         let run = Run::from_rows(&[1], &[]);
-        let err = gate.spill(&run, &obs).unwrap_err();
+        let err = gate.spill_batch(vec![run.clone()], &obs).unwrap_err();
         assert!(matches!(err, AggError::SpillFailed { .. }));
         // The next write goes through.
-        assert!(gate.spill(&run, &obs).is_ok());
+        assert!(gate.spill_batch(vec![run], &obs).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -84,11 +84,16 @@ pub(crate) fn seal_into(
         groups * 100 / table.total_slots().max(1) as u64,
     );
     let next_level = table.level() + 1;
-    let mut spill_err: Option<AggError> = None;
+    // In the spill-downgrade case the sealed sub-runs are collected and
+    // flushed as ONE batch into a single shared spill file: the seal is
+    // one logical flush, and per-digit files would pay an inode creation
+    // each — the dominant cost of small spills on some filesystems. The
+    // batch is transient double-residency of the table's own content
+    // (the table is cleared by the seal), bounded by the table the
+    // budget already admitted.
+    let mut spill_digits: Vec<usize> = Vec::new();
+    let mut spill_runs: Vec<Run> = Vec::new();
     table.seal(|digit, keys, cols| {
-        if spill_err.is_some() {
-            return;
-        }
         let run = Run {
             keys: ChunkedVec::from_slice(keys),
             cols: cols.iter().map(|c| ChunkedVec::from_slice(c)).collect(),
@@ -101,14 +106,17 @@ pub(crate) fn seal_into(
                 let run_res = res.take(run.mem_bytes());
                 sink.push_run(digit, RunHandle::Mem(run), run_res);
             }
-            None => match gate.spill(&run, obs) {
-                Ok(handle) => sink.push_run(digit, handle, Reservation::empty()),
-                Err(e) => spill_err = Some(e),
-            },
+            None => {
+                spill_digits.push(digit);
+                spill_runs.push(run);
+            }
         }
     });
-    if let Some(e) = spill_err {
-        return Err(e);
+    if !spill_runs.is_empty() {
+        let handles = gate.spill_batch(spill_runs, obs)?;
+        for (digit, handle) in spill_digits.into_iter().zip(handles) {
+            sink.push_run(digit, handle, Reservation::empty());
+        }
     }
     gate.stats.count_seal();
     obs.recorder.add(obs.worker, Counter::TablesSealed, 1);

@@ -65,7 +65,7 @@ pub use driver::{
 pub use exec::ExecEnv;
 pub use hsa_kernels::{KernelKind, KernelPref};
 
-pub use hsa_columnar::{RunHandle, RunStore, SpilledRun};
+pub use hsa_columnar::{RunHandle, RunStore, SpillCodec, SpillConfig, SpilledRun};
 pub use hsa_fault::{
     AggError, CancelReason, CancelToken, DiskBudget, DiskReservation, FaultInjector, FaultPlan,
     MemoryBudget, Reservation, SpillFault, SpillFaultKind,

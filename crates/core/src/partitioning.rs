@@ -106,6 +106,14 @@ pub(crate) fn partition_run(
     );
 
     let aggregated = view.aggregated();
+    // In the spill-downgrade case the pass's output runs flush as ONE
+    // batch into a single shared spill file: the pass is one logical
+    // flush, and per-digit files would pay an inode creation each — the
+    // dominant cost of small spills on some filesystems. The collected
+    // batch is the pass's own transient output, which the downgrade
+    // already runs on unaccounted memory.
+    let mut spill_digits: Vec<usize> = Vec::new();
+    let mut spill_runs: Vec<Run> = Vec::new();
     for digit in 0..key_parts.len() {
         if key_parts[digit].is_empty() {
             continue;
@@ -120,9 +128,15 @@ pub(crate) fn partition_run(
                 sink.push_run(digit, RunHandle::Mem(run), run_res);
             }
             None => {
-                let handle = gate.spill(&run, obs)?;
-                sink.push_run(digit, handle, Reservation::empty());
+                spill_digits.push(digit);
+                spill_runs.push(run);
             }
+        }
+    }
+    if !spill_runs.is_empty() {
+        let handles = gate.spill_batch(spill_runs, obs)?;
+        for (digit, handle) in spill_digits.into_iter().zip(handles) {
+            sink.push_run(digit, handle, Reservation::empty());
         }
     }
     // Spill time inside the emit loop was attributed to its own phase by

@@ -190,6 +190,22 @@ impl RunReport {
                 st.restored_runs,
                 st.restored_bytes
             );
+            if st.spill_encoded_bytes > 0 {
+                let _ = writeln!(
+                    s,
+                    "spill compression  {} B on disk   ratio {:.2}",
+                    st.spill_encoded_bytes,
+                    st.spill_encoded_bytes as f64 / st.spilled_bytes.max(1) as f64
+                );
+            }
+            if st.overlapped_io_nanos + st.spill_io_wait_nanos > 0 {
+                let _ = writeln!(
+                    s,
+                    "spill overlap      {:.2} ms hidden   {:.2} ms waited",
+                    st.overlapped_io_nanos as f64 / 1e6,
+                    st.spill_io_wait_nanos as f64 / 1e6
+                );
+            }
         }
         if st.spill_retries + st.restore_retries + st.spill_io_abandons + st.spill_reclaimed_files
             > 0
@@ -302,6 +318,9 @@ pub fn stats_json(stats: &OpStats) -> JsonValue {
         ("spill_reclaimed_bytes", JsonValue::U64(stats.spill_reclaimed_bytes)),
         ("disk_budget_denials", JsonValue::U64(stats.disk_budget_denials)),
         ("disk_high_water_bytes", JsonValue::U64(stats.disk_high_water_bytes)),
+        ("spill_encoded_bytes", JsonValue::U64(stats.spill_encoded_bytes)),
+        ("overlapped_io_nanos", JsonValue::U64(stats.overlapped_io_nanos)),
+        ("spill_io_wait_nanos", JsonValue::U64(stats.spill_io_wait_nanos)),
     ])
 }
 
@@ -449,7 +468,7 @@ mod tests {
             PhaseCell { nanos: 500, calls: 1, rows_in: 100, rows_out: 10, bytes: 0 },
         );
         let mut report = sample_report();
-        report.profile = Some(ProfileTree::build(&rec.snapshot(), 1000, 1, 64));
+        report.profile = Some(ProfileTree::build(&rec.snapshot(), 1000, 1, 64, 0));
         let parsed = hsa_obs::json::parse(&report.to_json().to_string_compact()).unwrap();
         let profile = parsed.get("profile").unwrap();
         assert_eq!(profile.get("wall_nanos").unwrap().as_u64(), Some(1000));

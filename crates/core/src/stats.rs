@@ -120,6 +120,9 @@ impl AtomicStats {
             spill_reclaimed_bytes: 0,
             disk_budget_denials: 0,
             disk_high_water_bytes: 0,
+            spill_encoded_bytes: 0,
+            overlapped_io_nanos: 0,
+            spill_io_wait_nanos: 0,
         }
     }
 }
@@ -191,6 +194,17 @@ pub struct OpStats {
     /// Peak concurrently reserved spill bytes the disk budget saw (0 when
     /// unlimited or spilling is off).
     pub disk_high_water_bytes: u64,
+    /// Bytes actually written to spill files after per-extent compression
+    /// (`spilled_bytes` counts the uncompressed column payloads; the ratio
+    /// of the two is the spill compression ratio).
+    pub spill_encoded_bytes: u64,
+    /// Background spill I/O time that ran concurrently with compute:
+    /// nanoseconds the store's I/O workers spent writing and prefetching
+    /// minus the time compute threads spent blocked waiting on them.
+    pub overlapped_io_nanos: u64,
+    /// Nanoseconds compute threads spent blocked on in-flight spill I/O
+    /// (the un-overlapped remainder of the async pipeline).
+    pub spill_io_wait_nanos: u64,
 }
 
 impl OpStats {
@@ -249,6 +263,9 @@ impl OpStats {
         self.spill_reclaimed_files += other.spill_reclaimed_files;
         self.spill_reclaimed_bytes += other.spill_reclaimed_bytes;
         self.disk_budget_denials += other.disk_budget_denials;
+        self.spill_encoded_bytes += other.spill_encoded_bytes;
+        self.overlapped_io_nanos += other.overlapped_io_nanos;
+        self.spill_io_wait_nanos += other.spill_io_wait_nanos;
         // Peaks don't add: merged invocations report the highest mark.
         self.budget_high_water_bytes =
             self.budget_high_water_bytes.max(other.budget_high_water_bytes);

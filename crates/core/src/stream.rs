@@ -325,6 +325,11 @@ impl AggStream {
         // The workers have quiesced: stop the heartbeat before the final
         // lowering so no line interleaves with the caller's own output.
         drop(sampler);
+        // All handles are consumed, but a background write whose handle
+        // was dropped on an error path may have parked a failure in the
+        // store — surface it rather than returning a silently short
+        // result.
+        ctx.store.drain()?;
         // The budget owns its peak, not the stats cells; read it before
         // the context is torn apart below. Same for the disk budget and
         // the run store's I/O robustness counters.
@@ -360,6 +365,11 @@ impl AggStream {
         stats.spill_io_abandons = store_io.io_abandons;
         stats.spill_reclaimed_files = store_io.reclaimed_files;
         stats.spill_reclaimed_bytes = store_io.reclaimed_bytes;
+        stats.spill_encoded_bytes = store_io.encoded_bytes;
+        // Background I/O time that did *not* stall a compute thread is
+        // the overlap the async pipeline bought.
+        stats.overlapped_io_nanos = store_io.async_io_nanos.saturating_sub(store_io.io_wait_nanos);
+        stats.spill_io_wait_nanos = store_io.io_wait_nanos;
         // Store-level counters live outside the per-worker recorder;
         // post-quiescence, recording them into shard 0 is race-free.
         recorder.add(0, Counter::SpillRetries, store_io.spill_retries);
@@ -367,10 +377,14 @@ impl AggStream {
         recorder.add(0, Counter::SpillAbandons, store_io.io_abandons);
         recorder.add(0, Counter::SpillReclaimedFiles, store_io.reclaimed_files);
         recorder.add(0, Counter::DiskBudgetDenials, disk_denials);
+        recorder.add(0, Counter::SpillEncodedBytes, store_io.encoded_bytes);
+        recorder.add(0, Counter::OverlappedIoNanos, stats.overlapped_io_nanos);
+        recorder.add(0, Counter::SpillIoWaitNanos, store_io.io_wait_nanos);
         let wall_nanos = wall0.elapsed().as_nanos() as u64;
         let metrics = observed.then(|| recorder.snapshot());
-        let profile =
-            metrics.as_ref().map(|m| ProfileTree::build(m, wall_nanos, threads, high_water));
+        let profile = metrics.as_ref().map(|m| {
+            ProfileTree::build(m, wall_nanos, threads, high_water, stats.overlapped_io_nanos)
+        });
         let report = RunReport {
             rows_in,
             groups_out: output.n_groups() as u64,

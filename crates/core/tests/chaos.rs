@@ -22,7 +22,7 @@
 use hsa_agg::AggSpec;
 use hsa_core::{
     try_aggregate, AggError, AggregateConfig, DiskBudget, ExecEnv, FaultInjector, FaultPlan,
-    MemoryBudget, SpillFault, SpillFaultKind,
+    MemoryBudget, SpillCodec, SpillConfig, SpillFault, SpillFaultKind,
 };
 use std::path::{Path, PathBuf};
 
@@ -83,14 +83,21 @@ impl Chaos {
         chaos
     }
 
-    /// One run under `injector`; afterwards both budgets must be drained
-    /// and the spill directory empty regardless of the outcome.
+    /// One run under `injector` with the default spill configuration
+    /// (async pipeline, auto compression); afterwards both budgets must
+    /// be drained and the spill directory empty regardless of the outcome.
     fn run(&self, injector: FaultInjector) -> Outcome {
+        self.run_with(injector, SpillConfig::default())
+    }
+
+    /// [`Self::run`] under an explicit codec / I/O-thread configuration.
+    fn run_with(&self, injector: FaultInjector, spill: SpillConfig) -> Outcome {
         let env = ExecEnv::unrestricted()
             .with_budget(self.budget.clone())
             .with_disk_budget(self.disk.clone())
             .with_spill_dir(&self.dir)
-            .with_faults(injector);
+            .with_faults(injector)
+            .with_spill_config(spill);
         let r = try_aggregate(&self.keys, &[&self.vals], &specs(), &config(), &env);
         assert_eq!(self.budget.outstanding(), 0, "memory reservations leaked");
         assert_eq!(self.disk.outstanding(), 0, "disk reservations leaked");
@@ -188,6 +195,60 @@ fn truncate_on_read_is_detected_as_corruption() {
         Err(AggError::SpillCorrupt { .. }) => {}
         other => panic!("ReadTruncate n={n}: surfaced as {other:?}"),
     });
+}
+
+/// The durability contract is configuration-independent: under every
+/// codec and with the async pipeline off, on, and widened, an injected
+/// in-flight failure still surfaces typed, drains both budgets, and
+/// leaves zero scratch files — and the un-injected run stays
+/// bit-identical to the (async, auto-compressed) baseline.
+#[test]
+fn every_codec_and_pipeline_width_upholds_the_durability_contract() {
+    let chaos = Chaos::new("matrix");
+    for codec in [SpillCodec::Auto, SpillCodec::Delta, SpillCodec::Rle, SpillCodec::Off] {
+        for io_threads in [0usize, 1, 2] {
+            let spill = SpillConfig { codec, io_threads };
+            let tag = format!("codec {codec} io_threads {io_threads}");
+
+            let (out, stats) = chaos
+                .run_with(FaultInjector::none(), spill)
+                .unwrap_or_else(|e| panic!("{tag}: clean run failed: {e:?}"));
+            assert_eq!(out, chaos.baseline, "{tag}: output diverged from baseline");
+            assert!(stats.spilled_runs() > 0, "{tag}: workload stopped spilling");
+            assert!(
+                stats.spill_encoded_bytes <= stats.spilled_bytes,
+                "{tag}: encoded footprint above the reserved bound: {stats:?}"
+            );
+            if io_threads == 0 {
+                assert_eq!(stats.overlapped_io_nanos, 0, "{tag}: sync I/O claimed overlap");
+                assert_eq!(stats.spill_io_wait_nanos, 0, "{tag}: sync I/O claimed waits");
+            }
+
+            // An in-flight write failure: with workers, the error parks in
+            // the store and surfaces at the next synchronization point —
+            // still typed, still fully drained.
+            let plan = FaultPlan {
+                spill_io: Some(SpillFault { nth: 1, kind: SpillFaultKind::WriteEnospc }),
+                ..FaultPlan::none()
+            };
+            match chaos.run_with(FaultInjector::new(plan), spill) {
+                Err(AggError::SpillFailed { .. }) => {}
+                other => panic!("{tag}: in-flight ENOSPC surfaced as {other:?}"),
+            }
+
+            // A transient fault keeps recovering invisibly.
+            let plan = FaultPlan {
+                spill_io: Some(SpillFault { nth: 1, kind: SpillFaultKind::WriteEio }),
+                ..FaultPlan::none()
+            };
+            let (out, stats) = chaos
+                .run_with(FaultInjector::new(plan), spill)
+                .unwrap_or_else(|e| panic!("{tag}: WriteEio not absorbed: {e:?}"));
+            assert_eq!(out, chaos.baseline, "{tag}: retry diverged");
+            assert!(stats.spill_retries >= 1, "{tag}: retry not counted: {stats:?}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&chaos.dir);
 }
 
 /// After any injected failure the same budgets and directory must still

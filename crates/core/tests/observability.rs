@@ -202,19 +202,52 @@ fn profile_tracks_spill_restore_and_the_budget_high_water() {
     let profile = report.profile.as_ref().expect("profile rides with metrics");
     assert_eq!(profile.budget_high_water, hw);
 
-    // Spill and restore phases carry their byte traffic; synchronous I/O
-    // reports zero overlap.
+    // Spill and restore phases carry their byte traffic. The default
+    // store runs the async I/O pipeline, so the overlap metrics are live:
+    // background worker time plus compute-side waits is nonzero, and the
+    // hidden fraction stays a fraction.
     let spilled: u64 =
         (0..profile.levels_used()).map(|lvl| profile.cell(lvl, Phase::Spill).bytes).sum();
     assert_eq!(spilled, report.stats.spilled_bytes);
     assert!(profile.io_nanos() > 0);
-    assert_eq!(profile.overlap_fraction(), 0.0);
+    assert_eq!(profile.overlapped_io_nanos, report.stats.overlapped_io_nanos);
+    assert!(
+        report.stats.overlapped_io_nanos + report.stats.spill_io_wait_nanos > 0,
+        "async spill pipeline must record background I/O time"
+    );
+    assert!((0.0..1.0).contains(&profile.overlap_fraction()));
+    assert!(report.stats.spill_encoded_bytes > 0, "encoded footprint must be tracked");
+    assert!(
+        report.stats.spill_encoded_bytes <= report.stats.spilled_bytes,
+        "compression never exceeds the reserved upper bound"
+    );
 
     // JSON carries the same numbers under the profile section.
     let parsed = json::parse(&report.to_json().to_string_compact()).unwrap();
     let p = parsed.get("profile").unwrap();
     assert_eq!(p.get("budget_high_water_bytes").unwrap().as_u64(), Some(hw));
-    assert_eq!(p.get("spill_overlap_fraction").unwrap().as_f64(), Some(0.0));
+    assert_eq!(
+        p.get("overlapped_io_nanos").unwrap().as_u64(),
+        Some(report.stats.overlapped_io_nanos)
+    );
+    assert_eq!(p.get("spill_overlap_fraction").unwrap().as_f64(), Some(profile.overlap_fraction()));
+
+    // With the async pipeline disabled, everything is foreground again:
+    // zero overlap, zero waits, bit-identical output.
+    let sync_env = env.with_spill_config(hsa_core::SpillConfig {
+        codec: hsa_core::SpillCodec::Auto,
+        io_threads: 0,
+    });
+    let mut sync_stream = AggStream::new(&specs, &cfg, &sync_env, &ObsConfig::full()).unwrap();
+    for chunk in keys.chunks(8192) {
+        sync_stream.push(chunk, &[]).unwrap();
+    }
+    let (sync_out, sync_report) = sync_stream.finish().unwrap();
+    assert_eq!(sync_out.sorted_rows(), out.sorted_rows());
+    assert_eq!(sync_report.stats.overlapped_io_nanos, 0);
+    assert_eq!(sync_report.stats.spill_io_wait_nanos, 0);
+    let sync_profile = sync_report.profile.as_ref().unwrap();
+    assert_eq!(sync_profile.overlap_fraction(), 0.0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

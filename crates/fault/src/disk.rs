@@ -94,7 +94,7 @@ impl DiskBudget {
     /// The returned [`DiskReservation`] releases the bytes when dropped.
     pub fn try_reserve(&self, bytes: u64) -> Result<DiskReservation, AggError> {
         let Some(inner) = &self.inner else {
-            return Ok(DiskReservation { budget: None, bytes });
+            return Ok(DiskReservation { budget: None, bytes: AtomicU64::new(bytes) });
         };
         // ORDERING: Relaxed — only a hint seeding the CAS loop; the
         // compare_exchange below revalidates against the real value.
@@ -135,7 +135,10 @@ impl DiskBudget {
                             Err(observed) => hw = observed,
                         }
                     }
-                    return Ok(DiskReservation { budget: Some(Arc::clone(inner)), bytes });
+                    return Ok(DiskReservation {
+                        budget: Some(Arc::clone(inner)),
+                        bytes: AtomicU64::new(bytes),
+                    });
                 }
                 Err(observed) => current = observed,
             }
@@ -160,10 +163,16 @@ impl std::fmt::Debug for DiskBudget {
 /// A granted spill-space reservation. Releases its bytes on drop —
 /// attach it to the spilled run whose file it covers so deleting the
 /// scratch file and returning the disk space are the same event.
+///
+/// The covered byte count is interiorly mutable (only downward, via
+/// [`shrink_to`](Self::shrink_to)) so an async spill writer can reserve a
+/// compressed file's *upper bound* synchronously — keeping
+/// [`AggError::DiskBudgetExceeded`] a submit-time error — and return the
+/// difference once the actual encoded size is known.
 #[derive(Debug, Default)]
 pub struct DiskReservation {
     budget: Option<Arc<DiskInner>>,
-    bytes: u64,
+    bytes: AtomicU64,
 }
 
 impl DiskReservation {
@@ -172,9 +181,32 @@ impl DiskReservation {
         Self::default()
     }
 
-    /// Bytes this reservation covers.
+    /// Bytes this reservation currently covers.
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        // ORDERING: Acquire pairs with the AcqRel swap in `shrink_to` so a
+        // reader that learned of the shrink (e.g. through a spill ticket)
+        // sees the reduced count.
+        self.bytes.load(Ordering::Acquire)
+    }
+
+    /// Shrink this reservation to `new_bytes`, returning the difference
+    /// to the budget immediately (the drop will release only the
+    /// remainder). Growing is not allowed — that would bypass the
+    /// budget's limit check — so a larger `new_bytes` is a no-op.
+    pub fn shrink_to(&self, new_bytes: u64) {
+        // ORDERING: AcqRel — the min-RMW both takes the previous count
+        // exactly once (so racing shrinkers release each byte at most
+        // once) and publishes the new one to `bytes()` readers.
+        let old = self.bytes.fetch_min(new_bytes, Ordering::AcqRel);
+        let released = old.saturating_sub(new_bytes);
+        if released > 0 {
+            if let Some(inner) = &self.budget {
+                // ORDERING: AcqRel — the release side of the reserve CAS
+                // (see `Drop`); an Acquire balance read afterwards sees
+                // the bytes returned.
+                inner.reserved.fetch_sub(released, Ordering::AcqRel);
+            }
+        }
     }
 }
 
@@ -184,8 +216,9 @@ impl Drop for DiskReservation {
             // ORDERING: AcqRel — the release side of the reserve CAS; an
             // Acquire read of the balance afterwards sees the bytes
             // returned (outstanding() == 0 after drops is asserted by the
-            // chaos suite).
-            inner.reserved.fetch_sub(self.bytes, Ordering::AcqRel);
+            // chaos suite). `get_mut` on the count needs no ordering: drop
+            // has exclusive access.
+            inner.reserved.fetch_sub(*self.bytes.get_mut(), Ordering::AcqRel);
         }
     }
 }
@@ -218,6 +251,28 @@ mod tests {
         drop(r1);
         assert_eq!(b.outstanding(), 0);
         assert_eq!(b.high_water(), 60);
+    }
+
+    #[test]
+    fn shrinking_returns_the_difference_and_never_grows() {
+        let b = DiskBudget::limited(100);
+        let r = b.try_reserve(80).unwrap();
+        r.shrink_to(30);
+        assert_eq!(r.bytes(), 30);
+        assert_eq!(b.outstanding(), 30, "the difference is returned immediately");
+        // Growing is refused: the budget's limit check cannot be bypassed.
+        r.shrink_to(90);
+        assert_eq!(r.bytes(), 30);
+        assert_eq!(b.outstanding(), 30);
+        r.shrink_to(0);
+        assert_eq!(b.outstanding(), 0);
+        drop(r);
+        assert_eq!(b.outstanding(), 0, "drop releases only the remainder");
+        assert_eq!(b.high_water(), 80, "the peak saw the nominal reservation");
+        // Unlimited reservations shrink without accounting.
+        let r = DiskBudget::unlimited().try_reserve(64).unwrap();
+        r.shrink_to(8);
+        assert_eq!(r.bytes(), 8);
     }
 
     #[test]

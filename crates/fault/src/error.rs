@@ -73,9 +73,10 @@ pub enum AggError {
         expected: u64,
         /// The value actually found in the file.
         actual: u64,
-        /// What mismatched: `"magic"`, `"shape"`, `"extent crc"`,
-        /// `"extent words"`, `"file crc"`, `"extent count"`,
-        /// `"byte count"`, `"footer magic"`, or `"truncated"`.
+        /// What mismatched: `"magic"`, `"shape"`, `"extent header"`,
+        /// `"extent crc"`, `"extent words"`, `"extent codec"`,
+        /// `"file crc"`, `"extent count"`, `"byte count"`,
+        /// `"footer magic"`, or `"truncated"`.
         what: String,
     },
     /// A spill-space reservation was denied by the disk budget: the spill

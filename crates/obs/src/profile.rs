@@ -137,21 +137,24 @@ pub struct ProfileTree {
     /// Highest concurrently reserved byte count the memory budget saw
     /// (0 when the budget is unlimited).
     pub budget_high_water: u64,
-    /// Nanoseconds of spill/restore I/O that overlapped compute. Spill
-    /// I/O is synchronous today, so this is 0; it becomes meaningful when
-    /// overlapped spill I/O (ROADMAP) lands, and the JSON field is
-    /// reserved now so the schema does not need to change then.
+    /// Nanoseconds of spill/restore I/O that ran on the store's
+    /// background workers concurrently with compute (worker time minus
+    /// the time compute threads spent blocked waiting on tickets). 0 with
+    /// synchronous spill I/O (`io_threads: 0`) or no spilling.
     pub overlapped_io_nanos: u64,
     cells: [[PhaseCell; Phase::COUNT]; PROFILE_LEVELS],
 }
 
 impl ProfileTree {
     /// Merge the per-worker phase cells of `snap` into a tree.
+    /// `overlapped_io_nanos` is the store-reported background I/O time
+    /// that did not stall a compute thread (see the field's doc).
     pub fn build(
         snap: &MetricsSnapshot,
         wall_nanos: u64,
         threads: usize,
         budget_high_water: u64,
+        overlapped_io_nanos: u64,
     ) -> Self {
         let mut cells = [[PhaseCell::default(); Phase::COUNT]; PROFILE_LEVELS];
         for w in &snap.workers {
@@ -161,7 +164,7 @@ impl ProfileTree {
                 }
             }
         }
-        Self { wall_nanos, threads, budget_high_water, overlapped_io_nanos: 0, cells }
+        Self { wall_nanos, threads, budget_high_water, overlapped_io_nanos, cells }
     }
 
     /// The merged cell of one `(level, phase)` node.
@@ -179,7 +182,9 @@ impl ProfileTree {
         (0..PROFILE_LEVELS).map(|l| self.level_nanos(l)).sum()
     }
 
-    /// Nanoseconds spent in spill/restore I/O across levels.
+    /// Nanoseconds compute threads spent in spill/restore phases across
+    /// levels (submission, waiting on tickets, and synchronous I/O — not
+    /// the background workers' own time).
     pub fn io_nanos(&self) -> u64 {
         (0..PROFILE_LEVELS)
             .map(|l| {
@@ -189,14 +194,16 @@ impl ProfileTree {
             .sum()
     }
 
-    /// Fraction of spill/restore I/O overlapped with compute (0.0 while
-    /// spill I/O is synchronous; see [`Self::overlapped_io_nanos`]).
+    /// Fraction of total spill I/O time hidden behind compute: overlapped
+    /// background time over overlapped + compute-thread I/O time. 0.0
+    /// when spill I/O is synchronous or absent; approaches 1.0 when the
+    /// async pipeline hides nearly all of it.
     pub fn overlap_fraction(&self) -> f64 {
-        let io = self.io_nanos();
-        if io == 0 {
+        let total = self.overlapped_io_nanos + self.io_nanos();
+        if total == 0 {
             0.0
         } else {
-            self.overlapped_io_nanos as f64 / io as f64
+            self.overlapped_io_nanos as f64 / total as f64
         }
     }
 
@@ -380,7 +387,7 @@ mod tests {
         r.phase(1, 0, Phase::HashInsert, delta(300, 3000, 750, 0));
         r.phase(0, 0, Phase::Seal, delta(50, 1000, 1000, 0));
         r.phase(1, 1, Phase::GrowMerge, delta(70, 500, 100, 0));
-        let t = ProfileTree::build(&r.snapshot(), 1000, 2, 4096);
+        let t = ProfileTree::build(&r.snapshot(), 1000, 2, 4096, 0);
 
         let hi = t.cell(0, Phase::HashInsert);
         assert_eq!(hi.nanos, 400);
@@ -405,7 +412,7 @@ mod tests {
     fn deep_levels_clamp_into_the_last_slot() {
         let r = Recorder::enabled(1);
         r.phase(0, 200, Phase::Partition, delta(5, 10, 10, 0));
-        let t = ProfileTree::build(&r.snapshot(), 100, 1, 0);
+        let t = ProfileTree::build(&r.snapshot(), 100, 1, 0, 0);
         assert_eq!(t.cell(PROFILE_LEVELS - 1, Phase::Partition).nanos, 5);
         assert_eq!(t.cell(PROFILE_LEVELS + 7, Phase::Partition).nanos, 5);
     }
@@ -415,9 +422,9 @@ mod tests {
         let r = Recorder::enabled(2);
         r.phase(0, 0, Phase::HashInsert, delta(900, 0, 0, 0));
         r.phase(1, 0, Phase::Partition, delta(500, 0, 0, 0));
-        let t = ProfileTree::build(&r.snapshot(), 1000, 2, 0);
+        let t = ProfileTree::build(&r.snapshot(), 1000, 2, 0, 0);
         assert!((t.coverage() - 0.7).abs() < 1e-12);
-        let empty = ProfileTree::build(&Recorder::disabled().snapshot(), 0, 1, 0);
+        let empty = ProfileTree::build(&Recorder::disabled().snapshot(), 0, 1, 0, 0);
         assert_eq!(empty.coverage(), 0.0);
     }
 
@@ -426,9 +433,25 @@ mod tests {
         let r = Recorder::enabled(1);
         r.phase(0, 0, Phase::Spill, delta(100, 50, 0, 4096));
         r.phase(0, 1, Phase::Restore, delta(60, 0, 50, 4096));
-        let t = ProfileTree::build(&r.snapshot(), 1000, 1, 0);
+        let t = ProfileTree::build(&r.snapshot(), 1000, 1, 0, 0);
         assert_eq!(t.io_nanos(), 160);
         assert_eq!(t.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_is_overlapped_over_total_io() {
+        let r = Recorder::enabled(1);
+        r.phase(0, 0, Phase::Spill, delta(100, 50, 0, 4096));
+        r.phase(0, 1, Phase::Restore, delta(60, 0, 50, 4096));
+        // 480 ns of background I/O ran while compute threads spent 160 ns
+        // in the foreground phases: 480 / (480 + 160) = 75% hidden.
+        let t = ProfileTree::build(&r.snapshot(), 1000, 1, 0, 480);
+        assert_eq!(t.overlapped_io_nanos, 480);
+        assert!((t.overlap_fraction() - 0.75).abs() < 1e-12);
+        let json = t.to_json();
+        assert_eq!(json.get("overlapped_io_nanos").and_then(|v| v.as_u64()), Some(480));
+        // The render's io line shows the overlap share.
+        assert!(t.render().contains("overlap 75%"), "render: {}", t.render());
     }
 
     #[test]
@@ -438,7 +461,7 @@ mod tests {
         r.phase(0, 0, Phase::HashInsert, delta(600_000, 8000, 2000, 0));
         r.phase(0, 0, Phase::Seal, delta(200_000, 2000, 2000, 0));
         r.phase(0, 1, Phase::Output, delta(200_000, 2000, 2000, 0));
-        let t = ProfileTree::build(&r.snapshot(), 1_000_000, 1, 0);
+        let t = ProfileTree::build(&r.snapshot(), 1_000_000, 1, 0, 0);
         let expected = "\
 query · wall 1.00 ms · 1 thread · 100.0% of 1×wall attributed to leaf phases
 ├─ level 0 · 800.00 µs · 80.0%
@@ -454,7 +477,7 @@ query · wall 1.00 ms · 1 thread · 100.0% of 1×wall attributed to leaf phases
     fn json_round_trips_and_omits_empty_cells() {
         let r = Recorder::enabled(1);
         r.phase(0, 0, Phase::HashInsert, delta(100, 10, 5, 0));
-        let t = ProfileTree::build(&r.snapshot(), 500, 1, 123);
+        let t = ProfileTree::build(&r.snapshot(), 500, 1, 123, 0);
         let parsed = crate::json::parse(&t.to_json().to_string_pretty(2)).unwrap();
         assert_eq!(parsed.get("wall_nanos").unwrap().as_u64(), Some(500));
         assert_eq!(parsed.get("budget_high_water_bytes").unwrap().as_u64(), Some(123));

@@ -110,6 +110,15 @@ metric_enum! {
         SpillReclaimedFiles => "spill_reclaimed_files",
         /// Spill-space reservations denied by the disk budget.
         DiskBudgetDenials => "disk_budget_denials",
+        /// Bytes spill files actually occupied on disk after per-extent
+        /// compression (compare with `spilled_bytes`).
+        SpillEncodedBytes => "spill_encoded_bytes",
+        /// Background spill I/O nanoseconds that ran concurrently with
+        /// compute (worker time minus compute-thread wait time).
+        OverlappedIoNanos => "overlapped_io_nanos",
+        /// Nanoseconds compute threads spent blocked on in-flight
+        /// background spill I/O.
+        SpillIoWaitNanos => "spill_io_wait_nanos",
     }
 }
 

@@ -52,17 +52,27 @@ fn nested_spawns_from_stolen_tasks_all_complete() {
 #[test]
 fn all_workers_participate_under_single_producer_load() {
     // All tasks enter through worker 0's queue; everyone else only steals.
-    let (_, metrics) = hsa_tasks::scope_observed(THREADS, |s| {
-        for _ in 0..TASKS {
-            s.spawn(|_| {
-                std::hint::black_box(fibonacci(12));
-            });
+    // Whether a steal lands is scheduler-dependent: on a single hardware
+    // thread the producing worker can drain its whole queue before any
+    // sibling is ever scheduled. The exact-balance invariant must hold on
+    // every attempt; the stealing observation only has to happen once.
+    let mut stole = false;
+    for _ in 0..20 {
+        let (_, metrics) = hsa_tasks::scope_observed(THREADS, |s| {
+            for _ in 0..TASKS {
+                s.spawn(|_| {
+                    std::hint::black_box(fibonacci(12));
+                });
+            }
+        });
+        let executed: u64 = metrics.workers.iter().map(|w| w.tasks_executed).sum();
+        assert_eq!(executed, TASKS);
+        if metrics.workers.iter().filter(|w| w.tasks_executed > 0).count() > 1 {
+            stole = true;
+            break;
         }
-    });
-    let executed: u64 = metrics.workers.iter().map(|w| w.tasks_executed).sum();
-    assert_eq!(executed, TASKS);
-    let stealers = metrics.workers.iter().filter(|w| w.tasks_executed > 0).count();
-    assert!(stealers > 1, "no stealing happened: {metrics:?}");
+    }
+    assert!(stole, "no stealing happened in any of 20 attempts");
 }
 
 #[test]

@@ -48,7 +48,7 @@ pub use hsa_core::{
     AdaptiveParams, AggError, AggStream, AggregateConfig, CancelReason, CancelToken, DiskBudget,
     DiskReservation, ExecEnv, FaultInjector, FaultPlan, GroupByOutput, KernelKind, KernelPref,
     MemoryBudget, ObsConfig, OpStats, ProfileTree, Reservation, RunHandle, RunReport, RunStore,
-    SpillFault, SpillFaultKind, SpilledRun, Strategy, REPORT_VERSION,
+    SpillCodec, SpillConfig, SpillFault, SpillFaultKind, SpilledRun, Strategy, REPORT_VERSION,
 };
 pub use query::{AggValues, Query, QueryResult};
 
