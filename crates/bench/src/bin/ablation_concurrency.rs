@@ -1,0 +1,111 @@
+//! Ablation: multi-query concurrency on the shared worker runtime.
+//!
+//! Runs Q identical aggregations either one at a time (sequential) or all
+//! in flight at once on the shared pool, across a (queries × threads per
+//! query × key cardinality) grid. The column that matters is `speedup`:
+//! aggregate throughput of the concurrent run over the sequential run of
+//! the same Q queries. With more cores than the per-query thread count,
+//! concurrent queries fill the idle workers and the speedup climbs toward
+//! min(Q, cores / threads-per-query); on a single core it sits near 1.0
+//! for cache-resident work — the runtime's fair dispatch must not make
+//! interleaved queries materially slower than back-to-back ones. The
+//! memory-bound `spread` rungs are noisier there: interleaving several
+//! partition-phase working sets on one core thrashes the cache the
+//! sequential run kept warm, so sub-1.0 single-core speedups on those
+//! rows are expected and the gate tolerance is sized for it.
+//!
+//! Two cardinalities bracket the paper's regimes: `cache` (K = 2^10,
+//! tables stay cache-resident, throughput-bound) and `spread` (K = N/4,
+//! partitioning kicks in, memory-bound).
+//!
+//! The regression gate compares only `speedup` — it is dimensionless and
+//! survives machine changes, while absolute Mrows/s does not. One-sided:
+//! a beefier runner beating the committed baseline passes.
+//!
+//! ```sh
+//! cargo run --release -p hsa-bench --bin ablation_concurrency [rows_log2]
+//! ```
+
+use std::sync::Barrier;
+
+use hsa_agg::AggSpec;
+use hsa_bench::*;
+use hsa_core::{AggStream, AggregateConfig, ExecEnv, ObsConfig, Strategy};
+use hsa_datagen::{generate, Distribution};
+
+/// Rows per `push` — the serving-path chunk size, small enough that the
+/// scheduler interleaves queries rather than letting one monopolize.
+const CHUNK_ROWS: usize = 1 << 14;
+
+fn run_query(keys: &[u64], vals: &[u64], cfg: &AggregateConfig) -> usize {
+    let specs = [AggSpec::count(), AggSpec::sum(0)];
+    let mut stream = AggStream::new(&specs, cfg, &ExecEnv::unrestricted(), &ObsConfig::disabled())
+        .expect("stream");
+    for (k, v) in keys.chunks(CHUNK_ROWS).zip(vals.chunks(CHUNK_ROWS)) {
+        stream.push(k, &[v]).expect("push");
+    }
+    let (out, _) = stream.finish().expect("finish");
+    out.n_groups()
+}
+
+fn run_concurrent(queries: usize, keys: &[u64], vals: &[u64], cfg: &AggregateConfig) {
+    let barrier = Barrier::new(queries);
+    std::thread::scope(|s| {
+        for _ in 0..queries {
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                run_query(keys, vals, cfg);
+            });
+        }
+    });
+}
+
+fn main() {
+    let mut out = Sidecar::from_args("ablation_concurrency");
+    let rows_log2: u32 = arg(1).unwrap_or(20);
+    let n = 1usize << rows_log2;
+    let repeats = repeats_for(n).min(3);
+    let vals: Vec<u64> = (0..n as u64).collect();
+
+    println!(
+        "# Ablation: concurrent queries on the shared runtime, N = 2^{rows_log2} rows/query, \
+         {} cores",
+        default_threads()
+    );
+    out.header(&cells![
+        "workload",
+        "queries",
+        "threads/query",
+        "seq Mrows/s",
+        "conc Mrows/s",
+        "speedup",
+    ]);
+
+    for (label, k) in [("cache", 1u64 << 10), ("spread", (n as u64 / 4).max(1))] {
+        let keys = generate(Distribution::Uniform, n, k, 42);
+        for queries in [1usize, 2, 4] {
+            for threads in [1usize, 2] {
+                let cfg = sweep_cfg(Strategy::Adaptive(Default::default()), threads);
+                let (seq_secs, ()) = median_secs(repeats, || {
+                    for _ in 0..queries {
+                        run_query(&keys, &vals, &cfg);
+                    }
+                });
+                let (conc_secs, ()) =
+                    median_secs(repeats, || run_concurrent(queries, &keys, &vals, &cfg));
+                let total = (queries * n) as f64;
+                let seq_tp = total / seq_secs / 1e6;
+                let conc_tp = total / conc_secs / 1e6;
+                out.row(&cells![
+                    format!("{label} q{queries} t{threads}"),
+                    queries,
+                    threads,
+                    format!("{seq_tp:.1}"),
+                    format!("{conc_tp:.1}"),
+                    format!("{:.2}", seq_secs / conc_secs),
+                ]);
+            }
+        }
+    }
+}

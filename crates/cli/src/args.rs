@@ -86,6 +86,7 @@ impl CliArgs {
 /// Usage text shown by `hsa --help`.
 pub const USAGE: &str = "\
 usage: hsa <file.csv> --group-by <col>[,<col>...] [aggregates] [options]
+       hsa serve --listen <addr> [serve options]   (see hsa serve --help)
 
 aggregates (repeatable):
   --count [NAME]          COUNT(*)
@@ -293,7 +294,7 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Usa
 }
 
 /// Parse a byte size with an optional `K`/`M`/`G` suffix (powers of 1024).
-fn parse_size(s: &str) -> Result<u64, UsageError> {
+pub(crate) fn parse_size(s: &str) -> Result<u64, UsageError> {
     let bad = || UsageError(format!("bad size {s:?} (expected bytes with optional K/M/G suffix)"));
     let (digits, shift) = match s.as_bytes().last() {
         Some(b'k' | b'K') => (&s[..s.len() - 1], 10),

@@ -15,11 +15,13 @@ mod args;
 mod csv;
 mod error;
 mod load;
+mod serve;
 
 pub use args::{parse_args, CliArgs, UsageError, USAGE};
 pub use csv::{parse_csv, CsvError};
 pub use error::{CliError, ErrorClass};
 pub use load::{load_table, LoadedTable};
+pub use serve::{parse_serve_args, serve, serve_on, ServeArgs, SERVE_USAGE};
 
 use hashing_is_sorting::{
     CancelToken, DiskBudget, ExecEnv, MemoryBudget, ObsConfig, Query, RunReport, SpillConfig,

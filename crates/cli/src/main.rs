@@ -4,7 +4,10 @@
 //! exit with the class's code: 1 internal, 2 budget, 3 timeout, 4 I/O,
 //! 5 invalid input (including usage errors). `--help` exits 0.
 
-use hsa_cli::{parse_args, run_on_csv_text, CliError, ErrorClass, UsageError, USAGE};
+use hsa_cli::{
+    parse_args, parse_serve_args, run_on_csv_text, serve, CliError, ErrorClass, UsageError,
+    SERVE_USAGE, USAGE,
+};
 use std::process::ExitCode;
 
 fn fail(e: &CliError) -> ExitCode {
@@ -12,8 +15,32 @@ fn fail(e: &CliError) -> ExitCode {
     ExitCode::from(e.class.exit_code())
 }
 
+fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
+    let args = match parse_serve_args(argv) {
+        Ok(a) => a,
+        Err(UsageError(msg)) => {
+            if msg == SERVE_USAGE {
+                println!("{msg}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{msg}");
+            return ExitCode::from(ErrorClass::InvalidInput.exit_code());
+        }
+    };
+    match serve(&args) {
+        // serve() only returns on a bind/setup failure.
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        return serve_main(argv);
+    }
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(UsageError(msg)) => {
             // --help is not an error: usage on stdout, exit 0.

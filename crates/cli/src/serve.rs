@@ -1,0 +1,599 @@
+//! `hsa serve`: a std-only concurrent aggregation service over the
+//! shared worker runtime.
+//!
+//! The server speaks newline-delimited JSON over TCP. Each connection
+//! drives at most one query at a time through three phases — submit,
+//! stream rows, finish — while any number of connections run
+//! concurrently on the process-wide runtime, each with its own
+//! [`QueryGrant`] carved out of the server's global budgets by the
+//! [`AdmissionController`]. A query is cancellable *by id* from any
+//! connection, so a controller connection can reap a runaway query it
+//! did not start.
+//!
+//! Requests (one JSON object per line):
+//!
+//! ```text
+//! {"op":"submit","aggs":[["count"],["sum",0]],"threads":2,
+//!  "mem_budget":8388608,"disk_budget":1048576,"timeout_ms":5000}
+//! {"op":"rows","keys":[1,2,1],"cols":[[10,20,30]]}
+//! {"op":"finish"}
+//! {"op":"cancel","query_id":7}
+//! ```
+//!
+//! Responses: `{"ok":"admitted","query_id":N}` (or a
+//! `{"ok":"queued",...}` notice while the admission controller waits for
+//! capacity), one `{"ok":"rows",...}` ack per chunk, then on finish a
+//! stream of `{"block":{"keys":[...],"cols":[[...],...]}}` rows in
+//! sorted-key order followed by `{"done":{"query_id":N,"report":{...}}}`
+//! with the full v2 [`RunReport`]. Failures are
+//! `{"error":"<detail>","class":"<label>","exit_class":K}` with the same
+//! error taxonomy as the batch CLI, and leave the connection usable for
+//! the next submit.
+
+use crate::args::{parse_size, UsageError};
+use crate::error::{CliError, ErrorClass};
+use hashing_is_sorting::obs::json::{parse as parse_json, JsonValue};
+use hashing_is_sorting::{
+    AdmissionConfig, AdmissionController, AdmissionDenied, AdmissionOutcome, AdmissionRequest,
+    AggSpec, AggStream, AggregateConfig, CancelToken, ExecEnv, ObsConfig, QueryGrant,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Result rows per `block` line; small enough that a slow client sees
+/// steady progress, large enough that framing cost stays negligible.
+const BLOCK_ROWS: usize = 1024;
+
+/// Usage text shown by `hsa serve --help`.
+pub const SERVE_USAGE: &str = "\
+usage: hsa serve --listen <addr> [options]
+
+Serve concurrent GROUP BY queries over newline-delimited JSON on a TCP
+socket. Each connection submits one query at a time, streams rows in,
+and receives result blocks plus the final run report; queries from all
+connections execute concurrently on one shared worker runtime and can
+be cancelled by id from any connection.
+
+options:
+  --listen <addr>         bind address, e.g. 127.0.0.1:7070 (required;
+                          port 0 picks a free port, printed on stderr)
+  --threads <n>           worker slots per query (default: all cores)
+  --mem-total <size>      global memory pool carved into per-query
+                          slices by the admission controller (K/M/G
+                          suffixes; default unmetered)
+  --disk-total <size>     global spill-disk pool (default unmetered)
+  --max-queries <n>       concurrent-query cap (default unbounded)
+  --spill-dir <path>      base scratch directory; each query spills
+                          into a private subdirectory of it, removed
+                          when the query finishes, fails, or is dropped
+  --admit-timeout-ms <n>  how long a saturated server keeps a new query
+                          queued before failing it (default 10000)
+  --help                  this text";
+
+/// Parsed `hsa serve` command line.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Bind address (`--listen`).
+    pub listen: String,
+    /// Worker slots per admitted query (`--threads`).
+    pub threads: usize,
+    /// Global memory pool (`--mem-total`).
+    pub mem_total: Option<u64>,
+    /// Global spill-disk pool (`--disk-total`).
+    pub disk_total: Option<u64>,
+    /// Concurrent-query cap (`--max-queries`).
+    pub max_queries: Option<usize>,
+    /// Base scratch directory (`--spill-dir`).
+    pub spill_dir: Option<String>,
+    /// Queue wait bound for saturated admission (`--admit-timeout-ms`).
+    pub admit_timeout_ms: u64,
+}
+
+/// Parse the argument vector after the `serve` subcommand word.
+pub fn parse_serve_args(argv: impl IntoIterator<Item = String>) -> Result<ServeArgs, UsageError> {
+    let mut args = argv.into_iter();
+    let mut listen = None;
+    let mut threads = None;
+    let mut mem_total = None;
+    let mut disk_total = None;
+    let mut max_queries = None;
+    let mut spill_dir = None;
+    let mut admit_timeout_ms = 10_000u64;
+    let need = |flag: &str, v: Option<String>| {
+        v.ok_or_else(|| UsageError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(UsageError(SERVE_USAGE.to_string())),
+            "--listen" => listen = Some(need("--listen", args.next())?),
+            "--threads" => {
+                let v = need("--threads", args.next())?;
+                threads =
+                    Some(v.parse().map_err(|_| UsageError(format!("bad thread count {v:?}")))?);
+            }
+            "--mem-total" => mem_total = Some(parse_size(&need("--mem-total", args.next())?)?),
+            "--disk-total" => disk_total = Some(parse_size(&need("--disk-total", args.next())?)?),
+            "--max-queries" => {
+                let v = need("--max-queries", args.next())?;
+                max_queries =
+                    Some(v.parse().map_err(|_| UsageError(format!("bad query cap {v:?}")))?);
+            }
+            "--spill-dir" => spill_dir = Some(need("--spill-dir", args.next())?),
+            "--admit-timeout-ms" => {
+                let v = need("--admit-timeout-ms", args.next())?;
+                admit_timeout_ms =
+                    v.parse().map_err(|_| UsageError(format!("bad timeout {v:?}")))?;
+            }
+            other => return Err(UsageError(format!("unknown serve option {other:?}"))),
+        }
+    }
+    Ok(ServeArgs {
+        listen: listen.ok_or_else(|| UsageError("serve needs --listen <addr>".into()))?,
+        threads: threads.unwrap_or_else(|| AggregateConfig::default().threads),
+        mem_total,
+        disk_total,
+        max_queries,
+        spill_dir,
+        admit_timeout_ms,
+    })
+}
+
+/// Shared server state: the admission ledger plus the cancel-by-id
+/// registry spanning all connections.
+struct ServeState {
+    admission: AdmissionController,
+    /// Live queries' cancel tokens, keyed by query id. Entries are
+    /// removed when the owning query finishes or fails, on every path.
+    cancels: Mutex<HashMap<u64, CancelToken>>,
+    threads: usize,
+    spill_dir: Option<PathBuf>,
+    admit_timeout: Duration,
+}
+
+/// Bind and serve until the process dies. Returns only on bind failure.
+pub fn serve(args: &ServeArgs) -> Result<(), CliError> {
+    let listener = TcpListener::bind(&args.listen)
+        .map_err(|e| CliError::new(ErrorClass::Io, format!("cannot bind {}: {e}", args.listen)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::new(ErrorClass::Io, format!("cannot read bound address: {e}")))?;
+    eprintln!("[serve] listening on {addr}");
+    serve_on(listener, args);
+    Ok(())
+}
+
+/// Accept loop over an already-bound listener (tests bind port 0 first).
+pub fn serve_on(listener: TcpListener, args: &ServeArgs) {
+    let state = Arc::new(ServeState {
+        admission: AdmissionController::new(AdmissionConfig {
+            memory_bytes: args.mem_total,
+            disk_bytes: args.disk_total,
+            max_queries: args.max_queries,
+        }),
+        cancels: Mutex::new(HashMap::new()),
+        threads: args.threads.max(1),
+        spill_dir: args.spill_dir.as_ref().map(PathBuf::from),
+        admit_timeout: Duration::from_millis(args.admit_timeout_ms),
+    });
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        let state = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name("hsa-serve-conn".to_string())
+            .spawn(move || handle_conn(stream, &state));
+    }
+}
+
+/// One in-flight query on a connection.
+struct ActiveQuery {
+    id: u64,
+    stream: AggStream,
+    /// Holds this query's slice of the global pools until dropped.
+    _grant: QueryGrant,
+    /// Number of input columns the submitted specs reference.
+    n_inputs: usize,
+    scratch: Option<PathBuf>,
+}
+
+fn handle_conn(stream: TcpStream, state: &ServeState) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut active: Option<ActiveQuery> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match parse_json(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                let err = CliError::invalid(format!("bad request JSON: {e}"));
+                if write_error(&mut writer, &err, None).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let result = match request.get("op").and_then(JsonValue::as_str) {
+            Some("submit") => op_submit(&request, &mut active, state, &mut writer),
+            Some("rows") => op_rows(&request, &mut active, state, &mut writer),
+            Some("finish") => op_finish(&mut active, state, &mut writer),
+            Some("cancel") => op_cancel(&request, state, &mut writer),
+            _ => {
+                let err = CliError::invalid("missing or unknown \"op\"");
+                write_error(&mut writer, &err, active.as_ref().map(|a| a.id))
+            }
+        };
+        if result.is_err() {
+            break; // the socket is gone; cleanup below
+        }
+    }
+    // Connection torn down with a query in flight: release everything.
+    if let Some(q) = active.take() {
+        cleanup_query(q, state);
+    }
+}
+
+/// Deregister the cancel token and remove the scratch directory; the
+/// grant (and with it the global-pool slice) releases on drop.
+fn cleanup_query(q: ActiveQuery, state: &ServeState) {
+    if let Ok(mut cancels) = state.cancels.lock() {
+        cancels.remove(&q.id);
+    }
+    drop(q.stream);
+    if let Some(dir) = q.scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+fn op_submit(
+    request: &JsonValue,
+    active: &mut Option<ActiveQuery>,
+    state: &ServeState,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    if active.is_some() {
+        let err = CliError::invalid("a query is already in flight on this connection");
+        return write_error(writer, &err, active.as_ref().map(|a| a.id));
+    }
+    let specs = match parse_specs(request) {
+        Ok(s) => s,
+        Err(e) => return write_error(writer, &e, None),
+    };
+    let n_inputs = specs.iter().filter_map(|s| s.input).map(|i| i + 1).max().unwrap_or(0);
+    let threads = match request.get("threads").and_then(JsonValue::as_u64) {
+        // A query cannot claim more slots than the server allots.
+        Some(n) => (n as usize).clamp(1, state.threads),
+        None => state.threads,
+    };
+    let mut cfg = AggregateConfig { threads, ..AggregateConfig::default() };
+    if let Some(kb) = request.get("cache_kb").and_then(JsonValue::as_u64) {
+        cfg.cache_bytes = (kb.max(1) as usize) << 10;
+    }
+    let admission = AdmissionRequest {
+        memory_bytes: request.get("mem_budget").and_then(JsonValue::as_u64),
+        disk_bytes: request.get("disk_budget").and_then(JsonValue::as_u64),
+        deadline: request.get("timeout_ms").and_then(JsonValue::as_u64).map(Duration::from_millis),
+    };
+    // First a non-blocking probe so the client hears "queued" instead of
+    // silence, then the bounded blocking wait.
+    let outcome = match state.admission.try_admit(&admission) {
+        AdmissionOutcome::Queued { active: n, waiting_for } => {
+            write_line(
+                writer,
+                &JsonValue::obj([
+                    ("ok", JsonValue::str("queued")),
+                    ("active", JsonValue::U64(n as u64)),
+                    ("waiting_for", JsonValue::str(waiting_for)),
+                ]),
+            )?;
+            state.admission.admit_blocking(&admission, Some(state.admit_timeout))
+        }
+        outcome => outcome,
+    };
+    let grant = match outcome {
+        AdmissionOutcome::Admitted(grant) => grant,
+        AdmissionOutcome::Denied(denied) => {
+            let class = match denied {
+                AdmissionDenied::ShuttingDown => ErrorClass::Internal,
+                _ => ErrorClass::Budget,
+            };
+            return write_error(writer, &CliError::new(class, format!("denied: {denied}")), None);
+        }
+        AdmissionOutcome::Queued { waiting_for, .. } => {
+            let err = CliError::new(
+                ErrorClass::Budget,
+                format!("admission timed out waiting for {waiting_for}"),
+            );
+            return write_error(writer, &err, None);
+        }
+    };
+    let mut env = ExecEnv::unrestricted()
+        .with_budget(grant.budget())
+        .with_disk_budget(grant.disk())
+        .with_cancel(grant.cancel());
+    // The query id is only known once the stream exists, but the spill
+    // store captures its directory at open — so scratch directories get
+    // a process-unique sequence number instead of the query id. Each is
+    // removed when its query completes, on every path.
+    let scratch = match &state.spill_dir {
+        Some(base) => {
+            // ORDERING: Relaxed — a unique-name counter, nothing else is
+            // published through it.
+            let n = SCRATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dir = base.join(format!("scratch-{}-{n}", std::process::id()));
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                let err = CliError::new(ErrorClass::Io, format!("cannot create scratch dir: {e}"));
+                return write_error(writer, &err, None);
+            }
+            env = env.with_spill_dir(&dir);
+            Some(dir)
+        }
+        None => None,
+    };
+    let agg = match AggStream::new(&specs, &cfg, &env, &ObsConfig::disabled()) {
+        Ok(s) => s,
+        Err(e) => {
+            if let Some(dir) = &scratch {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+            return write_error(writer, &CliError::from(e), None);
+        }
+    };
+    let id = agg.query_id();
+    if let Ok(mut cancels) = state.cancels.lock() {
+        cancels.insert(id, grant.cancel());
+    }
+    *active = Some(ActiveQuery { id, stream: agg, _grant: grant, n_inputs, scratch });
+    write_line(
+        writer,
+        &JsonValue::obj([("ok", JsonValue::str("admitted")), ("query_id", JsonValue::U64(id))]),
+    )
+}
+
+/// Scratch-directory name counter shared by all connections.
+static SCRATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn op_rows(
+    request: &JsonValue,
+    active: &mut Option<ActiveQuery>,
+    state: &ServeState,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    let Some(q) = active.as_mut() else {
+        return write_error(writer, &CliError::invalid("no query in flight (submit first)"), None);
+    };
+    let Some(keys) = request.get("keys").and_then(u64_vec) else {
+        return write_error(writer, &CliError::invalid("rows needs \"keys\": [u64]"), Some(q.id));
+    };
+    let cols: Vec<Vec<u64>> = match request.get("cols") {
+        None => Vec::new(),
+        Some(v) => match v.as_array().map(|a| a.iter().map(u64_vec).collect::<Option<Vec<_>>>()) {
+            Some(Some(cols)) => cols,
+            _ => {
+                let err = CliError::invalid("rows needs \"cols\": [[u64]]");
+                return write_error(writer, &err, Some(q.id));
+            }
+        },
+    };
+    if cols.len() < q.n_inputs {
+        let err = CliError::invalid(format!(
+            "query references {} input column(s), got {}",
+            q.n_inputs,
+            cols.len()
+        ));
+        return write_error(writer, &err, Some(q.id));
+    }
+    let col_refs: Vec<&[u64]> = cols.iter().map(Vec::as_slice).collect();
+    match q.stream.push(&keys, &col_refs) {
+        Ok(()) => {
+            let ack = JsonValue::obj([
+                ("ok", JsonValue::str("rows")),
+                ("query_id", JsonValue::U64(q.id)),
+                ("pushed", JsonValue::U64(keys.len() as u64)),
+                ("total", JsonValue::U64(q.stream.rows_pushed())),
+            ]);
+            write_line(writer, &ack)
+        }
+        Err(e) => {
+            // The stream is poisoned: tear the query down, keep the
+            // connection; the client may submit a fresh query.
+            let id = q.id;
+            let q = active.take().expect("checked in-flight above");
+            cleanup_query(q, state);
+            write_error(writer, &CliError::from(e), Some(id))
+        }
+    }
+}
+
+fn op_finish(
+    active: &mut Option<ActiveQuery>,
+    state: &ServeState,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    let Some(q) = active.take() else {
+        return write_error(writer, &CliError::invalid("no query in flight (submit first)"), None);
+    };
+    let ActiveQuery { id, stream, _grant, scratch, .. } = q;
+    let finished = stream.finish();
+    // The query is over either way: free the id and the scratch space
+    // before streaming results (the output is already materialized).
+    if let Ok(mut cancels) = state.cancels.lock() {
+        cancels.remove(&id);
+    }
+    if let Some(dir) = &scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let (out, report) = match finished {
+        Ok(v) => v,
+        Err(e) => return write_error(writer, &CliError::from(e), Some(id)),
+    };
+    drop(_grant);
+    // Sorted-key order makes served output deterministic — bit-identical
+    // across runs and to a sequential execution of the same query.
+    let rows = out.sorted_rows();
+    let n_cols = rows.first().map(|(_, vals)| vals.len()).unwrap_or(0);
+    for block in rows.chunks(BLOCK_ROWS) {
+        let keys = JsonValue::u64_array(block.iter().map(|(k, _)| *k));
+        let cols = JsonValue::Array(
+            (0..n_cols)
+                .map(|c| JsonValue::u64_array(block.iter().map(|(_, vals)| vals[c])))
+                .collect(),
+        );
+        let line = JsonValue::obj([("block", JsonValue::obj([("keys", keys), ("cols", cols)]))]);
+        write_line(writer, &line)?;
+    }
+    let done = JsonValue::obj([(
+        "done",
+        JsonValue::obj([
+            ("query_id", JsonValue::U64(id)),
+            ("groups", JsonValue::U64(out.n_groups() as u64)),
+            ("report", report.to_json()),
+        ]),
+    )]);
+    write_line(writer, &done)
+}
+
+fn op_cancel(
+    request: &JsonValue,
+    state: &ServeState,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    let Some(id) = request.get("query_id").and_then(JsonValue::as_u64) else {
+        return write_error(writer, &CliError::invalid("cancel needs \"query_id\""), None);
+    };
+    let token = state.cancels.lock().ok().and_then(|c| c.get(&id).cloned());
+    match token {
+        Some(token) => {
+            token.cancel();
+            write_line(
+                writer,
+                &JsonValue::obj([
+                    ("ok", JsonValue::str("cancelled")),
+                    ("query_id", JsonValue::U64(id)),
+                ]),
+            )
+        }
+        None => write_error(writer, &CliError::invalid(format!("no live query {id}")), None),
+    }
+}
+
+/// Parse `"aggs": [["count"],["sum",0],...]` into specs. An omitted or
+/// empty list is `DISTINCT` over the keys.
+fn parse_specs(request: &JsonValue) -> Result<Vec<AggSpec>, CliError> {
+    let Some(aggs) = request.get("aggs") else { return Ok(Vec::new()) };
+    let Some(entries) = aggs.as_array() else {
+        return Err(CliError::invalid("\"aggs\" must be an array of [fn, col?] pairs"));
+    };
+    let mut specs = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let parts = entry.as_array();
+        let func = parts
+            .and_then(|p| p.first())
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| CliError::invalid("each agg needs a function name"))?;
+        let col = parts.and_then(|p| p.get(1)).and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+        specs.push(match func {
+            "count" => AggSpec::count(),
+            "sum" => AggSpec::sum(col),
+            "min" => AggSpec::min(col),
+            "max" => AggSpec::max(col),
+            "avg" => AggSpec::avg(col),
+            other => return Err(CliError::invalid(format!("unknown aggregate {other:?}"))),
+        });
+    }
+    Ok(specs)
+}
+
+fn u64_vec(v: &JsonValue) -> Option<Vec<u64>> {
+    v.as_array()?.iter().map(JsonValue::as_u64).collect()
+}
+
+fn write_line(writer: &mut TcpStream, value: &JsonValue) -> std::io::Result<()> {
+    let mut text = value.to_string_compact();
+    text.push('\n');
+    writer.write_all(text.as_bytes())
+}
+
+fn write_error(
+    writer: &mut TcpStream,
+    err: &CliError,
+    query_id: Option<u64>,
+) -> std::io::Result<()> {
+    let mut pairs = vec![
+        ("error".to_string(), JsonValue::str(&err.message)),
+        ("class".to_string(), JsonValue::str(err.class.label())),
+        ("exit_class".to_string(), JsonValue::U64(u64::from(err.class.exit_code()))),
+    ];
+    if let Some(id) = query_id {
+        pairs.push(("query_id".to_string(), JsonValue::U64(id)));
+    }
+    write_line(writer, &JsonValue::Object(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<ServeArgs, UsageError> {
+        parse_serve_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn serve_args_full() {
+        let a = parse(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--mem-total",
+            "64M",
+            "--disk-total",
+            "1G",
+            "--max-queries",
+            "4",
+            "--spill-dir",
+            "/tmp/hsa-serve",
+            "--admit-timeout-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(a.listen, "127.0.0.1:0");
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.mem_total, Some(64 << 20));
+        assert_eq!(a.disk_total, Some(1 << 30));
+        assert_eq!(a.max_queries, Some(4));
+        assert_eq!(a.spill_dir.as_deref(), Some("/tmp/hsa-serve"));
+        assert_eq!(a.admit_timeout_ms, 500);
+    }
+
+    #[test]
+    fn serve_args_require_listen() {
+        assert!(parse(&[]).unwrap_err().0.contains("--listen"));
+        assert!(parse(&["--listen"]).is_err());
+        assert!(parse(&["--listen", "x", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn spec_parsing_accepts_the_protocol_forms() {
+        let req = parse_json(r#"{"aggs":[["count"],["sum",0],["avg",1]]}"#).unwrap();
+        let specs = parse_specs(&req).unwrap();
+        assert_eq!(specs.len(), 3);
+        let req = parse_json(r#"{"aggs":[["median",0]]}"#).unwrap();
+        assert!(parse_specs(&req).is_err());
+        let req = parse_json(r#"{}"#).unwrap();
+        assert!(parse_specs(&req).unwrap().is_empty(), "no aggs = DISTINCT");
+    }
+}

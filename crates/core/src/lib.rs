@@ -67,8 +67,9 @@ pub use hsa_kernels::{KernelKind, KernelPref};
 
 pub use hsa_columnar::{RunHandle, RunStore, SpillCodec, SpillConfig, SpilledRun};
 pub use hsa_fault::{
+    AdmissionConfig, AdmissionController, AdmissionDenied, AdmissionOutcome, AdmissionRequest,
     AggError, CancelReason, CancelToken, DiskBudget, DiskReservation, FaultInjector, FaultPlan,
-    MemoryBudget, Reservation, SpillFault, SpillFaultKind,
+    MemoryBudget, QueryGrant, Reservation, SpillFault, SpillFaultKind,
 };
 pub use hsa_obs::ProfileTree;
 pub use output::GroupByOutput;

@@ -18,7 +18,11 @@ use hsa_tasks::{PoolMetrics, WorkerPoolMetrics};
 /// `report_version`. Stability contract (see DESIGN.md §13): adding new
 /// members does **not** bump this — consumers must ignore unknown keys;
 /// renaming, removing, or reinterpreting an existing member does.
-pub const REPORT_VERSION: u64 = 1;
+///
+/// History: v2 added `query_id` and reinterpreted a report as the record
+/// of one admitted query on the shared runtime (ids are unique per
+/// process, so two reports from one serving process never collide).
+pub const REPORT_VERSION: u64 = 2;
 
 /// What the observed operator entry points should collect.
 #[derive(Clone, Debug)]
@@ -65,6 +69,11 @@ impl Default for ObsConfig {
 /// The full observability record of one operator invocation.
 #[derive(Clone, Debug)]
 pub struct RunReport {
+    /// The runtime's id for this query: every invocation is admitted to
+    /// the shared worker runtime as one query, and all of its work,
+    /// heartbeat lines, and this report carry the same id. Unique within
+    /// the process.
+    pub query_id: u64,
     /// Input rows.
     pub rows_in: u64,
     /// Output groups.
@@ -103,6 +112,7 @@ impl RunReport {
     pub fn to_json(&self) -> JsonValue {
         let mut pairs = vec![
             ("report_version".to_string(), JsonValue::U64(REPORT_VERSION)),
+            ("query_id".to_string(), JsonValue::U64(self.query_id)),
             ("rows_in".to_string(), JsonValue::U64(self.rows_in)),
             ("groups_out".to_string(), JsonValue::U64(self.groups_out)),
             ("threads".to_string(), JsonValue::U64(self.threads as u64)),
@@ -137,6 +147,7 @@ impl RunReport {
         use std::fmt::Write;
         let mut s = String::new();
         let ms = self.wall_nanos as f64 / 1e6;
+        let _ = writeln!(s, "query id           {}", self.query_id);
         let _ = writeln!(s, "rows in            {}", self.rows_in);
         let _ = writeln!(s, "groups out         {}", self.groups_out);
         let _ = writeln!(s, "threads            {}", self.threads);
@@ -380,6 +391,7 @@ mod tests {
         rec.observe(0, Hist::ProbeLen, 0);
         rec.record_alpha(1, 3.5);
         RunReport {
+            query_id: 7,
             rows_in: 1500,
             groups_out: 40,
             threads: 2,
@@ -399,6 +411,7 @@ mod tests {
         let text = report.to_json().to_string_pretty(2);
         let parsed = hsa_obs::json::parse(&text).unwrap();
         assert_eq!(parsed.get("report_version").unwrap().as_u64(), Some(REPORT_VERSION));
+        assert_eq!(parsed.get("query_id").unwrap().as_u64(), Some(7));
         assert_eq!(parsed.get("rows_in").unwrap().as_u64(), Some(1500));
         assert_eq!(parsed.get("groups_out").unwrap().as_u64(), Some(40));
         assert_eq!(parsed.get("kernel").unwrap().as_str(), Some("sse2"));
@@ -430,6 +443,7 @@ mod tests {
     fn pretty_mentions_the_headline_numbers() {
         let report = sample_report();
         let text = report.pretty();
+        assert!(text.contains("query id           7"));
         assert!(text.contains("rows in            1500"));
         assert!(text.contains("kernel             sse2  (batched rows 1200   scalar rows 0)"));
         assert!(text.contains("passes used        2"));

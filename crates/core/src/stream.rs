@@ -37,7 +37,7 @@ use hsa_obs::{
     Recorder, Tracer,
 };
 use hsa_tasks::sync::Mutex;
-use hsa_tasks::{chunk_ranges, PoolMetrics};
+use hsa_tasks::{chunk_ranges, PoolMetrics, QueryHandle, Runtime};
 use std::time::Instant;
 
 /// A grouped aggregation accepting its input in bounded chunks.
@@ -71,6 +71,10 @@ pub struct AggStream {
     ctx: Ctx,
     lowered: Plan,
     input_aggregated: bool,
+    /// This query's admission to the shared worker runtime: every push
+    /// and the finish recursion run scopes through it, so all of the
+    /// stream's work carries one `QueryId` from open to report.
+    handle: QueryHandle,
     threads: usize,
     observed: bool,
     shared: SharedBuckets,
@@ -124,6 +128,10 @@ impl AggStream {
         };
         let kind = hsa_kernels::select(cfg.kernel);
         let store = store_for(env)?;
+        // One admission per stream: every scope this query runs — all
+        // pushes and the finish recursion — shares the same QueryId on
+        // the process-wide runtime.
+        let handle = Runtime::global().admit(threads);
         // The gauge mirrors coarse per-worker position in relaxed atomics
         // so the sampler thread never reads the recorder's shards.
         let gauge = if obs_cfg.progress.is_some() {
@@ -135,7 +143,12 @@ impl AggStream {
             let budget = env.budget.clone();
             let probe: BudgetProbe =
                 Box::new(move || budget.limit().map(|limit| (budget.outstanding(), limit)));
-            ProgressSampler::start(gauge.clone(), interval, Some(probe))
+            ProgressSampler::start_tagged(
+                gauge.clone(),
+                interval,
+                Some(probe),
+                Some(handle.id().to_string()),
+            )
         });
         let ctx = Ctx {
             cfg: cfg.clone(),
@@ -161,6 +174,7 @@ impl AggStream {
             ctx,
             lowered,
             input_aggregated,
+            handle,
             threads,
             observed,
             shared: SharedBuckets::new(),
@@ -207,7 +221,7 @@ impl AggStream {
         let workers = &self.workers;
         let input_aggregated = self.input_aggregated;
         let n_morsels = keys.len().div_ceil(ctx.cfg.morsel_rows.max(1)).max(1);
-        let (scope, pm) = hsa_tasks::try_scope_observed(self.threads, |s| {
+        let (scope, pm) = self.handle.try_scope_observed(|s| {
             for range in chunk_ranges(keys.len(), n_morsels) {
                 s.spawn(move |s2| {
                     if ctx.bailed() {
@@ -278,6 +292,7 @@ impl AggStream {
             lowered,
             shared,
             workers,
+            handle,
             threads,
             observed,
             mut pool_metrics,
@@ -305,7 +320,7 @@ impl AggStream {
         }
 
         // Phase 2: recurse into the buckets, one task each.
-        let (scope2, pm2) = hsa_tasks::try_scope_observed(threads, |s| {
+        let (scope2, pm2) = handle.try_scope_observed(|s| {
             for (_digit, bucket, res) in shared.into_nonempty() {
                 let ctx = &ctx;
                 s.spawn(move |s2| process_bucket(ctx, s2, bucket, res, 1));
@@ -386,6 +401,7 @@ impl AggStream {
             ProfileTree::build(m, wall_nanos, threads, high_water, stats.overlapped_io_nanos)
         });
         let report = RunReport {
+            query_id: handle.id().as_u64(),
             rows_in,
             groups_out: output.n_groups() as u64,
             threads,
@@ -403,6 +419,13 @@ impl AggStream {
     /// Rows ingested so far.
     pub fn rows_pushed(&self) -> u64 {
         self.rows_in
+    }
+
+    /// The runtime's id for this query (the same value lands in
+    /// [`RunReport::query_id`]). Available from open, so a server can
+    /// hand the id to clients before any row arrives.
+    pub fn query_id(&self) -> u64 {
+        self.handle.id().as_u64()
     }
 }
 

@@ -23,11 +23,17 @@
 //!   (transient vs permanent) and a clockless bounded-retry policy whose
 //!   decisions depend only on the attempt counter, keeping fault sweeps
 //!   and Miri runs deterministic.
+//! * [`AdmissionController`] / [`QueryGrant`] — the serving-mode ledger
+//!   that carves per-query memory/disk slices, deadlines, and cancel
+//!   tokens out of global budgets, with typed
+//!   [`AdmissionOutcome::Denied`] / [`AdmissionOutcome::Queued`] outcomes
+//!   and RAII release of every slice.
 //!
 //! Everything here is dependency-free and costs a single null check when
 //! disabled: the unlimited budget, the never-cancelled token, and the
 //! empty fault plan are all a `None` behind an `Option<Arc<_>>`.
 
+mod admission;
 mod budget;
 mod cancel;
 mod disk;
@@ -35,6 +41,10 @@ mod error;
 mod inject;
 mod io;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDenied, AdmissionOutcome, AdmissionRequest,
+    QueryGrant,
+};
 pub use budget::{MemoryBudget, Reservation};
 pub use cancel::{CancelReason, CancelToken};
 pub use disk::{DiskBudget, DiskReservation};

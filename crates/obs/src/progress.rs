@@ -132,7 +132,26 @@ pub struct ProgressSampler {
 impl ProgressSampler {
     /// Start a sampler over `gauge`, emitting to stderr.
     pub fn start(gauge: ProgressGauge, interval: Duration, budget: Option<BudgetProbe>) -> Self {
-        Self::start_with_sink(gauge, interval, budget, Box::new(|line| eprintln!("{line}")))
+        Self::start_tagged(gauge, interval, budget, None)
+    }
+
+    /// [`Self::start`] with a query tag: every heartbeat line leads with
+    /// `[progress q<tag>]` so concurrently running queries on one shared
+    /// runtime stay attributable. The tag is a plain string (the engine
+    /// passes its query id) so this crate stays scheduler-agnostic.
+    pub fn start_tagged(
+        gauge: ProgressGauge,
+        interval: Duration,
+        budget: Option<BudgetProbe>,
+        query: Option<String>,
+    ) -> Self {
+        Self::start_tagged_with_sink(
+            gauge,
+            interval,
+            budget,
+            query,
+            Box::new(|line| eprintln!("{line}")),
+        )
     }
 
     /// [`Self::start`] with a custom sink (used by tests to capture lines).
@@ -142,12 +161,23 @@ impl ProgressSampler {
         budget: Option<BudgetProbe>,
         sink: ProgressSink,
     ) -> Self {
+        Self::start_tagged_with_sink(gauge, interval, budget, None, sink)
+    }
+
+    /// [`Self::start_tagged`] with a custom sink.
+    pub fn start_tagged_with_sink(
+        gauge: ProgressGauge,
+        interval: Duration,
+        budget: Option<BudgetProbe>,
+        query: Option<String>,
+        sink: ProgressSink,
+    ) -> Self {
         let shutdown = Arc::new(Shutdown { stop: Mutex::new(false), cv: Condvar::new() });
         let sd = Arc::clone(&shutdown);
         let interval = interval.max(Duration::from_millis(1));
         let handle = std::thread::Builder::new()
             .name("hsa-progress".to_string())
-            .spawn(move || sample_loop(&gauge, interval, budget, sink, &sd))
+            .spawn(move || sample_loop(&gauge, interval, budget, query.as_deref(), sink, &sd))
             .ok();
         Self { shutdown, handle }
     }
@@ -174,6 +204,7 @@ fn sample_loop(
     gauge: &ProgressGauge,
     interval: Duration,
     budget: Option<BudgetProbe>,
+    query: Option<&str>,
     sink: ProgressSink,
     shutdown: &Shutdown,
 ) {
@@ -197,7 +228,14 @@ fn sample_loop(
         let rate = (rows.saturating_sub(prev_rows)) as f64 / dt;
         prev_rows = rows;
         prev_t = now;
-        sink(&heartbeat(t0.elapsed(), rows, rate, &gauge.worker_states(), budget.as_deref()));
+        sink(&heartbeat(
+            t0.elapsed(),
+            rows,
+            rate,
+            &gauge.worker_states(),
+            budget.as_deref(),
+            query,
+        ));
     }
 }
 
@@ -207,10 +245,16 @@ fn heartbeat(
     rate: f64,
     states: &[Option<(u32, Phase)>],
     budget: Option<&(dyn Fn() -> Option<(u64, u64)> + Send)>,
+    query: Option<&str>,
 ) -> String {
     use std::fmt::Write as _;
-    let mut line = format!(
-        "[progress] {:6.1}s  {} rows  {}/s",
+    let mut line = match query {
+        Some(q) => format!("[progress q{q}]"),
+        None => "[progress]".to_string(),
+    };
+    let _ = write!(
+        line,
+        " {:6.1}s  {} rows  {}/s",
         elapsed.as_secs_f64(),
         fmt_count(rows),
         fmt_count(rate as u64)
@@ -363,7 +407,7 @@ mod tests {
 
     #[test]
     fn heartbeat_formats_idle_and_active() {
-        let idle = heartbeat(Duration::from_secs(1), 0, 0.0, &[None, None], None);
+        let idle = heartbeat(Duration::from_secs(1), 0, 0.0, &[None, None], None, None);
         assert!(idle.contains("idle"), "line: {idle}");
         let active = heartbeat(
             Duration::from_secs(2),
@@ -371,9 +415,46 @@ mod tests {
             5e6,
             &[Some((1, Phase::Partition)), None],
             None,
+            None,
         );
         assert!(active.contains("20.0M rows"), "line: {active}");
         assert!(active.contains("5.0M/s"), "line: {active}");
         assert!(active.contains("partition@L1"), "line: {active}");
+    }
+
+    #[test]
+    fn heartbeat_carries_the_query_tag() {
+        let line = heartbeat(Duration::from_secs(1), 10, 10.0, &[None], None, Some("42"));
+        assert!(line.starts_with("[progress q42]"), "line: {line}");
+        let untagged = heartbeat(Duration::from_secs(1), 10, 10.0, &[None], None, None);
+        assert!(untagged.starts_with("[progress]"), "line: {untagged}");
+    }
+
+    #[test]
+    fn tagged_sampler_emits_tagged_lines() {
+        let g = ProgressGauge::enabled(1);
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink_lines = Arc::clone(&lines);
+        let mut sampler = ProgressSampler::start_tagged_with_sink(
+            g,
+            Duration::from_millis(5),
+            None,
+            Some("7".to_string()),
+            Box::new(move |line| {
+                if let Ok(mut v) = sink_lines.lock() {
+                    v.push(line.to_string());
+                }
+            }),
+        );
+        for _ in 0..200 {
+            if !lines.lock().unwrap().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sampler.stop();
+        let lines = lines.lock().unwrap();
+        assert!(!lines.is_empty(), "sampler never ticked");
+        assert!(lines[0].starts_with("[progress q7]"), "line: {}", lines[0]);
     }
 }

@@ -1,4 +1,4 @@
-//! Work-stealing scoped task pool (§3.2).
+//! Shared work-stealing worker runtime (§3.2, grown into a service).
 //!
 //! The operator parallelizes along two axes: the recursive calls on
 //! different buckets are completely independent tasks, while the main loop
@@ -7,13 +7,21 @@
 //! answer to heavy row-skew, where an ideal hash function balances *groups*
 //! across buckets but cannot balance *rows*.
 //!
-//! [`scope`] runs a root closure on the calling thread plus `threads − 1`
-//! scoped worker threads. Every thread owns a deque: it pushes and pops its
-//! own tasks LIFO (depth-first recursion keeps working sets cache-hot) and
-//! steals FIFO from others when idle (breadth-first stealing finds the
-//! biggest remaining subtrees). Threads "synchronize only at a very coarse
-//! granularity" (§6.2): the only shared state is the deques and an
-//! outstanding-task counter used for quiescence detection.
+//! Execution happens on one process-wide [`Runtime`]: a pool of worker
+//! threads started once and sized to the machine, serving *every*
+//! concurrently admitted query with round-robin fairness at task
+//! granularity. A query is admitted with [`Runtime::admit`], yielding a
+//! [`QueryHandle`] whose [`QueryId`] tags all of its work; each scope the
+//! handle runs gets per-slot deques — the owner pushes and pops its own
+//! tasks LIFO (depth-first recursion keeps working sets cache-hot), idle
+//! executors steal FIFO from sibling slots (breadth-first stealing finds
+//! the biggest remaining subtrees) — and executors "synchronize only at a
+//! very coarse granularity" (§6.2): the deques, the per-slot claim flags,
+//! and an outstanding-task counter used for quiescence detection.
+//!
+//! [`scope`] is the one-shot wrapper: it admits a fresh query for a single
+//! scope. There is no per-call thread spin-up anywhere — every scope,
+//! one-shot or streamed, executes on the shared runtime.
 //!
 //! ```
 //! use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,12 +37,13 @@
 //! assert_eq!(sum.into_inner(), 4950);
 //! ```
 
-mod pool;
+mod runtime;
 pub mod sync;
 mod util;
 
-pub use pool::{
-    scope, scope_observed, try_scope_observed, PoolMetrics, Scope, TaskPanic, WorkerPoolMetrics,
+pub use runtime::{
+    scope, scope_observed, try_scope_observed, PoolMetrics, QueryHandle, QueryId, Runtime, Scope,
+    TaskPanic, WorkerPoolMetrics,
 };
 pub use util::{chunk_ranges, scoped_map};
 
@@ -212,5 +221,111 @@ mod tests {
             s.spawn(|_| std::panic::panic_any(42usize));
         });
         assert_eq!(result.unwrap_err().message, "non-string panic payload");
+    }
+
+    #[test]
+    fn handle_scopes_share_one_query_id() {
+        let handle = Runtime::global().admit(2);
+        let id = handle.id();
+        let (seen1, _) = handle.scope_observed(|s| s.query_id());
+        let (seen2, _) = handle.scope_observed(|s| s.query_id());
+        assert_eq!(seen1, id);
+        assert_eq!(seen2, id);
+        // A different admission gets a different id.
+        assert_ne!(Runtime::global().admit(2).id(), id);
+    }
+
+    #[test]
+    fn scope_reports_slot_count_and_caller_slot() {
+        let handle = Runtime::global().admit(3);
+        handle.scope_observed(|s| {
+            assert_eq!(s.threads(), 3);
+            assert_eq!(s.worker_index(), 0, "the submitting thread holds slot 0");
+        });
+    }
+
+    #[test]
+    fn concurrent_scopes_from_many_threads_stay_isolated() {
+        // Several queries in flight at once on the shared runtime: each
+        // must see exactly its own tasks in its own metrics.
+        std::thread::scope(|ts| {
+            for q in 0..6u64 {
+                ts.spawn(move || {
+                    let handle = Runtime::global().admit(3);
+                    let counter = AtomicUsize::new(0);
+                    let (_, metrics) = handle.scope_observed(|s| {
+                        for _ in 0..200 {
+                            let counter = &counter;
+                            s.spawn(move |_| {
+                                let spins = 50 + q;
+                                let mut x = q + 1;
+                                for _ in 0..spins {
+                                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                }
+                                assert!(x != 42);
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    assert_eq!(counter.into_inner(), 200);
+                    let executed: u64 = metrics.workers.iter().map(|w| w.tasks_executed).sum();
+                    assert_eq!(executed, 200, "per-query task accounting must be exact");
+                    assert_eq!(metrics.workers.len(), 3);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn root_panic_drains_queued_tasks_and_leaves_the_runtime_usable() {
+        // A panic in the scope *root* (not a task) must still wind the
+        // scope down — queued tasks drained, run deregistered — before the
+        // unwind leaves the frame that owns the borrowed data.
+        let dropped = AtomicUsize::new(0);
+        struct CountDrop<'a>(&'a AtomicUsize);
+        impl Drop for CountDrop<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            try_scope_observed(1, |s| {
+                for _ in 0..50 {
+                    let guard = CountDrop(&dropped);
+                    s.spawn(move |_| {
+                        let _g = &guard;
+                    });
+                }
+                panic!("root blew up");
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(dropped.into_inner(), 50, "queued closures must be drained on root unwind");
+        // The shared runtime is unperturbed.
+        let counter = AtomicUsize::new(0);
+        scope(2, |s| {
+            for _ in 0..10 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 10);
+    }
+
+    #[test]
+    fn one_slot_scopes_never_run_on_shared_workers() {
+        // With a single slot the submitting thread is the only executor:
+        // execution is deterministic LIFO on the caller.
+        let order = std::sync::Mutex::new(Vec::new());
+        scope(1, |s| {
+            for i in 0..10 {
+                let order = &order;
+                s.spawn(move |_| order.lock().unwrap().push(i));
+            }
+        });
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..10).rev().collect::<Vec<_>>(), "deterministic LIFO drain");
     }
 }

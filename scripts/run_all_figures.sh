@@ -32,5 +32,6 @@ run fig11 "$ROWS"
 run ablation_fill "$ROWS"
 run ablation_kernels "$ROWS"
 run ablation_spill "$ROWS"
+run ablation_concurrency "$((ROWS - 2))"
 
 echo "All figures written to $OUT/"

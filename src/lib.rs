@@ -45,10 +45,12 @@ pub use hsa_columnar::{encode_composite, Column, Dictionary, Table, TableError};
 pub use hsa_core::{
     aggregate, aggregate_observed, distinct, distinct_observed, merge_partials, try_aggregate,
     try_aggregate_observed, try_distinct, try_distinct_observed, try_merge_partials,
-    AdaptiveParams, AggError, AggStream, AggregateConfig, CancelReason, CancelToken, DiskBudget,
+    AdaptiveParams, AdmissionConfig, AdmissionController, AdmissionDenied, AdmissionOutcome,
+    AdmissionRequest, AggError, AggStream, AggregateConfig, CancelReason, CancelToken, DiskBudget,
     DiskReservation, ExecEnv, FaultInjector, FaultPlan, GroupByOutput, KernelKind, KernelPref,
-    MemoryBudget, ObsConfig, OpStats, ProfileTree, Reservation, RunHandle, RunReport, RunStore,
-    SpillCodec, SpillConfig, SpillFault, SpillFaultKind, SpilledRun, Strategy, REPORT_VERSION,
+    MemoryBudget, ObsConfig, OpStats, ProfileTree, QueryGrant, Reservation, RunHandle, RunReport,
+    RunStore, SpillCodec, SpillConfig, SpillFault, SpillFaultKind, SpilledRun, Strategy,
+    REPORT_VERSION,
 };
 pub use query::{AggValues, Query, QueryResult};
 
