@@ -82,6 +82,9 @@ impl std::error::Error for CliError {}
 
 impl From<AggError> for CliError {
     fn from(e: AggError) -> Self {
+        // Exhaustive on purpose — no wildcard arm. A new `AggError`
+        // variant must pick its class (and exit code) here explicitly;
+        // `hsa-lint`'s taxonomy check and the compiler both enforce it.
         let class = match &e {
             AggError::BudgetExceeded { .. } | AggError::DiskBudgetExceeded { .. } => {
                 ErrorClass::Budget
@@ -89,9 +92,13 @@ impl From<AggError> for CliError {
             AggError::Cancelled(_) => ErrorClass::Timeout,
             AggError::SpillFailed { .. } | AggError::SpillCorrupt { .. } => ErrorClass::Io,
             AggError::WorkerPanic { .. } => ErrorClass::Internal,
-            // Everything else is input validation (row-count mismatches,
-            // unknown columns, bad specs).
-            _ => ErrorClass::InvalidInput,
+            // Input validation: the query or its data was malformed.
+            AggError::RowCountMismatch { .. }
+            | AggError::MissingInputColumn { .. }
+            | AggError::SpecNeedsInput { .. }
+            | AggError::MismatchedSpecs
+            | AggError::UnknownColumn(_)
+            | AggError::EmptyGroupBy => ErrorClass::InvalidInput,
         };
         Self::new(class, e)
     }

@@ -67,7 +67,7 @@ impl MemoryBudget {
     /// invocation returns — `Ok` or `Err` — this is back to whatever it
     /// was before the call; the fault-injection suite asserts it.
     pub fn outstanding(&self) -> u64 {
-        // ORDERING: Acquire pairs with the AcqRel reserve/release RMWs so
+        // ORDERING: Acquire; site: balance; pairs-with: reserved.rmw —
         // a balance observed after an operator returns reflects every
         // reservation that operator made and dropped.
         self.inner.as_ref().map_or(0, |i| i.reserved.load(Ordering::Acquire))
@@ -111,9 +111,10 @@ impl MemoryBudget {
                     reserved: current,
                 });
             }
-            // ORDERING: AcqRel on success chains reserve/release RMWs into
-            // a single modification order the Acquire readers observe;
-            // Relaxed on failure — the value is only retried, not acted on.
+            // ORDERING: AcqRel/Relaxed; site: rmw; pairs-with: reserved.balance —
+            // success chains reserve/release RMWs into a single
+            // modification order the Acquire readers observe; the failed
+            // side only retries, the value is not acted on.
             match inner.reserved.compare_exchange_weak(
                 current,
                 new,
@@ -121,10 +122,10 @@ impl MemoryBudget {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    // ORDERING: Relaxed max-CAS — the high-water mark is a
-                    // monotonic statistic; it publishes no other memory and
-                    // is read only after the fact, so no ordering with the
-                    // reserve CAS above is needed.
+                    // ORDERING: Relaxed — the high-water max-CAS is a
+                    // monotonic statistic; no other memory rides on it and
+                    // it is read only after the fact, so no ordering with
+                    // the reserve CAS above is needed.
                     let mut hw = inner.high_water.load(Ordering::Relaxed);
                     while new > hw {
                         match inner.high_water.compare_exchange_weak(
@@ -214,10 +215,10 @@ impl Reservation {
 impl Drop for Reservation {
     fn drop(&mut self) {
         if let Some(inner) = &self.budget {
-            // ORDERING: AcqRel — the release side of the reserve CAS; an
-            // Acquire read of the balance afterwards sees the bytes
-            // returned (outstanding() == 0 after drops is asserted by the
-            // fault suite).
+            // ORDERING: AcqRel; site: rmw; pairs-with: reserved.balance —
+            // the release side of the reserve CAS; an Acquire read of the
+            // balance afterwards sees the bytes returned (outstanding()
+            // == 0 after drops is asserted by the fault suite).
             inner.reserved.fetch_sub(self.bytes, Ordering::AcqRel);
         }
     }

@@ -70,9 +70,9 @@ impl CancelToken {
     /// Request cancellation. Idempotent; a no-op on [`CancelToken::none`].
     pub fn cancel(&self) {
         if let Some(inner) = &self.inner {
-            // ORDERING: Release pairs with the Acquire load in
-            // `cancelled` — work the canceller did before cancelling is
-            // visible to tasks that observe the trip and unwind.
+            // ORDERING: Release; site: trip; pairs-with: flag.observe —
+            // work the canceller did before cancelling is visible to
+            // tasks that observe the trip and unwind.
             inner.flag.store(true, Ordering::Release);
         }
     }
@@ -80,7 +80,8 @@ impl CancelToken {
     /// Why this token is cancelled, if it is.
     pub fn cancelled(&self) -> Option<CancelReason> {
         let inner = self.inner.as_ref()?;
-        // ORDERING: Acquire pairs with the Release store in `cancel`.
+        // ORDERING: Acquire; site: observe; pairs-with: flag.trip —
+        // the tripped flag carries the canceller's prior writes.
         if inner.flag.load(Ordering::Acquire) {
             return Some(CancelReason::Requested);
         }

@@ -68,7 +68,7 @@ impl DiskBudget {
     /// pre-invocation value once every spilled run is dropped; the chaos
     /// suite asserts it.
     pub fn outstanding(&self) -> u64 {
-        // ORDERING: Acquire pairs with the AcqRel reserve/release RMWs so
+        // ORDERING: Acquire; site: balance; pairs-with: reserved.rmw —
         // a balance observed after an operator returns reflects every
         // reservation that operator made and dropped.
         self.inner.as_ref().map_or(0, |i| i.reserved.load(Ordering::Acquire))
@@ -110,9 +110,10 @@ impl DiskBudget {
                     reserved: current,
                 });
             }
-            // ORDERING: AcqRel on success chains reserve/release RMWs into
-            // a single modification order the Acquire readers observe;
-            // Relaxed on failure — the value is only retried, not acted on.
+            // ORDERING: AcqRel/Relaxed; site: rmw; pairs-with: reserved.balance —
+            // success chains reserve/release RMWs into a single
+            // modification order the Acquire readers observe; the failed
+            // side only retries, the value is not acted on.
             match inner.reserved.compare_exchange_weak(
                 current,
                 new,
@@ -120,9 +121,9 @@ impl DiskBudget {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    // ORDERING: Relaxed max-CAS — the high-water mark is a
-                    // monotonic statistic; it publishes no other memory and
-                    // is read only after the fact.
+                    // ORDERING: Relaxed — the high-water max-CAS is a
+                    // monotonic statistic; no other memory rides on it and
+                    // it is read only after the fact.
                     let mut hw = inner.high_water.load(Ordering::Relaxed);
                     while new > hw {
                         match inner.high_water.compare_exchange_weak(
@@ -183,9 +184,9 @@ impl DiskReservation {
 
     /// Bytes this reservation currently covers.
     pub fn bytes(&self) -> u64 {
-        // ORDERING: Acquire pairs with the AcqRel swap in `shrink_to` so a
-        // reader that learned of the shrink (e.g. through a spill ticket)
-        // sees the reduced count.
+        // ORDERING: Acquire; site: count; pairs-with: bytes.shrink —
+        // a reader that learned of the shrink (e.g. through a spill
+        // ticket) sees the reduced count.
         self.bytes.load(Ordering::Acquire)
     }
 
@@ -194,16 +195,17 @@ impl DiskReservation {
     /// remainder). Growing is not allowed — that would bypass the
     /// budget's limit check — so a larger `new_bytes` is a no-op.
     pub fn shrink_to(&self, new_bytes: u64) {
-        // ORDERING: AcqRel — the min-RMW both takes the previous count
-        // exactly once (so racing shrinkers release each byte at most
-        // once) and publishes the new one to `bytes()` readers.
+        // ORDERING: AcqRel; site: shrink; pairs-with: bytes.count —
+        // the min-RMW both takes the previous count exactly once (so
+        // racing shrinkers release each byte at most once) and publishes
+        // the new one to `bytes()` readers.
         let old = self.bytes.fetch_min(new_bytes, Ordering::AcqRel);
         let released = old.saturating_sub(new_bytes);
         if released > 0 {
             if let Some(inner) = &self.budget {
-                // ORDERING: AcqRel — the release side of the reserve CAS
-                // (see `Drop`); an Acquire balance read afterwards sees
-                // the bytes returned.
+                // ORDERING: AcqRel; site: rmw; pairs-with: reserved.balance —
+                // the release side of the reserve CAS (see `Drop`); an
+                // Acquire balance read afterwards sees the bytes returned.
                 inner.reserved.fetch_sub(released, Ordering::AcqRel);
             }
         }
@@ -213,11 +215,11 @@ impl DiskReservation {
 impl Drop for DiskReservation {
     fn drop(&mut self) {
         if let Some(inner) = &self.budget {
-            // ORDERING: AcqRel — the release side of the reserve CAS; an
-            // Acquire read of the balance afterwards sees the bytes
-            // returned (outstanding() == 0 after drops is asserted by the
-            // chaos suite). `get_mut` on the count needs no ordering: drop
-            // has exclusive access.
+            // ORDERING: AcqRel; site: rmw; pairs-with: reserved.balance —
+            // the release side of the reserve CAS; an Acquire read of the
+            // balance afterwards sees the bytes returned (outstanding()
+            // == 0 after drops is asserted by the chaos suite). `get_mut`
+            // on the count needs no ordering: drop has exclusive access.
             inner.reserved.fetch_sub(*self.bytes.get_mut(), Ordering::AcqRel);
         }
     }

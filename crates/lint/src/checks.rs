@@ -24,6 +24,19 @@ pub enum Check {
     /// A documented out-of-line collision path lost its `#[inline(never)]`
     /// or `#[cold]` marker.
     ColdPath,
+    /// An atomic protocol violation: an unparseable/stale `ORDERING`
+    /// annotation, an unpaired Release store or Acquire load, a Relaxed
+    /// access claiming publication, or a dangling `pairs-with` tag.
+    Atomics,
+    /// A lock-order cycle across the workspace lock graph — a potential
+    /// deadlock.
+    LockOrder,
+    /// A budget-returning RAII guard reaches `mem::forget`,
+    /// `ManuallyDrop::new`, or `Box::leak` outside tests.
+    RaiiLeak,
+    /// An `AggError` variant with no explicit `ErrorClass` arm in the CLI
+    /// error module.
+    Taxonomy,
 }
 
 impl Check {
@@ -35,6 +48,10 @@ impl Check {
             Check::Panic => "panic",
             Check::Deps => "deps",
             Check::ColdPath => "cold-path",
+            Check::Atomics => "atomics",
+            Check::LockOrder => "lock-order",
+            Check::RaiiLeak => "raii-leak",
+            Check::Taxonomy => "taxonomy",
         }
     }
 }
@@ -158,8 +175,15 @@ pub fn check_safety(path: &str, lines: &[SourceLine]) -> Vec<Finding> {
 const WEAK_ORDERINGS: &[&str] =
     &["Ordering::Relaxed", "Ordering::Acquire", "Ordering::Release", "Ordering::AcqRel"];
 
-fn has_weak_ordering(code: &str) -> bool {
+/// Does this code channel mention any non-`SeqCst` ordering token? Shared
+/// with the atomics pairing pass, which uses it to decide whether a site
+/// needs an annotation at all.
+pub fn has_weak_ordering_code(code: &str) -> bool {
     WEAK_ORDERINGS.iter().any(|o| code.contains(o))
+}
+
+fn has_weak_ordering(code: &str) -> bool {
+    has_weak_ordering_code(code)
 }
 
 /// Invariant 2: in the concurrency crates, every non-`SeqCst` ordering is

@@ -11,7 +11,7 @@
 //!    unjustified `unsafe` is where an aliasing bug silently corrupts
 //!    aggregates instead of crashing.
 //! 2. **ordering** — every non-`SeqCst` atomic ordering in the
-//!    concurrency crates (`tasks`, `fault`, `obs`) carries an
+//!    concurrency crates (`tasks`, `fault`, `obs`, `columnar`) carries an
 //!    `// ORDERING:` justification naming what it pairs with.
 //! 3. **panic** — no `unwrap()` / `expect()` / `panic!` in library-crate
 //!    code beyond the per-file counts frozen in `lint-allow.txt`: existing
@@ -21,19 +21,49 @@
 //! 5. **cold-path** — the documented out-of-line collision paths in
 //!    `hashtbl` keep their `#[inline(never)]` / `#[cold]` markers.
 //!
+//! v2 (DESIGN §17) layers cross-file *protocol* checks on the same
+//! scanner — the per-site presence checks above say an annotation exists;
+//! these say the annotations are mutually consistent:
+//!
+//! 6. **atomics** — `// ORDERING:` comments follow a machine-readable
+//!    grammar (`<ord>[/<ord>] [; site: tag] [; pairs-with: field.tag] [—
+//!    prose]`, parsed by [`parse_annotation`]); declared orderings match
+//!    the code, `Release` writes have an acquire-side reader and vice
+//!    versa (pooled by field name across files), `Relaxed`-only sites
+//!    must not claim publication, and every `pairs-with` tag resolves to
+//!    a declared `site:`.
+//! 7. **lock-order** — `.lock()` / RwLock `.read()` / `.write()` nestings
+//!    across the whole workspace form a graph (with one-hop intra-crate
+//!    call resolution); a cycle is a potential-deadlock finding.
+//! 8. **raii-leak** — budget-carrying guards (`Reservation`,
+//!    `DiskReservation`, `QueryGrant`, `QueryHandle`) must not reach
+//!    `mem::forget` / `ManuallyDrop::new` / `Box::leak` outside tests.
+//! 9. **taxonomy** — every `AggError` variant has an explicit
+//!    `ErrorClass` arm in `crates/cli/src/error.rs`, so each failure's
+//!    exit code is chosen, not defaulted.
+//!
 //! The binary walks `src/` and `crates/*/src` from the workspace root,
-//! prints `path:line: [check] message` findings, and exits non-zero if
-//! any. CI runs it in the check job; `scripts/lint.sh` is the pre-push
-//! entry point.
+//! prints `path:line: [check] message` findings (or a stable JSON report
+//! with `--format json`, see [`render_json`]), and exits non-zero if
+//! any. CI runs it in a dedicated lint job; `scripts/lint.sh` is the
+//! pre-push entry point.
 
+mod atomics;
 mod checks;
+mod locks;
+mod raii;
 mod scan;
+mod taxonomy;
 
+pub use atomics::{check_annotations, check_pairing, extract_sites, parse_annotation, AtomicSite};
 pub use checks::{
     check_cold_paths, check_manifest, check_ordering, check_panics, check_safety, panic_sites,
     Allowlist, Check, Finding, COLD_PATHS,
 };
+pub use locks::LockGraph;
+pub use raii::{check_raii_leaks, GUARDED_TYPES};
 pub use scan::{scan, SourceLine};
+pub use taxonomy::Taxonomy;
 
 use std::fs;
 use std::io;
@@ -125,6 +155,12 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
         if allow_path.is_file() { fs::read_to_string(&allow_path)? } else { String::new() };
     let (allow, mut findings) = Allowlist::parse(&allow_text, ALLOWLIST_FILE);
 
+    // Workspace-wide accumulators: the v2 checks reason across files, so
+    // per-file scans feed them and `finish()` runs after the walk.
+    let mut lock_graph = LockGraph::default();
+    let mut taxonomy = Taxonomy::default();
+    let mut sites: Vec<AtomicSite> = Vec::new();
+
     for src_root in source_roots(root)? {
         let mut files = Vec::new();
         rust_files(&src_root, &mut files)?;
@@ -134,13 +170,22 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
             findings.extend(check_safety(&path, &lines));
             if starts_with_any(&path, ORDERING_SCOPED) {
                 findings.extend(check_ordering(&path, &lines));
+                sites.extend(extract_sites(&path, &lines));
             }
             if !starts_with_any(&path, PANIC_EXEMPT) {
                 findings.extend(check_panics(&path, &lines, &allow));
             }
             findings.extend(check_cold_paths(&path, &lines));
+            findings.extend(check_raii_leaks(&path, &lines));
+            lock_graph.add_file(&path, &lines);
+            taxonomy.add_file(&path, &lines);
         }
     }
+
+    findings.extend(check_annotations(&sites));
+    findings.extend(check_pairing(&sites));
+    findings.extend(lock_graph.finish());
+    findings.extend(taxonomy.finish());
 
     for manifest in manifests(root)? {
         let path = rel(root, &manifest);
@@ -149,6 +194,67 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
 
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(findings)
+}
+
+/// Render findings as the stable JSON document CI archives.
+///
+/// Schema (version 1):
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "root": "<workspace root as given>",
+///   "count": 2,
+///   "findings": [
+///     {"check": "atomics", "path": "crates/x/src/lib.rs",
+///      "line": 10, "message": "..."}
+///   ]
+/// }
+/// ```
+///
+/// Findings keep the sort order `run` produced (path, then line). The
+/// encoder escapes `"`, `\`, and control characters; everything else
+/// passes through as UTF-8.
+pub fn render_json(root: &str, findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"root\": \"{}\",\n", esc(root)));
+    out.push_str(&format!("  \"count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"check\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            f.check,
+            esc(&f.path),
+            f.line,
+            esc(&f.message)
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
 }
 
 /// Render the current panic-site counts as allowlist lines — the

@@ -8,18 +8,35 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut print_allow = false;
-    for arg in std::env::args().skip(1) {
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--print-allow" => print_allow = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "hsa-lint: --format wants `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "hsa-lint — workspace safety analyzer\n\n\
-                     USAGE: hsa-lint [ROOT] [--print-allow]\n\n\
+                     USAGE: hsa-lint [ROOT] [--print-allow] [--format text|json]\n\n\
                      Walks src/ and crates/*/src from ROOT (default: the enclosing\n\
-                     workspace) and enforces the invariants documented in DESIGN.md §12:\n\
-                     SAFETY comments on unsafe, ORDERING comments on weak atomics,\n\
-                     frozen panic debt, std-only manifests, cold-path markers.\n\n\
-                     --print-allow  print regenerated lint-allow.txt contents and exit"
+                     workspace) and enforces the invariants documented in DESIGN.md\n\
+                     §12 and §17: SAFETY comments on unsafe, machine-checked ORDERING\n\
+                     protocol annotations on weak atomics (pairing + publication),\n\
+                     an acyclic workspace lock graph, no leaked budget reservations,\n\
+                     an exhaustive AggError -> ErrorClass taxonomy, frozen panic\n\
+                     debt, std-only manifests, cold-path markers.\n\n\
+                     --print-allow  print regenerated lint-allow.txt contents and exit\n\
+                     --format json  machine-readable findings (schema_version 1)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -67,16 +84,22 @@ fn main() -> ExitCode {
     }
 
     match hsa_lint::run(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("hsa-lint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if json {
+                print!("{}", hsa_lint::render_json(&root.display().to_string(), &findings));
+            } else if findings.is_empty() {
+                println!("hsa-lint: clean ({})", root.display());
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
             }
-            eprintln!("hsa-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("hsa-lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("hsa-lint: {e}");

@@ -1,0 +1,222 @@
+//! RAII-leak check: budget reservations and query handles must never be
+//! defused.
+//!
+//! `Reservation`, `DiskReservation`, `QueryGrant`, and `QueryHandle` give
+//! back memory, disk, and admission slots in `Drop`; anything that keeps
+//! the value alive without running its destructor silently shrinks the
+//! budget forever. The leak primitives are easy to spot textually:
+//! `mem::forget`, `ManuallyDrop::new`, and `Box::leak`. The hard part is
+//! tying a call's argument to a guarded type without a type system, so the
+//! check uses two signals, either of which flags the site:
+//!
+//! * the argument text itself names a guarded type
+//!   (`ManuallyDrop::new(Reservation::take(..))`), or
+//! * a backward scan inside the enclosing function finds the argument's
+//!   identifier bound with a guarded type ascription — a typed `let`, a
+//!   typed parameter, or a `: Type` pattern.
+//!
+//! `cfg(test)` code is exempt (tests legitimately leak to probe drop
+//! behavior). Leaking a value the scan cannot type is allowed — the check
+//! trades recall for zero false positives on generic plumbing like
+//! `mem::forget(guard)` in the scoped-thread runtime.
+
+use crate::checks::{Check, Finding};
+use crate::scan::SourceLine;
+
+/// Types whose destructors return budget; leaking them is a finding.
+pub const GUARDED_TYPES: &[&str] = &["Reservation", "DiskReservation", "QueryGrant", "QueryHandle"];
+
+/// Leak primitives and how to pull out the leaked expression.
+const LEAK_CALLS: &[&str] = &["mem::forget", "ManuallyDrop::new", "Box::leak"];
+
+pub fn check_raii_leaks(path: &str, lines: &[SourceLine]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        for call in LEAK_CALLS {
+            let Some(at) = l.code.find(call) else { continue };
+            let arg = argument_text(&l.code, at + call.len());
+            let Some(ty) = guarded_type_of(&arg, lines, i) else { continue };
+            out.push(Finding {
+                check: Check::RaiiLeak,
+                path: path.to_string(),
+                line: l.number,
+                message: format!(
+                    "`{call}` reaches `{ty}` — its Drop returns budget and must always run \
+                     (move the value out or restructure; tests may leak under cfg(test))"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The argument text of a call whose name ends at `after` (best effort:
+/// from the opening paren to its match or end of line).
+fn argument_text(code: &str, after: usize) -> String {
+    let rest = &code[after..];
+    let Some(open) = rest.find('(') else { return String::new() };
+    let inner = &rest[open + 1..];
+    let mut depth = 1i64;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return inner[..i].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    inner.to_string()
+}
+
+/// The guarded type the argument resolves to, if any.
+fn guarded_type_of(arg: &str, lines: &[SourceLine], call_idx: usize) -> Option<&'static str> {
+    // Signal 1: the argument text names a guarded type directly.
+    for ty in GUARDED_TYPES {
+        if !crate::scan::find_word(arg, ty).is_empty() {
+            return Some(ty);
+        }
+    }
+    // Signal 2: the argument is a plain identifier (possibly `&`/`mut`-
+    // qualified); scan backward inside the function for a typed binding.
+    // `Box::leak(Box::new(g))` leaks `g` — unwrap the boxing layer.
+    let mut arg = arg.trim();
+    while let Some(inner) = arg.strip_prefix("Box::new(").and_then(|r| r.strip_suffix(')')) {
+        arg = inner.trim();
+    }
+    let stripped = arg.trim_start_matches('&').trim_start_matches("mut ").trim();
+    if stripped.is_empty()
+        || !stripped.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || stripped.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        // Non-trivial expression that named no guarded type: give up.
+        return None;
+    }
+    let ident = stripped.to_string();
+    let ascription = format!("{ident}:");
+    let mut depth = 0i64;
+    for l in lines[..=call_idx].iter().rev() {
+        // Stop at the enclosing `fn` line (after checking its params).
+        let is_fn = !crate::scan::find_word(&l.code, "fn").is_empty();
+        if let Some(at) = l.code.find(&ascription) {
+            let before_ok = at == 0
+                || !l.code.as_bytes()[at - 1].is_ascii_alphanumeric()
+                    && l.code.as_bytes()[at - 1] != b'_';
+            let after = &l.code[at + ascription.len()..];
+            if before_ok {
+                for ty in GUARDED_TYPES {
+                    let t = after.trim_start();
+                    if t.starts_with(ty)
+                        || t.starts_with(&format!("&{ty}"))
+                        || t.starts_with(&format!("&mut {ty}"))
+                    {
+                        return Some(ty);
+                    }
+                }
+            }
+        }
+        // `let ident = <expr naming a guarded type>` also counts.
+        for ty in GUARDED_TYPES {
+            let let_bind = format!("let {ident}");
+            let let_mut = format!("let mut {ident}");
+            if (l.code.contains(&let_bind) || l.code.contains(&let_mut))
+                && !crate::scan::find_word(&l.code, ty).is_empty()
+            {
+                return Some(ty);
+            }
+        }
+        if is_fn && depth <= 0 {
+            break;
+        }
+        for c in l.code.chars() {
+            match c {
+                '}' => depth += 1,
+                '{' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_raii_leaks("crates/x/src/lib.rs", &scan(src))
+    }
+
+    #[test]
+    fn forget_of_typed_parameter_is_flagged() {
+        let f = run("fn leak(r: Reservation) {\n    std::mem::forget(r);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Reservation"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn direct_expression_is_flagged() {
+        let f = run("fn leak(b: &Budget) {\n    let _ = ManuallyDrop::new(b.reserve_disk());\n}\n");
+        assert!(f.is_empty(), "method call doesn't name the type: {f:?}");
+        let f = run("fn leak(g: QueryGrant) {\n    Box::leak(Box::new(g));\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("QueryGrant"));
+    }
+
+    #[test]
+    fn typed_let_binding_is_flagged() {
+        let f =
+            run("fn leak(b: &Budget) {\n    let r: DiskReservation = b.reserve(1).unwrap();\n    \
+             std::mem::forget(r);\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("DiskReservation"));
+    }
+
+    #[test]
+    fn untyped_guard_forget_is_not_flagged() {
+        // The scoped-runtime `take_mut` pattern: forgetting a local abort
+        // guard whose type never appears — must stay clean.
+        let src = "\
+fn take_mut<T>(slot: &mut T) {
+    let guard = AbortOnDrop;
+    std::mem::forget(guard);
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_leaks_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(r: Reservation) {
+        std::mem::forget(r);
+    }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn binding_in_previous_function_does_not_leak_type_info() {
+        let src = "\
+fn other(r: Reservation) {
+    drop(r);
+}
+fn leak() {
+    let r = make_opaque();
+    std::mem::forget(r);
+}
+";
+        assert!(run(src).is_empty());
+    }
+}

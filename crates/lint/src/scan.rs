@@ -127,7 +127,27 @@ pub fn scan(text: &str) -> Vec<SourceLine> {
                     state = State::RawStr { hashes };
                     i = j + 1; // past the opening quote
                 }
-                'b' if next == Some('"') => {
+                // `br"…"` / `cr"…"` raw byte / C strings: same raw rules
+                // (no escapes), hash counting starts after the two-char
+                // prefix. Without this, the `\` before a closing quote in
+                // `br"…\"` would be misread as an escape and swallow the
+                // rest of the file into the string channel.
+                'b' | 'c'
+                    if next == Some('r')
+                        && (i == 0 || !is_ident_char(chars[i - 1]))
+                        && raw_quote_follows(&chars, i + 2) =>
+                {
+                    let mut hashes = 0u32;
+                    let mut j = i + 2;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    line.code.push('"');
+                    state = State::RawStr { hashes };
+                    i = j + 1; // past the opening quote
+                }
+                'b' | 'c' if next == Some('"') => {
                     line.code.push('"');
                     state = State::Str { escaped: false };
                     i += 2;
@@ -215,7 +235,13 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     if i > 0 && is_ident_char(chars[i - 1]) {
         return false;
     }
-    let mut j = i + 1;
+    raw_quote_follows(chars, i + 1)
+}
+
+/// Whether zero or more `#` followed by `"` starts at `j` — the tail of a
+/// raw-string opener after its `r` / `br` / `cr` prefix.
+fn raw_quote_follows(chars: &[char], j: usize) -> bool {
+    let mut j = j;
     while chars.get(j) == Some(&'#') {
         j += 1;
     }
@@ -336,6 +362,29 @@ mod tests {
         let lines = scan(src);
         assert!(!lines[0].code.contains("unsafe"));
         assert!(lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn byte_and_c_raw_strings_are_opaque() {
+        // `br`/`cr` raw strings must go through the raw-string state, not
+        // the escaped-string state: their contents can never be misread as
+        // code, however `unsafe`-looking.
+        let src = "let a = br#\"unsafe { panic!() }\"#; let b = cr\"unsafe fn x()\"; let c = 1;\n";
+        let lines = scan(src);
+        assert!(find_word(&lines[0].code, "unsafe").is_empty(), "{:?}", lines[0].code);
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].code.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn backslash_in_byte_raw_string_does_not_escape_the_close() {
+        // Regression: `br"…\"` once took the escaped-`Str` path, where the
+        // backslash swallowed the closing quote and the rest of the file
+        // (including real `unsafe` code) vanished into the string channel.
+        let src = "let p = br\"C:\\\"; let real = unsafe { q() };\n";
+        let lines = scan(src);
+        assert_eq!(find_word(&lines[0].code, "unsafe").len(), 1, "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("let real ="));
     }
 
     #[test]

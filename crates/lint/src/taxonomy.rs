@@ -1,0 +1,195 @@
+//! Error-taxonomy exhaustiveness: every `AggError` variant must map to an
+//! `ErrorClass` arm in the CLI error module.
+//!
+//! The CLI's exit codes are part of the serving contract (DESIGN.md §13):
+//! scripts branch on exit 2 = budget, 3 = timeout, 4 = I/O. A new
+//! `AggError` variant that nobody classifies falls through a `_ =>` arm
+//! into whatever default the match picked — silently, at runtime, in the
+//! one place operators depend on precision. This check makes the taxonomy
+//! a compile-adjacent guarantee: it parses the `pub enum AggError`
+//! declaration wherever it lives and requires a literal
+//! `AggError::<Variant>` reference in `crates/cli/src/error.rs` for every
+//! variant. Wildcard arms may remain for forward compatibility, but they
+//! can no longer be the only thing standing behind a variant.
+//!
+//! Workspaces without an `AggError` enum (fixtures exercising other
+//! checks) pass vacuously.
+
+use crate::checks::{Check, Finding};
+use crate::scan::SourceLine;
+
+/// Where the classification must live, relative to the workspace root.
+pub const MAPPING_FILE: &str = "crates/cli/src/error.rs";
+
+/// Workspace accumulator: feed every file, then `finish`.
+#[derive(Default)]
+pub struct Taxonomy {
+    /// (variant, declaring path, line) for each `AggError` variant.
+    variants: Vec<(String, String, usize)>,
+    /// Code lines of the mapping file, if seen.
+    mapping: Vec<String>,
+}
+
+impl Taxonomy {
+    pub fn add_file(&mut self, path: &str, lines: &[SourceLine]) {
+        if path == MAPPING_FILE {
+            self.mapping = lines.iter().filter(|l| !l.in_test).map(|l| l.code.clone()).collect();
+        }
+        let mut in_enum = false;
+        let mut depth = 0i64;
+        for l in lines {
+            if l.in_test {
+                continue;
+            }
+            if !in_enum {
+                if l.code.contains("pub enum AggError") {
+                    in_enum = true;
+                    depth = 0;
+                } else {
+                    continue;
+                }
+            } else if depth == 1 {
+                // A variant line starts at depth 1 (its own braces, if
+                // any, open *after* the name).
+                let t = l.code.trim_start();
+                let name: String =
+                    t.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+                if !name.is_empty() && name.chars().next().unwrap().is_ascii_uppercase() {
+                    self.variants.push((name, path.to_string(), l.number));
+                }
+            }
+            for c in l.code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if in_enum && depth <= 0 && l.code.contains('}') {
+                in_enum = false;
+            }
+        }
+    }
+
+    pub fn finish(self) -> Vec<Finding> {
+        if self.variants.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (variant, path, line) in &self.variants {
+            // Substring match with a right identifier boundary, so
+            // `AggError::Spill` is not satisfied by `AggError::SpillFailed`.
+            let needle = format!("AggError::{variant}");
+            let mapped = self.mapping.iter().any(|code| {
+                let mut from = 0usize;
+                while let Some(found) = code[from..].find(&needle) {
+                    let at = from + found;
+                    from = at + needle.len();
+                    let after = code[from..].chars().next();
+                    if !after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                        return true;
+                    }
+                }
+                false
+            });
+            if !mapped {
+                out.push(Finding {
+                    check: Check::Taxonomy,
+                    path: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "`AggError::{variant}` has no explicit ErrorClass arm in {MAPPING_FILE} — \
+                         classify it so its exit code is chosen, not defaulted"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let mut t = Taxonomy::default();
+        for (path, src) in files {
+            t.add_file(path, &scan(src));
+        }
+        t.finish()
+    }
+
+    #[test]
+    fn fully_mapped_enum_is_clean() {
+        let decl = "pub enum AggError {\n    BudgetExceeded { need: usize },\n    Cancelled,\n}\n";
+        let map = "\
+fn class(e: &AggError) -> ErrorClass {
+    match e {
+        AggError::BudgetExceeded { .. } => ErrorClass::Budget,
+        AggError::Cancelled => ErrorClass::Timeout,
+    }
+}
+";
+        assert!(run(&[("crates/fault/src/error.rs", decl), (MAPPING_FILE, map)]).is_empty());
+    }
+
+    #[test]
+    fn unmapped_variant_is_one_finding() {
+        let decl = "pub enum AggError {\n    BudgetExceeded,\n    SpillFailed(String),\n}\n";
+        let map = "\
+fn class(e: &AggError) -> ErrorClass {
+    match e {
+        AggError::BudgetExceeded => ErrorClass::Budget,
+        _ => ErrorClass::Internal,
+    }
+}
+";
+        let f = run(&[("crates/fault/src/error.rs", decl), (MAPPING_FILE, map)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].check, Check::Taxonomy);
+        assert!(f[0].message.contains("SpillFailed"));
+        assert_eq!(f[0].path, "crates/fault/src/error.rs");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn no_agg_error_enum_passes_vacuously() {
+        let src = "pub enum Other {\n    A,\n}\n";
+        assert!(run(&[("crates/x/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn missing_mapping_file_flags_every_variant() {
+        let decl = "pub enum AggError {\n    A,\n    B,\n}\n";
+        let f = run(&[("crates/fault/src/error.rs", decl)]);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn variant_prefix_does_not_satisfy_another_variant() {
+        let decl = "pub enum AggError {\n    Spill,\n    SpillFailed,\n}\n";
+        let map = "fn c(e: &AggError) {\n    if let AggError::SpillFailed = e {}\n}\n";
+        let f = run(&[("crates/fault/src/error.rs", decl), (MAPPING_FILE, map)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`AggError::Spill`"), "{f:?}");
+    }
+
+    #[test]
+    fn doc_comment_attributes_between_variants_are_ignored() {
+        let decl = "\
+pub enum AggError {
+    /// Docs.
+    #[allow(dead_code)]
+    BudgetExceeded {
+        need: usize,
+        have: usize,
+    },
+    Cancelled,
+}
+";
+        let map = "fn c() {\n    let _ = (AggError::BudgetExceeded, AggError::Cancelled);\n}\n";
+        assert!(run(&[("crates/fault/src/error.rs", decl), (MAPPING_FILE, map)]).is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: a pairs-with reference to a site tag nobody declares.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn observe(flag: &AtomicBool) -> bool {
+    // ORDERING: Acquire; site: observe-side; pairs-with: flag.publish — observes the handoff.
+    flag.load(Ordering::Acquire)
+}
+
+pub fn hand_off(flag: &AtomicBool) {
+    // ORDERING: Release; site: release-side; pairs-with: flag.observe-side — hands off.
+    flag.store(true, Ordering::Release);
+}

@@ -1,0 +1,13 @@
+//! Fixture: a budget-returning RAII guard reaches `mem::forget`.
+
+pub struct Reservation {
+    pub bytes: u64,
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {}
+}
+
+pub fn leak(r: Reservation) {
+    std::mem::forget(r);
+}

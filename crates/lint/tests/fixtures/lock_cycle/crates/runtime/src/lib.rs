@@ -1,0 +1,15 @@
+//! Fixture: acquires reg_b, then reg_a — the opposite of crates/serve.
+
+use std::sync::Mutex;
+
+pub struct Registries {
+    pub reg_a: Mutex<Vec<u32>>,
+    pub reg_b: Mutex<Vec<u32>>,
+}
+
+pub fn backward(r: &Registries) {
+    let b = r.reg_b.lock();
+    let a = r.reg_a.lock();
+    drop(a);
+    drop(b);
+}

@@ -1,0 +1,15 @@
+//! Fixture: acquires reg_a, then reg_b — the opposite of crates/runtime.
+
+use std::sync::Mutex;
+
+pub struct Registries {
+    pub reg_a: Mutex<Vec<u32>>,
+    pub reg_b: Mutex<Vec<u32>>,
+}
+
+pub fn forward(r: &Registries) {
+    let a = r.reg_a.lock();
+    let b = r.reg_b.lock();
+    drop(b);
+    drop(a);
+}

@@ -1,0 +1,8 @@
+//! Fixture: a Relaxed access whose annotation claims publication.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) {
+    // ORDERING: Relaxed — publishes the table pointer to readers.
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,13 @@
+//! Fixture CLI error module: classifies only one of the two variants.
+
+pub enum ErrorClass {
+    Budget,
+    Internal,
+}
+
+pub fn classify(e: &AggError) -> ErrorClass {
+    match e {
+        AggError::BudgetExceeded => ErrorClass::Budget,
+        _ => ErrorClass::Internal,
+    }
+}

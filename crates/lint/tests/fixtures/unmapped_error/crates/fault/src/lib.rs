@@ -1,0 +1,6 @@
+//! Fixture: an AggError variant the CLI error module never classifies.
+
+pub enum AggError {
+    BudgetExceeded,
+    SpillFailed,
+}

@@ -1,0 +1,8 @@
+//! Fixture: a Release store with no Acquire/AcqRel read anywhere.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn set(flag: &AtomicBool) {
+    // ORDERING: Release — hands the guarded state to whoever reads it.
+    flag.store(true, Ordering::Release);
+}

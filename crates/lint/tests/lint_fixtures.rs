@@ -14,6 +14,14 @@ fn lint_bin(root: &Path) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_hsa-lint")).arg(root).output().expect("spawn hsa-lint")
 }
 
+fn lint_bin_json(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hsa-lint"))
+        .arg(root)
+        .args(["--format", "json"])
+        .output()
+        .expect("spawn hsa-lint")
+}
+
 #[test]
 fn clean_tree_has_no_findings_and_exits_zero() {
     let root = fixture("clean");
@@ -107,6 +115,130 @@ fn malformed_allowlist_entries_are_findings() {
     assert_eq!(findings[0].path, "lint-allow.txt");
     assert_eq!(findings[0].line, 2);
     assert!(findings[0].message.contains("malformed"), "{}", findings[0].message);
+}
+
+#[test]
+fn unpaired_release_store_is_flagged() {
+    let root = fixture("unpaired_release");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Atomics);
+    assert_eq!(findings[0].path, "crates/tasks/src/lib.rs");
+    assert_eq!(findings[0].line, 7);
+    assert!(findings[0].message.contains("unpaired `Release` write"), "{}", findings[0].message);
+
+    assert_eq!(lint_bin(&root).status.code(), Some(1));
+}
+
+#[test]
+fn relaxed_annotation_claiming_publication_is_flagged() {
+    let root = fixture("relaxed_publication");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Atomics);
+    assert_eq!(findings[0].path, "crates/tasks/src/lib.rs");
+    assert_eq!(findings[0].line, 7);
+    assert!(findings[0].message.contains("claims publication"), "{}", findings[0].message);
+
+    assert_eq!(lint_bin(&root).status.code(), Some(1));
+}
+
+#[test]
+fn dangling_pairs_with_tag_is_flagged_once() {
+    let root = fixture("dangling_pairs_with");
+    let findings = run(&root).unwrap();
+    // The release/observe-side pair resolves; only the phantom
+    // `flag.publish` reference is a finding.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Atomics);
+    assert_eq!(findings[0].path, "crates/tasks/src/lib.rs");
+    assert_eq!(findings[0].line, 7);
+    assert!(
+        findings[0].message.contains("dangling pairs-with tag `flag.publish`"),
+        "{}",
+        findings[0].message
+    );
+
+    assert_eq!(lint_bin(&root).status.code(), Some(1));
+}
+
+#[test]
+fn cross_crate_lock_order_cycle_is_one_deadlock_finding() {
+    let root = fixture("lock_cycle");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::LockOrder);
+    // Anchored at the first witness edge (sorted by from/to):
+    // reg_a -> reg_b, observed at the second `.lock()` in crates/serve.
+    assert_eq!(findings[0].path, "crates/serve/src/lib.rs");
+    assert_eq!(findings[0].line, 12);
+    assert!(findings[0].message.contains("potential deadlock"), "{}", findings[0].message);
+    assert!(findings[0].message.contains("reg_a -> reg_b"), "{}", findings[0].message);
+    assert!(findings[0].message.contains("reg_b -> reg_a"), "{}", findings[0].message);
+
+    assert_eq!(lint_bin(&root).status.code(), Some(1));
+}
+
+#[test]
+fn forgotten_reservation_is_a_raii_leak_finding() {
+    let root = fixture("leaked_reservation");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::RaiiLeak);
+    assert_eq!(findings[0].path, "crates/fault/src/lib.rs");
+    assert_eq!(findings[0].line, 12);
+    assert!(
+        findings[0].message.contains("`mem::forget` reaches `Reservation`"),
+        "{}",
+        findings[0].message
+    );
+
+    assert_eq!(lint_bin(&root).status.code(), Some(1));
+}
+
+#[test]
+fn unmapped_error_variant_is_a_taxonomy_finding() {
+    let root = fixture("unmapped_error");
+    let findings = run(&root).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, Check::Taxonomy);
+    assert_eq!(findings[0].path, "crates/fault/src/lib.rs");
+    assert_eq!(findings[0].line, 5);
+    assert!(findings[0].message.contains("`AggError::SpillFailed`"), "{}", findings[0].message);
+
+    assert_eq!(lint_bin(&root).status.code(), Some(1));
+}
+
+#[test]
+fn json_output_is_stable_and_parseable_by_shape() {
+    // Findings run: schema_version, count, and the finding fields all
+    // appear; exit code still signals findings.
+    let out = lint_bin_json(&fixture("unmapped_error"));
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"schema_version\": 1"), "{stdout}");
+    assert!(stdout.contains("\"count\": 1"), "{stdout}");
+    assert!(stdout.contains("\"check\": \"taxonomy\""), "{stdout}");
+    assert!(stdout.contains("\"path\": \"crates/fault/src/lib.rs\""), "{stdout}");
+    assert!(stdout.contains("\"line\": 5"), "{stdout}");
+
+    // Clean run: empty findings array, exit 0.
+    let out = lint_bin_json(&fixture("clean"));
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"schema_version\": 1"), "{stdout}");
+    assert!(stdout.contains("\"count\": 0"), "{stdout}");
+    assert!(stdout.contains("\"findings\": []"), "{stdout}");
+}
+
+#[test]
+fn bad_format_value_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hsa-lint"))
+        .arg(fixture("clean"))
+        .args(["--format", "yaml"])
+        .output()
+        .expect("spawn hsa-lint");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

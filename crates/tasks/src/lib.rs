@@ -148,6 +148,21 @@ mod tests {
     }
 
     #[test]
+    fn scope_panic_payload_is_the_formatted_message() {
+        // `scope` re-raises the contained task panic via `resume_unwind`
+        // with a boxed `String` — the same payload type a formatting
+        // `panic!` produces — so catch_unwind callers can read it.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(2, |s| {
+                s.spawn(|_| panic!("boom {}", 3));
+            });
+        }))
+        .expect_err("scope must re-raise the task panic");
+        let message = caught.downcast_ref::<String>().expect("payload is a String");
+        assert_eq!(message, "task panicked inside hsa_tasks::scope: boom 3");
+    }
+
+    #[test]
     fn try_scope_contains_panic_and_reports_message() {
         let (result, _metrics) = try_scope_observed(2, |s| {
             s.spawn(|_| panic!("injected failure {}", 7));

@@ -177,9 +177,10 @@ impl QueryRun {
     /// deterministically inline.
     fn claim_slot(&self, lo: usize) -> Option<usize> {
         for (i, slot) in self.slots.iter().enumerate().skip(lo) {
-            // ORDERING: Acquire on success pairs with the Release un-claim
-            // in `release_slot`, so the new holder sees every slot-indexed
-            // write (worker tables, recorder shards) of the previous one.
+            // ORDERING: Acquire/Relaxed; site: claim; pairs-with: claimed.unclaim —
+            // the winning CAS acquires every slot-indexed write (worker
+            // tables, recorder shards) of the previous holder; the failed
+            // side only retries the next slot.
             if slot
                 .claimed
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -192,7 +193,8 @@ impl QueryRun {
     }
 
     fn release_slot(&self, slot: usize) {
-        // ORDERING: Release pairs with the Acquire claim (see `claim_slot`).
+        // ORDERING: Release; site: unclaim; pairs-with: claimed.claim —
+        // hands every slot-indexed write to the next claimant.
         self.slots[slot].claimed.store(false, Ordering::Release);
     }
 
@@ -222,9 +224,9 @@ impl QueryRun {
             }
             return false;
         };
-        // ORDERING: Acquire pairs with the Release store below so an
-        // executor that sees the poison flag also sees the recorded panic
-        // message.
+        // ORDERING: Acquire; site: drain; pairs-with: poisoned.poison —
+        // an executor that sees the poison flag also sees the recorded
+        // panic message.
         if self.poisoned.load(Ordering::Acquire) {
             // A task already panicked: drain instead of run. Dropping the
             // closure releases whatever it owned (data, reservations).
@@ -241,9 +243,9 @@ impl QueryRun {
                     *first = Some(payload_message(payload.as_ref()));
                 }
                 drop(first);
-                // ORDERING: Release publishes the panic message written
-                // above to the Acquire loads of the flag (drain path,
-                // scope exit).
+                // ORDERING: Release; site: poison; pairs-with: poisoned.drain, poisoned.observe —
+                // publishes the panic message written above to the Acquire
+                // loads of the flag (drain path, scope exit).
                 self.poisoned.store(true, Ordering::Release);
             }
             counters.tasks_executed += 1;
@@ -251,9 +253,10 @@ impl QueryRun {
         // Publish the slot's counters *before* the decrement: observing
         // pending == 0 must imply the metrics are complete.
         self.slots[slot].metrics.lock().add(&counters);
-        // ORDERING: AcqRel — the decrement releases this task's side
-        // effects to whoever observes pending == 0, and acquires earlier
-        // decrements so quiescence implies all effects are visible.
+        // ORDERING: AcqRel; site: task-done; pairs-with: pending.quiesce —
+        // the decrement releases this task's side effects to whoever
+        // observes pending == 0, and acquires earlier decrements so
+        // quiescence implies all effects are visible.
         self.pending.fetch_sub(1, Ordering::AcqRel);
         self.idle_cv.notify_all();
         true
@@ -278,9 +281,10 @@ impl<'run, 'env> Scope<'run, 'env> {
     where
         F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
     {
-        // ORDERING: AcqRel — the increment must be visible before the task
-        // is enqueued so quiescence checks (pending == 0) can never miss a
-        // task that is already stealable.
+        // ORDERING: AcqRel; site: spawn; pairs-with: pending.quiesce —
+        // the increment must be visible before the task is enqueued so
+        // quiescence checks (pending == 0) can never miss a task that is
+        // already stealable.
         self.run.pending.fetch_add(1, Ordering::AcqRel);
         let task: Box<dyn FnOnce(&Scope<'_, 'env>) + Send + 'env> = Box::new(task);
         // SAFETY: lifetime erasure of the task closure, sound because the
@@ -503,21 +507,22 @@ impl Drop for WindDown<'_> {
                 *first = Some("scope root panicked".to_string());
             }
             drop(first);
-            // ORDERING: Release pairs with the Acquire poison loads in
-            // `run_one` (see there).
+            // ORDERING: Release; site: poison; pairs-with: poisoned.drain, poisoned.observe —
+            // same protocol as the poison store in `run_one`.
             run.poisoned.store(true, Ordering::Release);
         }
         let mut idle = WorkerPoolMetrics::default();
         // The submitting thread helps on slot 0 until quiescence.
-        // ORDERING: Acquire pairs with the AcqRel decrements — observing
-        // pending == 0 here means every task's writes (and its published
-        // metrics) are visible.
+        // ORDERING: Acquire; site: quiesce; pairs-with: pending.task-done, pending.spawn —
+        // observing pending == 0 here means every task's writes (and its
+        // published metrics) are visible.
         while run.pending.load(Ordering::Acquire) > 0 {
             if !run.run_one(0) {
                 // All remaining tasks are running on shared workers; wait
                 // for them to finish or to spawn more work we can steal.
                 let mut guard = run.idle_lock.lock();
-                // ORDERING: Acquire, same pairing as the loop condition.
+                // ORDERING: Acquire; site: quiesce; pairs-with: pending.task-done —
+                // same pairing as the loop condition.
                 if run.pending.load(Ordering::Acquire) == 0 {
                     break;
                 }
@@ -560,7 +565,7 @@ impl QueryHandle {
         let run = Arc::new(QueryRun::new(self.id, self.threads, Arc::clone(&self.runtime)));
         // ORDERING: Relaxed — slot 0 is the submitting thread's for the
         // whole scope, and the run is not yet visible to any other
-        // thread; `register` below publishes it.
+        // thread; `register` below hands it over under the mutex.
         run.slots[0].claimed.store(true, Ordering::Relaxed);
         self.runtime.register(&run);
         let mut wind_down = WindDown { run: &run, runtime: &self.runtime, clean: false };
@@ -574,7 +579,7 @@ impl QueryHandle {
         // metrics are folded in before its task's pending decrement).
         let metrics =
             PoolMetrics { workers: run.slots.iter().map(|s| s.metrics.lock().clone()).collect() };
-        // ORDERING: Acquire pairs with the Release store in `run_one`;
+        // ORDERING: Acquire; site: observe; pairs-with: poisoned.poison —
         // seeing the flag guarantees the panic message is the recorded one.
         let outcome = if run.poisoned.load(Ordering::Acquire) {
             let message = run
@@ -598,7 +603,16 @@ impl QueryHandle {
         let (result, metrics) = self.try_scope_observed(root);
         match result {
             Ok(r) => (r, metrics),
-            Err(p) => panic!("task panicked inside hsa_tasks::scope: {}", p.message),
+            // Re-raise the contained task panic instead of minting a new
+            // panic site here: the unwind originated in a task, this frame
+            // only forwards it. The boxed `String` payload is exactly what
+            // a formatting `panic!` would carry, so `catch_unwind` callers
+            // and `#[should_panic(expected = …)]` tests observe the same
+            // message either way.
+            Err(p) => std::panic::resume_unwind(Box::new(format!(
+                "task panicked inside hsa_tasks::scope: {}",
+                p.message
+            ))),
         }
     }
 }
